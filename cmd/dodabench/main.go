@@ -1,0 +1,143 @@
+// Command dodabench regenerates the paper's results: it runs the
+// experiment suite (E1–E14 reproduce every theorem, lemma and corollary;
+// A1–A2 are ablations) and prints paper-vs-measured tables with
+// PASS/FAIL verdicts. EXPERIMENTS.md records a full-scale run.
+//
+// Usage:
+//
+//	dodabench                  # run everything at quick scale
+//	dodabench -scale full      # the EXPERIMENTS.md configuration
+//	dodabench -run E10,E12     # a subset
+//	dodabench -list            # list experiment ids
+//	dodabench -csv out/        # also write each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"doda/internal/experiments"
+	"doda/internal/parallel"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dodabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dodabench", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "quick", "experiment scale: quick | full")
+		runIDs    = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		seed      = fs.Uint64("seed", 12345, "base seed; same seed reproduces the report")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		csvDir    = fs.String("csv", "", "directory to write per-table CSV files")
+		progress  = fs.Bool("progress", false, "print sweep progress")
+		workers   = fs.Int("parallel", 1, "run experiments concurrently on this many workers (numbers are unchanged: every experiment derives its own seed)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Name, e.PaperClaim)
+		}
+		return nil
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.ScaleQuick
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(experiments.IDs(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiments.Config{Scale: scale, Seed: *seed}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	type outcome struct {
+		rep     *experiments.Report
+		elapsed time.Duration
+	}
+	failures := 0
+	start := time.Now()
+	outcomes, err := parallel.Map(len(selected), *workers, func(i int) (outcome, error) {
+		t0 := time.Now()
+		rep, err := selected[i].Run(cfg)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s: %w", selected[i].ID, err)
+		}
+		return outcome{rep: rep, elapsed: time.Since(t0)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, e := range selected {
+		rep := outcomes[i].rep
+		if err := rep.Format(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("   (%s)\n\n", outcomes[i].elapsed.Round(time.Millisecond))
+		if !rep.Pass() {
+			failures++
+		}
+		if *csvDir != "" {
+			for ti, tb := range rep.Tables {
+				name := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), ti))
+				f, err := os.Create(name)
+				if err != nil {
+					return err
+				}
+				if err := tb.CSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Printf("suite: %d experiments, %d failed, %s total (scale=%s, seed=%d)\n",
+		len(selected), failures, time.Since(start).Round(time.Millisecond), scale, *seed)
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

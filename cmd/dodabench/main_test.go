@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E5", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSubsetWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "E5,E1", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Errorf("expected CSV files, got %v", entries)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-scale", "medium"}); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}
+
+func TestRunParallelMatchesSequentialVerdicts(t *testing.T) {
+	// Experiment numbers derive only from per-experiment seeds, so the
+	// parallel path must produce passing reports too.
+	if err := run([]string{"-run", "E5,E1,E4", "-parallel", "3", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelAutoWorkers(t *testing.T) {
+	if err := run([]string{"-run", "E5", "-parallel", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}

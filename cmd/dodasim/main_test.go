@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGathering(t *testing.T) {
+	if err := run([]string{"-n", "16", "-alg", "gathering", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWaiting(t *testing.T) {
+	if err := run([]string{"-n", "12", "-alg", "waiting", "-seed", "4", "-cost=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWaitingGreedyAutoTau(t *testing.T) {
+	if err := run([]string{"-n", "16", "-alg", "waiting-greedy", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWaitingGreedyExplicitTau(t *testing.T) {
+	if err := run([]string{"-n", "16", "-alg", "waiting-greedy", "-tau", "200", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFullKnowledge(t *testing.T) {
+	if err := run([]string{"-n", "12", "-alg", "full-knowledge", "-seed", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFutureOptimal(t *testing.T) {
+	if err := run([]string{"-n", "10", "-alg", "future-optimal", "-seed", "7", "-max", "20000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTheorem1(t *testing.T) {
+	if err := run([]string{"-n", "3", "-adversary", "theorem1", "-max", "500"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTheorem3(t *testing.T) {
+	if err := run([]string{"-n", "4", "-adversary", "theorem3", "-max", "500"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	if err := run([]string{"-n", "10", "-alg", "gathering", "-concurrent", "-seed", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-n", "10", "-alg", "gathering", "-trace", path, "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty trace file")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown algorithm", args: []string{"-alg", "nope"}},
+		{name: "unknown adversary", args: []string{"-adversary", "nope"}},
+		{name: "theorem1 wrong n", args: []string{"-n", "5", "-adversary", "theorem1"}},
+		{name: "theorem3 wrong n", args: []string{"-n", "5", "-adversary", "theorem3"}},
+		{name: "bad tau", args: []string{"-alg", "waiting-greedy", "-tau", "xyz"}},
+		{name: "wg needs random adversary", args: []string{"-n", "3", "-alg", "waiting-greedy", "-adversary", "theorem1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+// Command dodatrace records, inspects and verifies execution traces.
+//
+// Usage:
+//
+//	dodatrace record -n 32 -alg gathering -seed 7 -o run.jsonl
+//	dodatrace show run.jsonl
+//	dodatrace verify -n 32 run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"doda"
+	"doda/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dodatrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: dodatrace <record|show|verify> [flags]")
+	}
+	switch args[0] {
+	case "record":
+		return record(args[1:])
+	case "show":
+		return show(args[1:])
+	case "verify":
+		return verify(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 32, "number of nodes")
+		algName = fs.String("alg", "gathering", "algorithm: waiting | gathering")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		out     = fs.String("o", "trace.jsonl", "output file")
+		max     = fs.Int("max", 0, "interaction cap (0 = generous default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var alg doda.Algorithm
+	switch *algName {
+	case "waiting":
+		alg = doda.NewWaiting()
+	case "gathering":
+		alg = doda.NewGathering()
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+	cap := *max
+	if cap == 0 {
+		cap = 60**n**n + 10000
+	}
+	adv, _, err := doda.RandomizedAdversary(*n, *seed)
+	if err != nil {
+		return err
+	}
+	rec := doda.NewTraceRecorder()
+	res, err := doda.Run(doda.Config{N: *n, MaxInteractions: cap, Events: rec, VerifyAggregate: true}, alg, adv)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d interactions (terminated=%v) to %s\n", res.Interactions, res.Terminated, *out)
+	return nil
+}
+
+func load(path string) (*trace.Recorder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func show(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	full := fs.Bool("full", false, "print every record (default: summary + transfers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dodatrace show [-full] <file>")
+	}
+	rec, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, r := range rec.Records {
+		if !*full && r.Sender < 0 {
+			continue
+		}
+		if r.Sender >= 0 {
+			fmt.Printf("t=%-8d {%d,%d}  %d -> %d\n", r.T, r.U, r.V, r.Sender, r.Receiver)
+		} else {
+			fmt.Printf("t=%-8d {%d,%d}  %s\n", r.T, r.U, r.V, r.Decision)
+		}
+	}
+	if s := rec.Result; s != nil {
+		fmt.Printf("\n%s vs %s: terminated=%v duration=%d interactions=%d transmissions=%d declined=%d\n",
+			s.Algorithm, s.Adversary, s.Terminated, s.Duration, s.Interactions, s.Transmissions, s.Declined)
+		if s.Terminated {
+			fmt.Printf("sink: %.4g from %d data\n", s.SinkPayload, s.SinkCount)
+		}
+	}
+	return nil
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	var (
+		n    = fs.Int("n", 0, "number of nodes (required)")
+		sink = fs.Int("sink", 0, "sink node")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *n == 0 {
+		return fmt.Errorf("usage: dodatrace verify -n <nodes> [-sink id] <file>")
+	}
+	rec, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := rec.Verify(*n, doda.NodeID(*sink)); err != nil {
+		return fmt.Errorf("verification failed: %w", err)
+	}
+	fmt.Printf("ok: %d records respect the model (single transmission, no receive after send)\n", len(rec.Records))
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordShowVerify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"record", "-n", "12", "-seed", "5", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"show", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"show", "-full", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-n", "12", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordWaiting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.jsonl")
+	if err := run([]string{"record", "-n", "8", "-alg", "waiting", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", "-n", "8", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyWrongN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"record", "-n", "12", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Claiming 13 nodes breaks the terminated-means-n-1-transmissions
+	// check.
+	if err := run([]string{"verify", "-n", "13", path}); err == nil {
+		t.Error("verification with wrong n should fail")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no subcommand", args: nil},
+		{name: "unknown subcommand", args: []string{"frobnicate"}},
+		{name: "record bad algorithm", args: []string{"record", "-alg", "nope"}},
+		{name: "show missing file", args: []string{"show"}},
+		{name: "show nonexistent", args: []string{"show", "/nonexistent/file"}},
+		{name: "verify missing n", args: []string{"verify", "somefile"}},
+		{name: "verify nonexistent", args: []string{"verify", "-n", "4", "/nonexistent/file"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package doda_test
+
+import (
+	"fmt"
+
+	"doda"
+)
+
+// The simplest possible run: Gathering against the randomized adversary.
+func ExampleRun() {
+	adv, _, err := doda.RandomizedAdversary(8, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := doda.Run(doda.Config{N: 8, MaxInteractions: 1 << 16}, doda.NewGathering(), adv)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Terminated, res.Transmissions)
+	// Output: true 7
+}
+
+// Aggregating a minimum: the sink ends with the smallest payload,
+// assembled from every node exactly once.
+func ExampleRun_minAggregation() {
+	adv, _, err := doda.RandomizedAdversary(5, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := doda.Run(doda.Config{
+		N:               5,
+		Agg:             doda.Min,
+		Payloads:        []float64{40, 10, 30, 20, 50},
+		MaxInteractions: 1 << 16,
+		VerifyAggregate: true,
+	}, doda.NewGathering(), adv)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.SinkValue.Num, res.SinkValue.Count)
+	// Output: 10 5
+}
+
+// Waiting Greedy needs the meetTime oracle over the same stream the
+// adversary plays.
+func ExampleNewWaitingGreedy() {
+	const n = 16
+	adv, stream, err := doda.RandomizedAdversary(n, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	budget := 40 * n * n
+	know, err := doda.NewKnowledge(doda.WithMeetTime(stream, 0, budget))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := doda.Run(doda.Config{N: n, MaxInteractions: budget, Know: know},
+		doda.NewWaitingGreedy(doda.TauStar(n)), adv)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Terminated)
+	// Output: true
+}
+
+// The successive-convergecast clock turns a duration into the paper's
+// cost (§2.3): how many optimal offline aggregations would have fit.
+func ExampleNewClock() {
+	s, err := doda.NewSequence(3, []doda.Interaction{
+		{U: 1, V: 2}, {U: 0, V: 1}, // convergecast 1
+		{U: 1, V: 2}, {U: 0, V: 1}, // convergecast 2
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	clock, err := doda.NewClock(s, 0, s.Len())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	costOptimal, _ := clock.Cost(1) // finished at t=1: optimal
+	costSlow, _ := clock.Cost(3)    // finished at t=3: one convergecast late
+	fmt.Println(costOptimal, costSlow)
+	// Output: 1 2
+}
+
+// The Theorem 1 adversary defeats every algorithm on three nodes.
+func ExampleTheorem1Adversary() {
+	adv, err := doda.Theorem1Adversary(0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := doda.Run(doda.Config{N: 3, MaxInteractions: 10000}, doda.NewGathering(), adv)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Terminated)
+	// Output: false
+}
+
+// An optimal offline convergecast plan assigns every non-sink node one
+// send time and receiver.
+func ExamplePlanConvergecast() {
+	s, err := doda.NewSequence(3, []doda.Interaction{
+		{U: 1, V: 2}, {U: 0, V: 1},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	plan, err := doda.PlanConvergecast(s, 0, 0, s.Len())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(plan.End, plan.SendTime[2], plan.Receiver[2])
+	// Output: 1 0 1
+}

@@ -1,0 +1,92 @@
+// Adversarial: watch the paper's impossibility proofs happen. The
+// Theorem 1 adversary reacts to the algorithm's transmissions on three
+// nodes so that one node can never deliver; the Theorem 3 adversary does
+// the same on a 4-node cycle even though every node knows the underlying
+// graph. In both cases the offline optimum keeps completing convergecasts
+// forever, so cost_A(I) exceeds every bound.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"doda"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adversarial:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Theorem 1: adaptive adversary vs Gathering on {sink, a, b}")
+	fmt.Printf("  %-10s %-11s %-22s\n", "horizon", "terminated", "convergecasts possible")
+	for _, horizon := range []int{100, 1000, 10000} {
+		adv, err := doda.Theorem1Adversary(0)
+		if err != nil {
+			return err
+		}
+		rec := doda.NewTraceRecorder()
+		res, err := doda.Run(doda.Config{N: 3, MaxInteractions: horizon, Events: rec},
+			doda.NewGathering(), adv)
+		if err != nil {
+			return err
+		}
+		count, err := convergecastsPossible(rec, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10d %-11v %-22d\n", horizon, res.Terminated, count)
+	}
+	fmt.Println("  the algorithm never terminates, yet an offline optimum could have")
+	fmt.Println("  aggregated everything again and again: cost = ∞ (Theorem 1).")
+
+	fmt.Println("\nTheorem 3: adaptive adversary vs spanning-tree on the 4-cycle (Ḡ known)")
+	fmt.Printf("  %-10s %-11s %-22s\n", "horizon", "terminated", "convergecasts possible")
+	for _, horizon := range []int{100, 1000, 10000} {
+		adv, g, err := doda.Theorem3Adversary(0)
+		if err != nil {
+			return err
+		}
+		know, err := doda.NewKnowledge(doda.WithUnderlying(g))
+		if err != nil {
+			return err
+		}
+		rec := doda.NewTraceRecorder()
+		res, err := doda.Run(doda.Config{N: 4, MaxInteractions: horizon, Know: know, Events: rec},
+			doda.NewSpanningTree(), adv)
+		if err != nil {
+			return err
+		}
+		count, err := convergecastsPossible(rec, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10d %-11v %-22d\n", horizon, res.Terminated, count)
+	}
+	fmt.Println("  knowing the topology does not help against an adaptive adversary")
+	fmt.Println("  when the graph has a cycle (Theorem 3).")
+	return nil
+}
+
+// convergecastsPossible counts how many successive optimal convergecasts
+// fit into the interactions the adversary actually emitted.
+func convergecastsPossible(rec *doda.TraceRecorder, n int) (int, error) {
+	s, err := rec.Sequence(n)
+	if err != nil {
+		return 0, err
+	}
+	clock, err := doda.NewClock(s, 0, s.Len())
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for {
+		if _, ok := clock.T(count + 1); !ok {
+			return count, nil
+		}
+		count++
+	}
+}

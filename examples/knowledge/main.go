@@ -1,0 +1,127 @@
+// Knowledge: the paper's central message in one run — each rung of the
+// knowledge ladder buys a provably faster aggregation under the
+// randomized adversary:
+//
+//	none          Gathering        Θ(n²)              (Theorem 9, Corollary 2)
+//	meetTime      Waiting Greedy   Θ(n^{3/2}√log n)   (Theorems 10-11, Corollary 3)
+//	future        future-gossip    Θ(n log n)         (Theorem 6, Corollary 1)
+//	full sequence offline optimum  (n-1)·H(n-1)       (Theorem 8)
+//
+// All five algorithms run on the same sequence (same seed), so the
+// interaction counts are directly comparable.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"doda"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "knowledge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n    = 64
+		seed = 2016
+	)
+	horizon := 80 * n * n
+
+	harmonic := 0.0
+	for i := 1; i < n; i++ {
+		harmonic += 1 / float64(i)
+	}
+
+	type rung struct {
+		name   string
+		know   string
+		theory string
+		run    func() (doda.Result, error)
+	}
+	rungs := []rung{
+		{name: "waiting", know: "none", theory: fmt.Sprintf("n(n-1)/2·H(n-1) ≈ %.0f", float64(n)*float64(n-1)/2*harmonic),
+			run: func() (doda.Result, error) {
+				adv, _, err := doda.RandomizedAdversary(n, seed)
+				if err != nil {
+					return doda.Result{}, err
+				}
+				return doda.Run(doda.Config{N: n, MaxInteractions: horizon}, doda.NewWaiting(), adv)
+			}},
+		{name: "gathering", know: "none", theory: fmt.Sprintf("(n-1)² = %d", (n-1)*(n-1)),
+			run: func() (doda.Result, error) {
+				adv, _, err := doda.RandomizedAdversary(n, seed)
+				if err != nil {
+					return doda.Result{}, err
+				}
+				return doda.Run(doda.Config{N: n, MaxInteractions: horizon}, doda.NewGathering(), adv)
+			}},
+		{name: "waiting-greedy(τ*)", know: "meetTime", theory: fmt.Sprintf("τ* = %d", doda.TauStar(n)),
+			run: func() (doda.Result, error) {
+				adv, stream, err := doda.RandomizedAdversary(n, seed)
+				if err != nil {
+					return doda.Result{}, err
+				}
+				know, err := doda.NewKnowledge(doda.WithMeetTime(stream, 0, horizon))
+				if err != nil {
+					return doda.Result{}, err
+				}
+				return doda.Run(doda.Config{N: n, MaxInteractions: horizon, Know: know},
+					doda.NewWaitingGreedy(doda.TauStar(n)), adv)
+			}},
+		{name: "future-optimal", know: "future", theory: "Θ(n log n), cost ≤ n",
+			run: func() (doda.Result, error) {
+				_, stream, err := doda.RandomizedAdversary(n, seed)
+				if err != nil {
+					return doda.Result{}, err
+				}
+				length := int(12*float64(n)*math.Log(float64(n))) + 1000
+				prefix := stream.Prefix(length)
+				know, err := doda.NewKnowledge(doda.WithFutures(prefix))
+				if err != nil {
+					return doda.Result{}, err
+				}
+				adv, err := doda.ObliviousAdversary("randomized-prefix", prefix)
+				if err != nil {
+					return doda.Result{}, err
+				}
+				return doda.Run(doda.Config{N: n, MaxInteractions: length, Know: know},
+					doda.NewFutureOptimal(length), adv)
+			}},
+		{name: "full-knowledge", know: "full sequence", theory: fmt.Sprintf("(n-1)·H(n-1) ≈ %.0f", float64(n-1)*harmonic),
+			run: func() (doda.Result, error) {
+				adv, stream, err := doda.RandomizedAdversary(n, seed)
+				if err != nil {
+					return doda.Result{}, err
+				}
+				know, err := doda.NewKnowledge(doda.WithFullSequence(stream))
+				if err != nil {
+					return doda.Result{}, err
+				}
+				return doda.Run(doda.Config{N: n, MaxInteractions: horizon, Know: know},
+					doda.NewFullKnowledge(horizon), adv)
+			}},
+	}
+
+	fmt.Printf("the knowledge ladder at n = %d (one seed, same sequence)\n\n", n)
+	fmt.Printf("%-20s %-14s %13s   %s\n", "algorithm", "knowledge", "interactions", "theory")
+	for _, r := range rungs {
+		res, err := r.run()
+		if err != nil {
+			return err
+		}
+		count := "did not finish"
+		if res.Terminated {
+			count = fmt.Sprintf("%d", res.Interactions)
+		}
+		fmt.Printf("%-20s %-14s %13s   %s\n", r.name, r.know, count, r.theory)
+	}
+	fmt.Println("\nevery additional piece of knowledge buys a provable speed-up;")
+	fmt.Println("the paper shows each rung is tight for its knowledge class.")
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package adversary implements the paper's three adversary models (§2.2)
+// and the explicit adversarial constructions used in the impossibility
+// proofs:
+//
+//   - the oblivious adversary, which commits to a sequence before the
+//     execution starts (any seq.View wrapped by Oblivious);
+//   - the randomized adversary, which picks every interaction uniformly
+//     at random among the n(n-1)/2 pairs (Randomized);
+//   - adaptive online adversaries, which observe the past execution to
+//     choose the next interaction: Theorem1 (defeats every DODA algorithm
+//     on 3 nodes) and Theorem3 (defeats every algorithm knowing the
+//     underlying graph, on a 4-node cycle);
+//   - the Theorem 2 oblivious construction against oblivious randomized
+//     algorithms (star prefix followed by a blocking-path loop).
+package adversary
+
+import (
+	"fmt"
+
+	"doda/internal/core"
+	"doda/internal/graph"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+// Oblivious adapts any interaction sequence view into an adversary that
+// ignores the execution: the sequence is fixed up front.
+type Oblivious struct {
+	name string
+	view seq.View
+}
+
+var _ core.Adversary = (*Oblivious)(nil)
+
+// NewOblivious wraps view under the given display name.
+func NewOblivious(name string, view seq.View) (*Oblivious, error) {
+	if view == nil {
+		return nil, fmt.Errorf("adversary: nil view")
+	}
+	if name == "" {
+		name = "oblivious"
+	}
+	return &Oblivious{name: name, view: view}, nil
+}
+
+// Name returns the adversary's display name.
+func (o *Oblivious) Name() string { return o.name }
+
+// Next returns the pre-committed interaction at time t.
+func (o *Oblivious) Next(t int, _ core.ExecView) (seq.Interaction, bool) {
+	if b, finite := o.view.Bound(); finite && t >= b {
+		return seq.Interaction{}, false
+	}
+	return o.view.At(t), true
+}
+
+// View exposes the wrapped sequence, e.g. to grant knowledge oracles over
+// the same sequence the adversary plays.
+func (o *Oblivious) View() seq.View { return o.view }
+
+// Randomized returns the randomized adversary on n nodes: a lazily
+// materialised uniform interaction stream (so knowledge oracles can look
+// ahead consistently) wrapped as an adversary. The stream is returned
+// alongside for oracle construction.
+func Randomized(n int, seed uint64) (*Oblivious, *seq.Stream, error) {
+	src := rng.New(seed)
+	st, err := seq.NewStream(n, seq.UniformGen(n, src))
+	if err != nil {
+		return nil, nil, err
+	}
+	adv, err := NewOblivious("randomized", st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return adv, st, nil
+}
+
+// Recurrent returns an oblivious adversary cycling through edges forever
+// (every interaction that occurs once occurs infinitely often — the
+// hypothesis of Theorem 4). The returned stream backs knowledge oracles.
+func Recurrent(n int, edges []graph.Edge) (*Oblivious, *seq.Stream, error) {
+	gen, err := seq.RoundRobinGen(edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := seq.NewStream(n, gen)
+	if err != nil {
+		return nil, nil, err
+	}
+	adv, err := NewOblivious("recurrent", st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return adv, st, nil
+}
+
+// DelayedRecurrent returns a recurrent schedule in which every round
+// plays the edges of `frequent` repeat times before playing `delayed`
+// once. With frequent spanning the graph minus one tree edge, the
+// spanning-tree algorithm's cost grows with repeat — the unboundedness
+// half of Theorem 4.
+func DelayedRecurrent(n int, frequent []graph.Edge, delayed graph.Edge, repeat int) (*Oblivious, *seq.Stream, error) {
+	if repeat < 1 {
+		return nil, nil, fmt.Errorf("adversary: repeat must be >= 1, got %d", repeat)
+	}
+	if len(frequent) == 0 {
+		return nil, nil, fmt.Errorf("adversary: need at least one frequent edge")
+	}
+	round := make([]graph.Edge, 0, len(frequent)*repeat+1)
+	for r := 0; r < repeat; r++ {
+		round = append(round, frequent...)
+	}
+	round = append(round, delayed)
+	adv, st, err := Recurrent(n, round)
+	if err != nil {
+		return nil, nil, err
+	}
+	adv.name = "delayed-recurrent"
+	return adv, st, nil
+}
+
+// Theorem1 is the adaptive online adversary from the proof of Theorem 1.
+// On V = {sink, a, b} it reacts to the algorithm's transmissions so that
+// one non-sink node can never transmit, while a convergecast remains
+// possible forever: cost_A(I) = ∞ for every algorithm A.
+type Theorem1 struct {
+	sink, a, b graph.NodeID
+	// last tracks what the adversary emitted at t-1: 0 = nothing yet,
+	// 1 = {a,b} probe, 2 = {b,s} probe.
+	last int
+	// lock holds the blocking loop once the trap has sprung.
+	lock []seq.Interaction
+}
+
+var _ core.Adversary = (*Theorem1)(nil)
+
+// NewTheorem1 builds the adversary for a 3-node system. The two non-sink
+// nodes are the two smallest non-sink identifiers.
+func NewTheorem1(n int, sink graph.NodeID) (*Theorem1, error) {
+	if n != 3 {
+		return nil, fmt.Errorf("adversary: Theorem 1 construction uses exactly 3 nodes, got %d", n)
+	}
+	if sink < 0 || int(sink) >= n {
+		return nil, fmt.Errorf("adversary: sink %d out of range", sink)
+	}
+	var rest []graph.NodeID
+	for u := graph.NodeID(0); u < 3; u++ {
+		if u != sink {
+			rest = append(rest, u)
+		}
+	}
+	return &Theorem1{sink: sink, a: rest[0], b: rest[1]}, nil
+}
+
+// Name identifies the construction.
+func (th *Theorem1) Name() string { return "theorem1-adaptive" }
+
+// Next implements the reactive construction of the Theorem 1 proof.
+func (th *Theorem1) Next(t int, view core.ExecView) (seq.Interaction, bool) {
+	if th.lock != nil {
+		return th.lock[t%len(th.lock)], true
+	}
+	switch th.last {
+	case 1: // probe {a,b} just played
+		switch {
+		case !view.Owns(th.a):
+			// a transmitted: alternate {a,s}, {a,b} so b starves.
+			th.lock = []seq.Interaction{
+				seq.MustInteraction(th.a, th.sink),
+				seq.MustInteraction(th.a, th.b),
+			}
+			return th.lock[t%len(th.lock)], true
+		case !view.Owns(th.b):
+			// b transmitted: symmetric.
+			th.lock = []seq.Interaction{
+				seq.MustInteraction(th.b, th.sink),
+				seq.MustInteraction(th.a, th.b),
+			}
+			return th.lock[t%len(th.lock)], true
+		default:
+			th.last = 2
+			return seq.MustInteraction(th.b, th.sink), true
+		}
+	case 2: // probe {b,s} just played
+		if !view.Owns(th.b) {
+			// b transmitted to the sink: starve a with {a,b}, {b,s}.
+			th.lock = []seq.Interaction{
+				seq.MustInteraction(th.a, th.b),
+				seq.MustInteraction(th.b, th.sink),
+			}
+			return th.lock[t%len(th.lock)], true
+		}
+		fallthrough
+	default: // start, or restart the probe cycle
+		th.last = 1
+		return seq.MustInteraction(th.a, th.b), true
+	}
+}
+
+// Theorem3 is the adaptive online adversary from the proof of Theorem 3:
+// on the 4-node cycle s-u1-u2-u3-s it defeats every algorithm even when
+// nodes know the underlying graph. It probes with the four interactions
+// ({u1,s}, {u3,s}, {u2,u1}, {u2,u3}) and, as soon as u2 transmits towards
+// u1 (resp. u3), locks into a loop in which the receiver can never reach
+// the sink.
+type Theorem3 struct {
+	sink, u1, u2, u3 graph.NodeID
+
+	probe []seq.Interaction
+	pos   int // probe position to emit next
+	lock  []seq.Interaction
+	// lockT0 is the time the lock phase started, to index the loop.
+	lockT0 int
+}
+
+var _ core.Adversary = (*Theorem3)(nil)
+
+// NewTheorem3 builds the adversary for a 4-node system with the given
+// sink; u1 < u2 < u3 are the remaining nodes (u2 is the cycle node
+// opposite the sink).
+func NewTheorem3(n int, sink graph.NodeID) (*Theorem3, error) {
+	if n != 4 {
+		return nil, fmt.Errorf("adversary: Theorem 3 construction uses exactly 4 nodes, got %d", n)
+	}
+	if sink < 0 || int(sink) >= n {
+		return nil, fmt.Errorf("adversary: sink %d out of range", sink)
+	}
+	var rest []graph.NodeID
+	for u := graph.NodeID(0); u < 4; u++ {
+		if u != sink {
+			rest = append(rest, u)
+		}
+	}
+	th := &Theorem3{sink: sink, u1: rest[0], u2: rest[1], u3: rest[2]}
+	th.probe = []seq.Interaction{
+		seq.MustInteraction(th.u1, th.sink),
+		seq.MustInteraction(th.u3, th.sink),
+		seq.MustInteraction(th.u2, th.u1),
+		seq.MustInteraction(th.u2, th.u3),
+	}
+	return th, nil
+}
+
+// Name identifies the construction.
+func (th *Theorem3) Name() string { return "theorem3-adaptive" }
+
+// UnderlyingGraph returns the cycle Ḡ the construction realises, which is
+// what nodes are given as knowledge in Theorem 3's setting.
+func (th *Theorem3) UnderlyingGraph() (*graph.Undirected, error) {
+	g, err := graph.NewUndirected(4)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range [][2]graph.NodeID{
+		{th.sink, th.u1}, {th.u1, th.u2}, {th.u2, th.u3}, {th.u3, th.sink},
+	} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Next implements the reactive construction of the Theorem 3 proof.
+func (th *Theorem3) Next(t int, view core.ExecView) (seq.Interaction, bool) {
+	if th.lock != nil {
+		return th.lock[(t-th.lockT0)%len(th.lock)], true
+	}
+	// React to the probe interaction emitted at t-1, if it was one of
+	// u2's two chances to transmit.
+	if th.pos == 3 && !view.Owns(th.u2) {
+		// u2 transmitted to u1 at {u2,u1}: starve u1 by looping
+		// {u1,u2}, {u2,u3}, {u3,s} — {u1,s} never occurs again.
+		th.lock = []seq.Interaction{
+			seq.MustInteraction(th.u1, th.u2),
+			seq.MustInteraction(th.u2, th.u3),
+			seq.MustInteraction(th.u3, th.sink),
+		}
+		th.lockT0 = t
+		return th.lock[0], true
+	}
+	if th.pos == 0 && t > 0 && !view.Owns(th.u2) {
+		// u2 transmitted to u3 at {u2,u3} (the probe wrapped around):
+		// starve u3 by looping {u3,u2}, {u2,u1}, {u1,s}.
+		th.lock = []seq.Interaction{
+			seq.MustInteraction(th.u3, th.u2),
+			seq.MustInteraction(th.u2, th.u1),
+			seq.MustInteraction(th.u1, th.sink),
+		}
+		th.lockT0 = t
+		return th.lock[0], true
+	}
+	it := th.probe[th.pos]
+	th.pos = (th.pos + 1) % len(th.probe)
+	return it, true
+}
+
+// BuildTheorem2 constructs the oblivious sequence from the proof of
+// Theorem 2 against oblivious randomized algorithms: the star prefix I^l0
+// (I_i = {u_{i mod n-1}, s}) followed by `loops` repetitions of the
+// blocking round I' in which node u_{d} must route its data through a
+// path containing a node that no longer owns data:
+//
+//	I'_i = {u_i, u_{i+1 mod n-1}}  for i in [0, n-2] \ {d-1}
+//	I'_{d-1} = {u_{d-1}, s}
+//
+// Nodes are numbered with the sink = 0 and u_i = i+1.
+func BuildTheorem2(n, l0, d, loops int) (*seq.Sequence, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("adversary: Theorem 2 construction needs n >= 3, got %d", n)
+	}
+	if l0 < 0 || loops < 0 {
+		return nil, fmt.Errorf("adversary: negative lengths (l0=%d, loops=%d)", l0, loops)
+	}
+	m := n - 1 // number of non-sink nodes u_0..u_{m-1}
+	if d < 0 || d >= m {
+		return nil, fmt.Errorf("adversary: d = %d out of range [0,%d)", d, m)
+	}
+	u := func(i int) graph.NodeID { return graph.NodeID(((i%m)+m)%m + 1) }
+	steps := make([]seq.Interaction, 0, l0+loops*m)
+	for i := 0; i < l0; i++ {
+		steps = append(steps, seq.MustInteraction(u(i), 0))
+	}
+	round := make([]seq.Interaction, 0, m)
+	for i := 0; i < m; i++ {
+		if i == ((d-1)%m+m)%m {
+			round = append(round, seq.MustInteraction(u(i), 0))
+		} else {
+			round = append(round, seq.MustInteraction(u(i), u(i+1)))
+		}
+	}
+	for l := 0; l < loops; l++ {
+		steps = append(steps, round...)
+	}
+	return seq.NewSequence(n, steps)
+}

@@ -1,0 +1,440 @@
+package adversary
+
+import (
+	"testing"
+
+	"doda/internal/core"
+	"doda/internal/graph"
+	"doda/internal/offline"
+	"doda/internal/seq"
+)
+
+// fakeView is a controllable core.ExecView.
+type fakeView struct {
+	n    int
+	sink graph.NodeID
+	owns []bool
+}
+
+func newFakeView(n int, sink graph.NodeID) *fakeView {
+	v := &fakeView{n: n, sink: sink, owns: make([]bool, n)}
+	for i := range v.owns {
+		v.owns[i] = true
+	}
+	return v
+}
+
+func (v *fakeView) N() int             { return v.n }
+func (v *fakeView) Sink() graph.NodeID { return v.sink }
+func (v *fakeView) Owns(u graph.NodeID) bool {
+	if u < 0 || int(u) >= v.n {
+		return false
+	}
+	return v.owns[u]
+}
+func (v *fakeView) OwnerCount() int {
+	c := 0
+	for _, o := range v.owns {
+		if o {
+			c++
+		}
+	}
+	return c
+}
+
+func TestObliviousFiniteSequence(t *testing.T) {
+	s, err := seq.NewSequence(3, []seq.Interaction{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := NewOblivious("test", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Name() != "test" {
+		t.Errorf("Name = %q", adv.Name())
+	}
+	view := newFakeView(3, 0)
+	it, ok := adv.Next(0, view)
+	if !ok || it != (seq.Interaction{U: 0, V: 1}) {
+		t.Errorf("Next(0) = %v,%v", it, ok)
+	}
+	if _, ok := adv.Next(2, view); ok {
+		t.Error("should be exhausted")
+	}
+	if adv.View() != seq.View(s) {
+		t.Error("View mismatch")
+	}
+}
+
+func TestObliviousValidation(t *testing.T) {
+	if _, err := NewOblivious("x", nil); err == nil {
+		t.Error("want error for nil view")
+	}
+	s, _ := seq.NewSequence(3, nil)
+	adv, err := NewOblivious("", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Name() != "oblivious" {
+		t.Errorf("default name = %q", adv.Name())
+	}
+}
+
+func TestRandomizedUniformAndDeterministic(t *testing.T) {
+	adv1, st1, err := Randomized(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv2, _, err := Randomized(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(5, 0)
+	for i := 0; i < 100; i++ {
+		a, ok1 := adv1.Next(i, view)
+		b, ok2 := adv2.Next(i, view)
+		if !ok1 || !ok2 {
+			t.Fatal("randomized adversary exhausted")
+		}
+		if a != b {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+		if a.U >= a.V || a.U < 0 || int(a.V) >= 5 {
+			t.Fatalf("invalid interaction %v", a)
+		}
+	}
+	if st1.MaterializedLen() != 100 {
+		t.Errorf("stream materialised %d", st1.MaterializedLen())
+	}
+}
+
+func TestRecurrentCycles(t *testing.T) {
+	edges := []graph.Edge{graph.MustEdge(0, 1), graph.MustEdge(1, 2), graph.MustEdge(0, 2)}
+	adv, _, err := Recurrent(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(3, 0)
+	for i := 0; i < 9; i++ {
+		it, ok := adv.Next(i, view)
+		if !ok {
+			t.Fatal("recurrent adversary exhausted")
+		}
+		want := seq.Interaction{U: edges[i%3].U, V: edges[i%3].V}
+		if it != want {
+			t.Fatalf("Next(%d) = %v, want %v", i, it, want)
+		}
+	}
+	if _, _, err := Recurrent(3, nil); err == nil {
+		t.Error("want error for no edges")
+	}
+}
+
+func TestDelayedRecurrent(t *testing.T) {
+	frequent := []graph.Edge{graph.MustEdge(0, 1), graph.MustEdge(1, 2)}
+	delayed := graph.MustEdge(2, 3)
+	adv, _, err := DelayedRecurrent(4, frequent, delayed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(4, 0)
+	// Round = frequent x3 then delayed: positions 0..5 frequent, 6 delayed.
+	var got []seq.Interaction
+	for i := 0; i < 7; i++ {
+		it, ok := adv.Next(i, view)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		got = append(got, it)
+	}
+	if got[6] != (seq.Interaction{U: 2, V: 3}) {
+		t.Errorf("delayed edge at wrong place: %v", got)
+	}
+	for i := 0; i < 6; i++ {
+		if got[i] == (seq.Interaction{U: 2, V: 3}) {
+			t.Errorf("delayed edge appeared early at %d", i)
+		}
+	}
+	if _, _, err := DelayedRecurrent(4, frequent, delayed, 0); err == nil {
+		t.Error("want error for repeat < 1")
+	}
+	if _, _, err := DelayedRecurrent(4, nil, delayed, 2); err == nil {
+		t.Error("want error for empty frequent edges")
+	}
+}
+
+func TestTheorem1Validation(t *testing.T) {
+	if _, err := NewTheorem1(4, 0); err == nil {
+		t.Error("want error for n != 3")
+	}
+	if _, err := NewTheorem1(3, 5); err == nil {
+		t.Error("want error for bad sink")
+	}
+}
+
+func TestTheorem1TrapAfterAB(t *testing.T) {
+	// Nodes: sink=0, a=1, b=2. Algorithm: a transmits to b at the first
+	// {a,b}. Adversary must lock into [{a,s},{a,b}] so b starves.
+	th, err := NewTheorem1(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(3, 0)
+	it, _ := th.Next(0, view)
+	if it != (seq.Interaction{U: 1, V: 2}) {
+		t.Fatalf("first probe = %v", it)
+	}
+	view.owns[1] = false // a transmitted
+	lock0, _ := th.Next(1, view)
+	lock1, _ := th.Next(2, view)
+	lock2, _ := th.Next(3, view)
+	if lock0 != lock2 {
+		t.Errorf("lock not periodic: %v %v %v", lock0, lock1, lock2)
+	}
+	// The lock must never contain {b, s} = {0, 2}.
+	for i := 1; i < 50; i++ {
+		it, ok := th.Next(i, view)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		if it == (seq.Interaction{U: 0, V: 2}) {
+			t.Fatalf("lock offered {b,s} at %d", i)
+		}
+	}
+}
+
+func TestTheorem1TrapAfterBS(t *testing.T) {
+	// b transmits to s at the {b,s} probe: lock must starve a — never
+	// offer {a, s} = {0, 1}.
+	th, err := NewTheorem1(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(3, 0)
+	_, _ = th.Next(0, view) // {a,b}: nobody transmits
+	it, _ := th.Next(1, view)
+	if it != (seq.Interaction{U: 0, V: 2}) {
+		t.Fatalf("second probe = %v, want {0,2}", it)
+	}
+	view.owns[2] = false // b transmitted to s
+	for i := 2; i < 50; i++ {
+		it, ok := th.Next(i, view)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		if it == (seq.Interaction{U: 0, V: 1}) {
+			t.Fatalf("lock offered {a,s} at %d", i)
+		}
+	}
+}
+
+func TestTheorem1ProbesForeverAgainstWaiting(t *testing.T) {
+	// A stubborn algorithm that never transmits sees alternating probes.
+	th, err := NewTheorem1(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(3, 0)
+	for i := 0; i < 20; i++ {
+		it, ok := th.Next(i, view)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		if i%2 == 0 && it != (seq.Interaction{U: 1, V: 2}) {
+			t.Fatalf("probe %d = %v, want {a,b}", i, it)
+		}
+		if i%2 == 1 && it != (seq.Interaction{U: 0, V: 2}) {
+			t.Fatalf("probe %d = %v, want {b,s}", i, it)
+		}
+	}
+}
+
+func TestTheorem3Validation(t *testing.T) {
+	if _, err := NewTheorem3(3, 0); err == nil {
+		t.Error("want error for n != 4")
+	}
+	if _, err := NewTheorem3(4, 9); err == nil {
+		t.Error("want error for bad sink")
+	}
+}
+
+func TestTheorem3UnderlyingGraphIsCycle(t *testing.T) {
+	th, err := NewTheorem3(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := th.UnderlyingGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 || !g.Connected() {
+		t.Errorf("Ḡ: m=%d connected=%v", g.M(), g.Connected())
+	}
+	for u := graph.NodeID(0); u < 4; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("degree(%d) = %d, want 2 (cycle)", u, g.Degree(u))
+		}
+	}
+}
+
+func TestTheorem3TrapsAfterU2TransmitsToU1(t *testing.T) {
+	th, err := NewTheorem3(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(4, 0)
+	// Probe: {1,0}, {3,0}, {2,1}, {2,3}.
+	for i := 0; i < 3; i++ {
+		if _, ok := th.Next(i, view); !ok {
+			t.Fatal("exhausted")
+		}
+	}
+	// u2 transmitted to u1 during probe step {2,1} (pos now 3).
+	view.owns[2] = false
+	// Lock must never offer {u1, s} = {0,1} again.
+	for i := 3; i < 60; i++ {
+		it, ok := th.Next(i, view)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		if it == (seq.Interaction{U: 0, V: 1}) {
+			t.Fatalf("lock offered {u1,s} at step %d", i)
+		}
+	}
+}
+
+func TestTheorem3TrapsAfterU2TransmitsToU3(t *testing.T) {
+	th, err := NewTheorem3(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(4, 0)
+	for i := 0; i < 4; i++ { // full probe round; pos wraps to 0
+		if _, ok := th.Next(i, view); !ok {
+			t.Fatal("exhausted")
+		}
+	}
+	// u2 transmitted at the last probe step {2,3}.
+	view.owns[2] = false
+	for i := 4; i < 60; i++ {
+		it, ok := th.Next(i, view)
+		if !ok {
+			t.Fatal("exhausted")
+		}
+		if it == (seq.Interaction{U: 0, V: 3}) {
+			t.Fatalf("lock offered {u3,s} at step %d", i)
+		}
+	}
+}
+
+func TestTheorem3LockStillAllowsConvergecasts(t *testing.T) {
+	// The cost definition needs convergecasts to remain possible in the
+	// lock loop: check with the offline planner on a materialised lock.
+	th, err := NewTheorem3(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(4, 0)
+	for i := 0; i < 3; i++ {
+		_, _ = th.Next(i, view)
+	}
+	view.owns[2] = false
+	var steps []seq.Interaction
+	for i := 3; i < 3+30; i++ {
+		it, _ := th.Next(i, view)
+		steps = append(steps, it)
+	}
+	s, err := seq.NewSequence(4, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := offline.Opt(s, 0, 0, s.Len()); !ok {
+		t.Error("no convergecast possible in lock loop")
+	}
+	// And repeatedly: T(i) keeps growing finitely.
+	clock, err := offline.NewClock(s, 0, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := clock.T(3); !ok {
+		t.Error("T(3) should be finite in a 30-interaction lock window")
+	}
+}
+
+func TestBuildTheorem2Shape(t *testing.T) {
+	n, l0, d, loops := 5, 7, 2, 3
+	s, err := BuildTheorem2(n, l0, d, loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n - 1
+	if s.Len() != l0+loops*m {
+		t.Fatalf("Len = %d, want %d", s.Len(), l0+loops*m)
+	}
+	// Prefix: star interactions {u_{i mod m}, s}.
+	for i := 0; i < l0; i++ {
+		want := seq.MustInteraction(graph.NodeID(i%m+1), 0)
+		if s.At(i) != want {
+			t.Fatalf("prefix At(%d) = %v, want %v", i, s.At(i), want)
+		}
+	}
+	// Each round has exactly one sink interaction, at offset d-1, with
+	// u_{d-1}.
+	for l := 0; l < loops; l++ {
+		base := l0 + l*m
+		sinkCount := 0
+		for i := 0; i < m; i++ {
+			it := s.At(base + i)
+			if it.Involves(0) {
+				sinkCount++
+				if i != d-1 {
+					t.Fatalf("round %d: sink interaction at offset %d, want %d", l, i, d-1)
+				}
+				if !it.Involves(graph.NodeID(d - 1 + 1)) {
+					t.Fatalf("round %d: sink meets %v, want u_%d", l, it, d-1)
+				}
+			}
+		}
+		if sinkCount != 1 {
+			t.Fatalf("round %d has %d sink interactions", l, sinkCount)
+		}
+	}
+}
+
+func TestBuildTheorem2Validation(t *testing.T) {
+	if _, err := BuildTheorem2(2, 1, 0, 1); err == nil {
+		t.Error("want error for n < 3")
+	}
+	if _, err := BuildTheorem2(5, -1, 0, 1); err == nil {
+		t.Error("want error for negative l0")
+	}
+	if _, err := BuildTheorem2(5, 1, 4, 1); err == nil {
+		t.Error("want error for d out of range")
+	}
+	if _, err := BuildTheorem2(5, 1, 0, -2); err == nil {
+		t.Error("want error for negative loops")
+	}
+}
+
+func TestBuildTheorem2DZeroWraps(t *testing.T) {
+	// d = 0 places the sink interaction at offset (0-1) mod m = m-1.
+	s, err := BuildTheorem2(4, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 3
+	for i := 0; i < m; i++ {
+		it := s.At(i)
+		if it.Involves(0) != (i == m-1) {
+			t.Fatalf("offset %d: %v", i, it)
+		}
+	}
+}
+
+// Interface compliance.
+var (
+	_ core.Adversary = (*Oblivious)(nil)
+	_ core.Adversary = (*Theorem1)(nil)
+	_ core.Adversary = (*Theorem3)(nil)
+)

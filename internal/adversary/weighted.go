@@ -1,0 +1,125 @@
+package adversary
+
+// Weighted randomized adversary. The paper's concluding remarks (§5, open
+// question 3) ask whether "randomized adversaries that use a non-uniform
+// probabilistic distribution alter significantly the bounds presented
+// here". This adversary makes the question executable: interactions are
+// drawn by picking the two endpoints with probability proportional to
+// per-node weights (without replacement), so hubs interact often and
+// peripheral nodes rarely — the contact-pattern shape of the paper's
+// motivating scenarios (body-area sensors, vehicular networks).
+//
+// The uniform adversary is the special case of equal weights.
+
+import (
+	"fmt"
+	"math"
+
+	"doda/internal/graph"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+// WeightedGen returns a generator drawing interactions from per-node
+// weights: u is drawn with probability w_u / Σw, then v with probability
+// w_v / (Σw - w_u). Weights must be positive and there must be at least
+// two nodes.
+func WeightedGen(weights []float64, src *rng.Source) (func(t int) seq.Interaction, error) {
+	n := len(weights)
+	if n < 2 {
+		return nil, fmt.Errorf("adversary: need at least 2 weights, got %d", n)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("adversary: weight[%d] = %v must be positive and finite", i, w)
+		}
+		total += w
+	}
+	cp := make([]float64, n)
+	copy(cp, weights)
+	pick := func(excluded int, sum float64) int {
+		x := src.Float64() * sum
+		for i, w := range cp {
+			if i == excluded {
+				continue
+			}
+			x -= w
+			if x < 0 {
+				return i
+			}
+		}
+		// Float round-off: return the last eligible node.
+		for i := n - 1; i >= 0; i-- {
+			if i != excluded {
+				return i
+			}
+		}
+		return 0 // unreachable for n >= 2
+	}
+	return func(int) seq.Interaction {
+		a := pick(-1, total)
+		b := pick(a, total-cp[a])
+		if a > b {
+			a, b = b, a
+		}
+		return seq.Interaction{U: graph.NodeID(a), V: graph.NodeID(b)}
+	}, nil
+}
+
+// Weighted returns the non-uniform randomized adversary with the given
+// per-node weights, plus its backing stream for knowledge oracles.
+func Weighted(weights []float64, seed uint64) (*Oblivious, *seq.Stream, error) {
+	gen, err := WeightedGen(weights, rng.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := seq.NewStream(len(weights), gen)
+	if err != nil {
+		return nil, nil, err
+	}
+	adv, err := NewOblivious("weighted", st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return adv, st, nil
+}
+
+// ZipfWeights returns weights w_i = 1/(i+1)^alpha — a standard skewed
+// contact distribution. alpha = 0 recovers the uniform adversary; larger
+// alpha concentrates interactions on low-identifier nodes. Node 0 (the
+// conventional sink) is the heaviest node.
+func ZipfWeights(n int, alpha float64) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("adversary: need at least 2 nodes, got %d", n)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("adversary: negative alpha %v", alpha)
+	}
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = math.Pow(float64(i+1), -alpha)
+	}
+	return ws, nil
+}
+
+// SinkScaledWeights returns uniform weights with the sink's weight
+// multiplied by factor: a single-knob model of a sink that is easier
+// (factor > 1) or harder (factor < 1) to reach than everyone else.
+func SinkScaledWeights(n int, sink graph.NodeID, factor float64) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("adversary: need at least 2 nodes, got %d", n)
+	}
+	if sink < 0 || int(sink) >= n {
+		return nil, fmt.Errorf("adversary: sink %d out of range", sink)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("adversary: factor %v must be positive", factor)
+	}
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = 1
+	}
+	ws[sink] = factor
+	return ws, nil
+}

@@ -1,0 +1,161 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"doda/internal/graph"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+func TestWeightedGenValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := WeightedGen([]float64{1}, src); err == nil {
+		t.Error("want error for single weight")
+	}
+	if _, err := WeightedGen([]float64{1, -1}, src); err == nil {
+		t.Error("want error for negative weight")
+	}
+	if _, err := WeightedGen([]float64{1, 0}, src); err == nil {
+		t.Error("want error for zero weight")
+	}
+	if _, err := WeightedGen([]float64{1, math.NaN()}, src); err == nil {
+		t.Error("want error for NaN weight")
+	}
+	if _, err := WeightedGen([]float64{1, math.Inf(1)}, src); err == nil {
+		t.Error("want error for infinite weight")
+	}
+}
+
+func TestWeightedUniformMatchesFrequencies(t *testing.T) {
+	// Equal weights: every pair should appear with frequency ~ 2/(n(n-1)).
+	ws, err := ZipfWeights(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := WeightedGen(ws, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 60000
+	counts := make(map[seq.Interaction]int)
+	for i := 0; i < draws; i++ {
+		it := gen(i)
+		if it.U >= it.V {
+			t.Fatalf("non-canonical %v", it)
+		}
+		counts[it]++
+	}
+	if len(counts) != 15 {
+		t.Fatalf("saw %d pairs, want 15", len(counts))
+	}
+	want := float64(draws) / 15
+	for it, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("pair %v count %d, want ~%.0f", it, c, want)
+		}
+	}
+}
+
+func TestWeightedSkewedFrequencies(t *testing.T) {
+	// Node 0 weighted 10x: its participation rate must far exceed the
+	// others'.
+	ws, err := SinkScaledWeights(8, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := WeightedGen(ws, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 40000
+	participation := make([]int, 8)
+	for i := 0; i < draws; i++ {
+		it := gen(i)
+		participation[it.U]++
+		participation[it.V]++
+	}
+	if participation[0] < 3*participation[1] {
+		t.Errorf("hub participation %d vs %d: skew not realised", participation[0], participation[1])
+	}
+}
+
+func TestWeightedAdversaryDeterministic(t *testing.T) {
+	ws, err := ZipfWeights(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _, err := Weighted(ws, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := Weighted(ws, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := newFakeView(6, 0)
+	for i := 0; i < 200; i++ {
+		x, ok1 := a1.Next(i, view)
+		y, ok2 := a2.Next(i, view)
+		if !ok1 || !ok2 || x != y {
+			t.Fatalf("diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	ws, err := ZipfWeights(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range want {
+		if math.Abs(ws[i]-want[i]) > 1e-12 {
+			t.Errorf("ZipfWeights[%d] = %v, want %v", i, ws[i], want[i])
+		}
+	}
+	if _, err := ZipfWeights(1, 1); err == nil {
+		t.Error("want error for n < 2")
+	}
+	if _, err := ZipfWeights(4, -1); err == nil {
+		t.Error("want error for negative alpha")
+	}
+}
+
+func TestSinkScaledWeights(t *testing.T) {
+	ws, err := SinkScaledWeights(4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[2] != 5 || ws[0] != 1 || ws[1] != 1 || ws[3] != 1 {
+		t.Errorf("weights = %v", ws)
+	}
+	if _, err := SinkScaledWeights(1, 0, 2); err == nil {
+		t.Error("want error for n < 2")
+	}
+	if _, err := SinkScaledWeights(4, 9, 2); err == nil {
+		t.Error("want error for bad sink")
+	}
+	if _, err := SinkScaledWeights(4, 0, 0); err == nil {
+		t.Error("want error for zero factor")
+	}
+}
+
+func TestWeightedStreamInRange(t *testing.T) {
+	ws, err := ZipfWeights(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Weighted(ws, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		it := st.At(i)
+		if it.U < 0 || it.U >= it.V || int(it.V) >= 10 {
+			t.Fatalf("invalid interaction %v", it)
+		}
+	}
+	_ = graph.NodeID(0)
+}

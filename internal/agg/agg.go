@@ -1,0 +1,129 @@
+// Package agg models the paper's aggregation functions: functions that
+// take two data and output one datum of the same size (min, max, sum,
+// ...). Every Value additionally carries provenance — the set of nodes
+// whose original data have been folded into it — which lets the engine
+// verify, at the end of every execution, that the sink's datum aggregates
+// the data of all n nodes exactly once. That safety check backs the whole
+// test suite.
+package agg
+
+import (
+	"fmt"
+
+	"doda/internal/bitset"
+	"doda/internal/graph"
+)
+
+// Value is a datum owned by a node: a numeric payload plus provenance.
+type Value struct {
+	Num     float64
+	Count   int         // how many original data are folded in
+	Origins *bitset.Set // which nodes they originated from
+}
+
+// Initial returns node u's initial datum with payload num, in a universe
+// of n nodes.
+func Initial(u graph.NodeID, num float64, n int) Value {
+	origins := bitset.New(n)
+	origins.Add(int(u))
+	return Value{Num: num, Count: 1, Origins: origins}
+}
+
+// Func is an aggregation function. Implementations must be commutative
+// and associative so that any aggregation order yields the same final
+// value at the sink.
+type Func interface {
+	// Name identifies the function in traces and experiment output.
+	Name() string
+	// Combine folds two payloads into one.
+	Combine(a, b float64) float64
+}
+
+type fn struct {
+	name    string
+	combine func(a, b float64) float64
+}
+
+func (f fn) Name() string                 { return f.name }
+func (f fn) Combine(a, b float64) float64 { return f.combine(a, b) }
+
+// Built-in aggregation functions from the paper's examples ("such
+// functions include min, max, etc.") plus the common sum/count folds.
+var (
+	// Min keeps the smaller payload.
+	Min Func = fn{name: "min", combine: func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}}
+	// Max keeps the larger payload.
+	Max Func = fn{name: "max", combine: func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+	// Sum adds payloads.
+	Sum Func = fn{name: "sum", combine: func(a, b float64) float64 { return a + b }}
+	// Count counts original data; payloads are ignored (the Value's
+	// Count field carries the answer).
+	Count Func = fn{name: "count", combine: func(a, b float64) float64 { return a + b }}
+)
+
+// New returns a custom aggregation function. The combine closure must be
+// commutative and associative.
+func New(name string, combine func(a, b float64) float64) (Func, error) {
+	if name == "" {
+		return nil, fmt.Errorf("agg: empty name")
+	}
+	if combine == nil {
+		return nil, fmt.Errorf("agg: nil combine for %q", name)
+	}
+	return fn{name: name, combine: combine}, nil
+}
+
+// ErrOverlap reports an attempt to merge two values whose provenances
+// overlap, i.e. some original datum would be counted twice. A correct
+// DODA execution can never trigger it: each node transmits at most once.
+type ErrOverlap struct {
+	A, B *bitset.Set
+}
+
+func (e *ErrOverlap) Error() string {
+	return fmt.Sprintf("agg: provenance overlap between %v and %v", e.A, e.B)
+}
+
+// Merge folds b into a using f and returns the result. It fails if the
+// two values' provenances overlap (double aggregation) — violating the
+// single-transmission rule.
+func Merge(f Func, a, b Value) (Value, error) {
+	if a.Origins != nil && b.Origins != nil && a.Origins.IntersectsWith(b.Origins) {
+		return Value{}, &ErrOverlap{A: a.Origins, B: b.Origins}
+	}
+	origins := a.Origins
+	if origins != nil && b.Origins != nil {
+		origins = origins.Clone()
+		origins.UnionWith(b.Origins)
+	}
+	return Value{
+		Num:     f.Combine(a.Num, b.Num),
+		Count:   a.Count + b.Count,
+		Origins: origins,
+	}, nil
+}
+
+// FoldAll computes the expected final sink value: the aggregation of all
+// initial payloads, in index order. Because Funcs are commutative and
+// associative this is the unique correct answer regardless of the
+// transmission schedule.
+func FoldAll(f Func, payloads []float64) (float64, error) {
+	if len(payloads) == 0 {
+		return 0, fmt.Errorf("agg: no payloads")
+	}
+	acc := payloads[0]
+	for _, p := range payloads[1:] {
+		acc = f.Combine(acc, p)
+	}
+	return acc, nil
+}

@@ -1,0 +1,155 @@
+package agg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"doda/internal/graph"
+	"doda/internal/rng"
+)
+
+func TestInitial(t *testing.T) {
+	v := Initial(3, 7.5, 8)
+	if v.Num != 7.5 || v.Count != 1 {
+		t.Errorf("Initial = %+v", v)
+	}
+	if !v.Origins.Has(3) || v.Origins.Count() != 1 {
+		t.Errorf("Origins = %v", v.Origins)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	tests := []struct {
+		f    Func
+		a, b float64
+		want float64
+	}{
+		{f: Min, a: 2, b: 5, want: 2},
+		{f: Min, a: 5, b: 2, want: 2},
+		{f: Max, a: 2, b: 5, want: 5},
+		{f: Max, a: -2, b: -5, want: -2},
+		{f: Sum, a: 2, b: 5, want: 7},
+		{f: Count, a: 1, b: 1, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.f.Name(), func(t *testing.T) {
+			if got := tt.f.Combine(tt.a, tt.b); got != tt.want {
+				t.Errorf("%s(%v,%v) = %v, want %v", tt.f.Name(), tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", func(a, b float64) float64 { return a }); err == nil {
+		t.Error("want error for empty name")
+	}
+	if _, err := New("x", nil); err == nil {
+		t.Error("want error for nil combine")
+	}
+	f, err := New("first", func(a, b float64) float64 { return a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "first" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Initial(0, 10, 4)
+	b := Initial(2, 3, 4)
+	m, err := Merge(Min, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Num != 3 || m.Count != 2 {
+		t.Errorf("Merge = %+v", m)
+	}
+	if !m.Origins.Has(0) || !m.Origins.Has(2) || m.Origins.Count() != 2 {
+		t.Errorf("Origins = %v", m.Origins)
+	}
+	// Inputs must be untouched.
+	if a.Origins.Count() != 1 || b.Origins.Count() != 1 {
+		t.Error("Merge mutated inputs")
+	}
+}
+
+func TestMergeDetectsDoubleAggregation(t *testing.T) {
+	a := Initial(1, 5, 4)
+	b := Initial(1, 6, 4) // same origin: would double-count node 1
+	_, err := Merge(Sum, a, b)
+	var overlap *ErrOverlap
+	if !errors.As(err, &overlap) {
+		t.Fatalf("err = %v, want ErrOverlap", err)
+	}
+	if overlap.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestFoldAll(t *testing.T) {
+	got, err := FoldAll(Min, []float64{4, 2, 9, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("FoldAll = %v", got)
+	}
+	if _, err := FoldAll(Sum, nil); err == nil {
+		t.Error("want error for empty payloads")
+	}
+}
+
+func TestQuickMergeOrderIndependent(t *testing.T) {
+	// min/max/sum are commutative+associative: merging in any order must
+	// give the same payload, count, and provenance.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		const n = 12
+		payloads := make([]float64, n)
+		for i := range payloads {
+			payloads[i] = src.Float64()*200 - 100
+		}
+		for _, fu := range []Func{Min, Max, Sum} {
+			// Left fold in index order.
+			acc1 := Initial(0, payloads[0], n)
+			for i := 1; i < n; i++ {
+				var err error
+				acc1, err = Merge(fu, acc1, Initial(graph.NodeID(i), payloads[i], n))
+				if err != nil {
+					return false
+				}
+			}
+			// Fold in a random permutation, pairing randomly.
+			perm := src.Perm(n)
+			vals := make([]Value, n)
+			for i, p := range perm {
+				vals[i] = Initial(graph.NodeID(p), payloads[p], n)
+			}
+			for len(vals) > 1 {
+				i := src.Intn(len(vals) - 1)
+				m, err := Merge(fu, vals[i], vals[i+1])
+				if err != nil {
+					return false
+				}
+				vals = append(vals[:i], vals[i+1:]...)
+				vals[i] = m
+			}
+			acc2 := vals[0]
+			if math.Abs(acc1.Num-acc2.Num) > 1e-9 || acc1.Count != acc2.Count {
+				return false
+			}
+			if !acc1.Origins.Equal(acc2.Origins) || !acc1.Origins.Full() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

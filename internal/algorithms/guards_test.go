@@ -1,0 +1,142 @@
+package algorithms
+
+import (
+	"strings"
+	"testing"
+
+	"doda/internal/adversary"
+	"doda/internal/core"
+	"doda/internal/graph"
+	"doda/internal/knowledge"
+	"doda/internal/seq"
+)
+
+// Stateful algorithm instances are single-run: reusing them would leak
+// the previous run's plan or pending counters into the next execution.
+// These tests pin the guard behaviour.
+
+func TestSpanningTreeInstanceReuseRejected(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	know := mustBundle(t, knowledge.WithUnderlying(g))
+	s := mustSequence(t, 4, []seq.Interaction{{U: 2, V: 3}, {U: 1, V: 2}, {U: 0, V: 1}})
+	alg := NewSpanningTree()
+
+	runWith := func(alg core.Algorithm) error {
+		adv, err := adversary.NewOblivious("seq", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = core.RunOnce(core.Config{N: 4, MaxInteractions: s.Len(), Know: know}, alg, adv)
+		return err
+	}
+	if err := runWith(alg); err != nil {
+		t.Fatal(err)
+	}
+	err = runWith(alg)
+	if err == nil || !strings.Contains(err.Error(), "single-run") {
+		t.Errorf("reuse error = %v", err)
+	}
+}
+
+func TestFullKnowledgeInstanceReuseRejected(t *testing.T) {
+	s := mustSequence(t, 3, []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}})
+	know := mustBundle(t, knowledge.WithFullSequence(s))
+	alg := NewFullKnowledge(s.Len())
+
+	runWith := func(alg core.Algorithm) error {
+		adv, err := adversary.NewOblivious("seq", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = core.RunOnce(core.Config{N: 3, MaxInteractions: s.Len(), Know: know}, alg, adv)
+		return err
+	}
+	if err := runWith(alg); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWith(alg); err == nil || !strings.Contains(err.Error(), "single-run") {
+		t.Errorf("reuse error = %v", err)
+	}
+}
+
+func TestFutureOptimalInstanceReuseRejected(t *testing.T) {
+	steps := []seq.Interaction{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 1},
+	}
+	s := mustSequence(t, 3, steps)
+	know := mustBundle(t, knowledge.WithFutures(s))
+	alg := NewFutureOptimal(s.Len())
+
+	runWith := func(alg core.Algorithm) (core.Result, error) {
+		adv, err := adversary.NewOblivious("seq", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.RunOnce(core.Config{N: 3, MaxInteractions: s.Len(), Know: know}, alg, adv)
+	}
+	res, err := runWith(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatalf("first run did not terminate: %+v", res)
+	}
+	if _, err := runWith(alg); err == nil || !strings.Contains(err.Error(), "single-run") {
+		t.Errorf("reuse error = %v", err)
+	}
+}
+
+// obliviousStatePoker claims to be oblivious but pokes node memory; the
+// engine hands it a nil State slice, so the poke must be visible as nil.
+type obliviousStatePoker struct {
+	sawNilState bool
+}
+
+func (o *obliviousStatePoker) Name() string    { return "poker" }
+func (o *obliviousStatePoker) Oblivious() bool { return true }
+func (o *obliviousStatePoker) Setup(env *core.Env) error {
+	o.sawNilState = env.State == nil
+	return nil
+}
+func (o *obliviousStatePoker) Decide(*core.Env, seq.Interaction, int) core.Decision {
+	return core.NoTransfer
+}
+
+func TestObliviousAlgorithmsGetNoState(t *testing.T) {
+	s := mustSequence(t, 3, []seq.Interaction{{U: 0, V: 1}})
+	adv, err := adversary.NewOblivious("seq", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := &obliviousStatePoker{}
+	if _, err := core.RunOnce(core.Config{N: 3, MaxInteractions: 1}, alg, adv); err != nil {
+		t.Fatal(err)
+	}
+	if !alg.sawNilState {
+		t.Error("oblivious algorithm was handed node memory")
+	}
+}
+
+func TestStatefulAlgorithmsGetState(t *testing.T) {
+	// FutureOptimal (non-oblivious) must receive a usable State slice.
+	steps := []seq.Interaction{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 1},
+	}
+	s := mustSequence(t, 3, steps)
+	know := mustBundle(t, knowledge.WithFutures(s))
+	adv, err := adversary.NewOblivious("seq", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunOnce(core.Config{N: 3, MaxInteractions: s.Len(), Know: know},
+		NewFutureOptimal(s.Len()), adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Errorf("res = %+v", res)
+	}
+}

@@ -1,0 +1,136 @@
+// Package bitset implements a dense fixed-capacity bit set used to track
+// data provenance (which nodes' original data have been folded into an
+// aggregate) and knowledge dissemination (which nodes' futures a node has
+// learned) without per-element allocations.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a fixed-capacity bit set. The zero value has capacity zero; use
+// New to size it.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity for bits 0..n-1.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Cap returns the capacity (the n passed to New).
+func (s *Set) Cap() int { return s.n }
+
+// Add sets bit i. Out-of-range indexes are ignored (they cannot be
+// represented, and callers validate node ids upstream).
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Full reports whether all n bits are set.
+func (s *Set) Full() bool { return s.Count() == s.n }
+
+// UnionWith sets s to s ∪ t. Capacities must match; mismatches panic
+// because they indicate a programming error (mixing sets from different
+// node universes).
+func (s *Set) UnionWith(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, t.n))
+	}
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// IntersectsWith reports whether s ∩ t is non-empty.
+func (s *Set) IntersectsWith(t *Set) bool {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, t.n))
+	}
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Members returns the set bits in increasing order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	for i := 0; i < s.n; i++ {
+		if s.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the set as {a,b,c}.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, m := range s.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", m)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,451 @@
+// Package core implements the paper's distributed online data aggregation
+// (DODA) framework: the algorithm and adversary contracts, per-node state,
+// and the sequential execution engine that plays an algorithm against an
+// adversary while enforcing the model's rules — a node transmits its data
+// at most once, cannot participate after transmitting, and the execution
+// terminates when the sink is the only node owning data.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"doda/internal/agg"
+	"doda/internal/graph"
+	"doda/internal/knowledge"
+	"doda/internal/seq"
+)
+
+// Decision is the output of a DODA algorithm for one interaction
+// I_t = {u, v} (canonically ordered u < v): either no transfer, or the
+// identity of the receiver. If a node is designated receiver, the other
+// node transmits its data to it (paper §2.1).
+type Decision int
+
+const (
+	// NoTransfer is the paper's ⊥ output.
+	NoTransfer Decision = iota
+	// FirstReceives designates it.U (the smaller identifier) as receiver.
+	FirstReceives
+	// SecondReceives designates it.V as receiver.
+	SecondReceives
+)
+
+// String renders the decision for traces.
+func (d Decision) String() string {
+	switch d {
+	case NoTransfer:
+		return "⊥"
+	case FirstReceives:
+		return "first"
+	case SecondReceives:
+		return "second"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Receiver resolves the receiving node of a decision for interaction it.
+// ok is false for NoTransfer.
+func (d Decision) Receiver(it seq.Interaction) (graph.NodeID, bool) {
+	switch d {
+	case FirstReceives:
+		return it.U, true
+	case SecondReceives:
+		return it.V, true
+	default:
+		return 0, false
+	}
+}
+
+// Sender resolves the transmitting node of a decision for interaction it.
+func (d Decision) Sender(it seq.Interaction) (graph.NodeID, bool) {
+	switch d {
+	case FirstReceives:
+		return it.V, true
+	case SecondReceives:
+		return it.U, true
+	default:
+		return 0, false
+	}
+}
+
+// DecisionFor returns the Decision that makes receiver the receiver of
+// interaction it, or NoTransfer if receiver is not an endpoint.
+func DecisionFor(it seq.Interaction, receiver graph.NodeID) Decision {
+	switch receiver {
+	case it.U:
+		return FirstReceives
+	case it.V:
+		return SecondReceives
+	default:
+		return NoTransfer
+	}
+}
+
+// Env is the execution environment visible to algorithms: the network
+// parameters, the knowledge oracles granted for this run, and per-node
+// memory for non-oblivious algorithms.
+type Env struct {
+	// N is the number of nodes; nodes are 0..N-1.
+	N int
+	// Sink is the designated sink node.
+	Sink graph.NodeID
+	// Know carries the knowledge oracles granted to nodes (never nil;
+	// an empty bundle for the paper's "no knowledge" setting).
+	Know *knowledge.Bundle
+	// State is per-node algorithm memory. Oblivious algorithms must not
+	// touch it; stateful algorithms may store arbitrary values.
+	State []any
+}
+
+// Algorithm is a distributed online data aggregation algorithm: it takes
+// an interaction and its occurrence time and outputs the receiver, or ⊥.
+//
+// Implementations must be deterministic given (Env, interaction, time)
+// and, per the model, may only base decisions on node-local information:
+// the granted knowledge oracles, and the memories of the two interacting
+// nodes.
+type Algorithm interface {
+	// Name identifies the algorithm in results and traces.
+	Name() string
+	// Oblivious reports whether the algorithm requires no persistent
+	// node memory (the paper's D∅ODA class).
+	Oblivious() bool
+	// Setup is called once before execution starts; stateful algorithms
+	// initialise Env.State here. Setup must fail if a required knowledge
+	// oracle is missing from env.Know.
+	Setup(env *Env) error
+	// Decide is called for each interaction whose two endpoints both own
+	// data; it returns the transfer decision.
+	Decide(env *Env, it seq.Interaction, t int) Decision
+}
+
+// Observer is an optional extension for algorithms that need to see every
+// interaction (not only those where both endpoints own data), e.g. to
+// exchange control information such as known futures. Observe runs
+// before Decide.
+type Observer interface {
+	Observe(env *Env, it seq.Interaction, t int)
+}
+
+// ExecView is the read-only view of the execution the adversary receives:
+// the adaptive online adversary of §2.2 "can use the past execution of
+// the algorithm to construct the next interaction".
+type ExecView interface {
+	// N returns the number of nodes.
+	N() int
+	// Sink returns the sink node.
+	Sink() graph.NodeID
+	// Owns reports whether node u currently owns data.
+	Owns(u graph.NodeID) bool
+	// OwnerCount returns how many nodes currently own data.
+	OwnerCount() int
+}
+
+// Adversary produces the interaction sequence. Oblivious and randomized
+// adversaries ignore the view; the adaptive online adversary reads it.
+type Adversary interface {
+	// Name identifies the adversary in results and traces.
+	Name() string
+	// Next returns the interaction at time t. ok is false when the
+	// adversary's sequence is exhausted (finite oblivious sequences).
+	Next(t int, view ExecView) (seq.Interaction, bool)
+}
+
+// Event describes one executed interaction, for tracing.
+type Event struct {
+	T        int
+	It       seq.Interaction
+	Decision Decision
+	Sender   graph.NodeID // valid when Decision != NoTransfer
+	Receiver graph.NodeID // valid when Decision != NoTransfer
+	// BothOwned reports whether the algorithm was consulted (both
+	// endpoints owned data).
+	BothOwned bool
+}
+
+// EventSink receives execution events; used by the trace recorder.
+type EventSink interface {
+	// OnEvent is called after each interaction is resolved.
+	OnEvent(ev Event)
+	// OnDone is called once, after the run ends.
+	OnDone(res Result)
+}
+
+// Result summarises one execution.
+type Result struct {
+	// Algorithm and Adversary echo the participants' names.
+	Algorithm string
+	Adversary string
+	// Terminated reports that the sink became the only data owner.
+	Terminated bool
+	// Failed reports an unwinnable state: the sink transmitted its data
+	// away and can never satisfy the termination condition.
+	Failed bool
+	// FailReason explains a failure.
+	FailReason string
+	// Duration is the time index of the last transmission (-1 if no
+	// transmission happened). When Terminated, this is the paper's
+	// duration(A, I).
+	Duration int
+	// Interactions is the number of interactions consumed.
+	Interactions int
+	// Transmissions counts data transfers (n-1 exactly when terminated).
+	Transmissions int
+	// Declined counts interactions where both endpoints owned data but
+	// the algorithm output ⊥.
+	Declined int
+	// LastGap is the number of interactions strictly between the
+	// second-to-last and the last transmission (Theorem 7 measures its
+	// expectation at n(n-1)/2).
+	LastGap int
+	// SinkValue is the sink's datum at the end of the run.
+	SinkValue agg.Value
+}
+
+// Config parameterises an execution.
+type Config struct {
+	// N is the number of nodes (>= 2).
+	N int
+	// Sink designates the sink node (default 0).
+	Sink graph.NodeID
+	// Agg is the aggregation function (default agg.Min).
+	Agg agg.Func
+	// Payloads are the nodes' initial data (default: payload of node i is
+	// float64(i)). Length must equal N when provided.
+	Payloads []float64
+	// MaxInteractions caps the run (required, > 0): executions against
+	// unbounded adversaries stop, unterminated, at this horizon.
+	MaxInteractions int
+	// Know carries the knowledge oracles granted to nodes (nil = none).
+	Know *knowledge.Bundle
+	// Events receives trace events (nil = no tracing).
+	Events EventSink
+	// VerifyAggregate re-computes the expected sink payload on
+	// termination and fails the run on mismatch. Cheap; on by default in
+	// tests via NewEngine's callers.
+	VerifyAggregate bool
+}
+
+// Engine executes one algorithm against one adversary. An Engine is
+// single-use: create a fresh one per run.
+type Engine struct {
+	cfg  Config
+	env  *Env
+	owns []bool
+	data []agg.Value
+	nOwn int
+	used bool
+}
+
+var _ ExecView = (*Engine)(nil)
+
+// NewEngine validates cfg and prepares an execution.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.Sink < 0 || int(cfg.Sink) >= cfg.N {
+		return nil, fmt.Errorf("core: sink %d out of range [0,%d)", cfg.Sink, cfg.N)
+	}
+	if cfg.MaxInteractions <= 0 {
+		return nil, fmt.Errorf("core: MaxInteractions must be positive, got %d", cfg.MaxInteractions)
+	}
+	if cfg.Agg == nil {
+		cfg.Agg = agg.Min
+	}
+	if cfg.Payloads == nil {
+		cfg.Payloads = make([]float64, cfg.N)
+		for i := range cfg.Payloads {
+			cfg.Payloads[i] = float64(i)
+		}
+	}
+	if len(cfg.Payloads) != cfg.N {
+		return nil, fmt.Errorf("core: %d payloads for %d nodes", len(cfg.Payloads), cfg.N)
+	}
+	know := cfg.Know
+	if know == nil {
+		var err error
+		know, err = knowledge.NewBundle()
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		cfg: cfg,
+		env: &Env{
+			N:     cfg.N,
+			Sink:  cfg.Sink,
+			Know:  know,
+			State: make([]any, cfg.N),
+		},
+		owns: make([]bool, cfg.N),
+		data: make([]agg.Value, cfg.N),
+		nOwn: cfg.N,
+	}
+	for u := 0; u < cfg.N; u++ {
+		e.owns[u] = true
+		e.data[u] = agg.Initial(graph.NodeID(u), cfg.Payloads[u], cfg.N)
+	}
+	return e, nil
+}
+
+// N returns the node count.
+func (e *Engine) N() int { return e.cfg.N }
+
+// Sink returns the sink node.
+func (e *Engine) Sink() graph.NodeID { return e.cfg.Sink }
+
+// Owns reports whether u currently owns data.
+func (e *Engine) Owns(u graph.NodeID) bool {
+	if u < 0 || int(u) >= e.cfg.N {
+		return false
+	}
+	return e.owns[u]
+}
+
+// OwnerCount returns the number of nodes owning data.
+func (e *Engine) OwnerCount() int { return e.nOwn }
+
+// Env exposes the environment, mainly for tests and the concurrent
+// runtime, which shares algorithm state representation with the engine.
+func (e *Engine) Env() *Env { return e.env }
+
+// Run executes alg against adv until termination, sequence exhaustion,
+// failure, or the interaction cap. The returned error reports engine or
+// model violations (nil algorithm, transfers between non-owners, double
+// aggregation); normal non-termination is not an error.
+func (e *Engine) Run(alg Algorithm, adv Adversary) (Result, error) {
+	if alg == nil || adv == nil {
+		return Result{}, fmt.Errorf("core: nil algorithm or adversary")
+	}
+	if e.used {
+		return Result{}, fmt.Errorf("core: engine is single-use; create a new one")
+	}
+	e.used = true
+
+	// D∅ODA algorithms must not use node memory: deny them the State
+	// slice so an accidental write fails loudly instead of silently
+	// breaking the obliviousness claim.
+	if alg.Oblivious() {
+		e.env.State = nil
+	}
+
+	if err := alg.Setup(e.env); err != nil {
+		return Result{}, fmt.Errorf("core: setup of %s: %w", alg.Name(), err)
+	}
+
+	res := Result{
+		Algorithm: alg.Name(),
+		Adversary: adv.Name(),
+		Duration:  -1,
+	}
+	observer, observes := alg.(Observer)
+
+	for t := 0; t < e.cfg.MaxInteractions; t++ {
+		it, ok := adv.Next(t, e)
+		if !ok {
+			break // adversary exhausted its (finite) sequence
+		}
+		canon, err := seq.NewInteraction(it.U, it.V)
+		if err != nil {
+			return res, fmt.Errorf("core: adversary %s at t=%d: %w", adv.Name(), t, err)
+		}
+		if canon.U < 0 || int(canon.V) >= e.cfg.N {
+			return res, fmt.Errorf("core: adversary %s at t=%d: interaction %v out of range", adv.Name(), t, canon)
+		}
+		res.Interactions++
+
+		if observes {
+			observer.Observe(e.env, canon, t)
+		}
+
+		ev := Event{T: t, It: canon}
+		if e.owns[canon.U] && e.owns[canon.V] {
+			ev.BothOwned = true
+			d := alg.Decide(e.env, canon, t)
+			ev.Decision = d
+			if receiver, transfer := d.Receiver(canon); transfer {
+				sender, _ := d.Sender(canon)
+				merged, err := agg.Merge(e.cfg.Agg, e.data[receiver], e.data[sender])
+				if err != nil {
+					return res, fmt.Errorf("core: t=%d transfer %d->%d: %w", t, sender, receiver, err)
+				}
+				e.data[receiver] = merged
+				e.data[sender] = agg.Value{}
+				e.owns[sender] = false
+				e.nOwn--
+				res.Transmissions++
+				res.LastGap = t - res.Duration - 1
+				res.Duration = t
+				ev.Sender, ev.Receiver = sender, receiver
+			} else {
+				res.Declined++
+			}
+		}
+		if e.cfg.Events != nil {
+			e.cfg.Events.OnEvent(ev)
+		}
+
+		if !e.owns[e.cfg.Sink] {
+			res.Failed = true
+			res.FailReason = fmt.Sprintf("sink %d transmitted its data at t=%d and can never terminate", e.cfg.Sink, t)
+			break
+		}
+		if e.nOwn == 1 {
+			res.Terminated = true
+			break
+		}
+	}
+
+	if res.Terminated {
+		res.SinkValue = e.data[e.cfg.Sink]
+		if err := e.verify(res); err != nil {
+			return res, err
+		}
+	}
+	if e.cfg.Events != nil {
+		e.cfg.Events.OnDone(res)
+	}
+	return res, nil
+}
+
+// verify checks the end-to-end aggregation invariants on termination.
+func (e *Engine) verify(res Result) error {
+	v := res.SinkValue
+	if v.Count != e.cfg.N {
+		return fmt.Errorf("core: sink aggregated %d data, want %d", v.Count, e.cfg.N)
+	}
+	if v.Origins == nil || !v.Origins.Full() {
+		return fmt.Errorf("core: sink provenance %v incomplete", v.Origins)
+	}
+	if res.Transmissions != e.cfg.N-1 {
+		return fmt.Errorf("core: %d transmissions for %d nodes, want %d",
+			res.Transmissions, e.cfg.N, e.cfg.N-1)
+	}
+	if e.cfg.VerifyAggregate {
+		want, err := agg.FoldAll(e.cfg.Agg, e.cfg.Payloads)
+		if err != nil {
+			return err
+		}
+		// Tolerate float re-association error: the transmission order is
+		// not the fold order, so sums of floats may differ in the last
+		// bits.
+		tol := 1e-9 * (math.Abs(want) + 1)
+		if math.Abs(v.Num-want) > tol {
+			return fmt.Errorf("core: sink payload %v, want %v (%s over initial data)",
+				v.Num, want, e.cfg.Agg.Name())
+		}
+	}
+	return nil
+}
+
+// RunOnce is a convenience wrapper: build an engine from cfg and run.
+func RunOnce(cfg Config, alg Algorithm, adv Adversary) (Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(alg, adv)
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"doda/internal/agg"
+	"doda/internal/graph"
+	"doda/internal/seq"
+)
+
+// scriptAlg transfers according to a fixed map time -> receiver.
+type scriptAlg struct {
+	receivers map[int]graph.NodeID
+}
+
+func (scriptAlg) Name() string     { return "script" }
+func (scriptAlg) Oblivious() bool  { return true }
+func (scriptAlg) Setup(*Env) error { return nil }
+func (a scriptAlg) Decide(_ *Env, it seq.Interaction, t int) Decision {
+	r, ok := a.receivers[t]
+	if !ok {
+		return NoTransfer
+	}
+	return DecisionFor(it, r)
+}
+
+// seqAdv plays a fixed finite sequence.
+type seqAdv struct {
+	steps []seq.Interaction
+}
+
+func (seqAdv) Name() string { return "fixed" }
+func (a seqAdv) Next(t int, _ ExecView) (seq.Interaction, bool) {
+	if t >= len(a.steps) {
+		return seq.Interaction{}, false
+	}
+	return a.steps[t], true
+}
+
+func TestDecisionResolution(t *testing.T) {
+	it := seq.MustInteraction(2, 5)
+	tests := []struct {
+		d            Decision
+		wantRecv     graph.NodeID
+		wantSend     graph.NodeID
+		wantTransfer bool
+	}{
+		{d: FirstReceives, wantRecv: 2, wantSend: 5, wantTransfer: true},
+		{d: SecondReceives, wantRecv: 5, wantSend: 2, wantTransfer: true},
+		{d: NoTransfer, wantTransfer: false},
+	}
+	for _, tt := range tests {
+		r, ok := tt.d.Receiver(it)
+		s, ok2 := tt.d.Sender(it)
+		if ok != tt.wantTransfer || ok2 != tt.wantTransfer {
+			t.Errorf("%v: transfer flags %v/%v", tt.d, ok, ok2)
+		}
+		if ok && (r != tt.wantRecv || s != tt.wantSend) {
+			t.Errorf("%v: recv=%d send=%d", tt.d, r, s)
+		}
+	}
+}
+
+func TestDecisionFor(t *testing.T) {
+	it := seq.MustInteraction(2, 5)
+	if DecisionFor(it, 2) != FirstReceives {
+		t.Error("DecisionFor(2)")
+	}
+	if DecisionFor(it, 5) != SecondReceives {
+		t.Error("DecisionFor(5)")
+	}
+	if DecisionFor(it, 9) != NoTransfer {
+		t.Error("DecisionFor(non-endpoint)")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{
+		NoTransfer: "⊥", FirstReceives: "first", SecondReceives: "second", Decision(9): "Decision(9)",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestEngineTerminatesChain(t *testing.T) {
+	// 2 -> 1 at t=0, 1 -> 0 (sink) at t=1.
+	cfg := Config{N: 3, MaxInteractions: 10, VerifyAggregate: true}
+	alg := scriptAlg{receivers: map[int]graph.NodeID{0: 1, 1: 0}}
+	adv := seqAdv{steps: []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}}}
+	res, err := RunOnce(cfg, alg, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatal("should terminate")
+	}
+	if res.Duration != 1 || res.Interactions != 2 || res.Transmissions != 2 {
+		t.Errorf("res = %+v", res)
+	}
+	// Default payloads are node ids, default agg is min: sink value 0.
+	if res.SinkValue.Num != 0 || res.SinkValue.Count != 3 {
+		t.Errorf("sink value = %+v", res.SinkValue)
+	}
+	if res.Algorithm != "script" || res.Adversary != "fixed" {
+		t.Errorf("names = %q/%q", res.Algorithm, res.Adversary)
+	}
+}
+
+func TestEngineSequenceExhaustion(t *testing.T) {
+	cfg := Config{N: 3, MaxInteractions: 100}
+	alg := scriptAlg{receivers: nil} // never transfers
+	adv := seqAdv{steps: []seq.Interaction{{U: 1, V: 2}}}
+	res, err := RunOnce(cfg, alg, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated || res.Failed {
+		t.Errorf("res = %+v", res)
+	}
+	if res.Interactions != 1 || res.Declined != 1 || res.Duration != -1 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestEngineInteractionCap(t *testing.T) {
+	cfg := Config{N: 3, MaxInteractions: 7}
+	alg := scriptAlg{}
+	// Infinite adversary.
+	adv := advFunc(func(t int, _ ExecView) (seq.Interaction, bool) {
+		return seq.Interaction{U: 1, V: 2}, true
+	})
+	res, err := RunOnce(cfg, alg, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interactions != 7 || res.Terminated {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+type advFunc func(t int, v ExecView) (seq.Interaction, bool)
+
+func (advFunc) Name() string                                     { return "func" }
+func (f advFunc) Next(t int, v ExecView) (seq.Interaction, bool) { return f(t, v) }
+
+func TestEngineSinkTransmitsFails(t *testing.T) {
+	cfg := Config{N: 3, MaxInteractions: 10}
+	// At t=0, node 1 receives from the sink 0: unwinnable.
+	alg := scriptAlg{receivers: map[int]graph.NodeID{0: 1}}
+	adv := seqAdv{steps: []seq.Interaction{{U: 0, V: 1}, {U: 1, V: 2}}}
+	res, err := RunOnce(cfg, alg, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Terminated {
+		t.Errorf("res = %+v", res)
+	}
+	if !strings.Contains(res.FailReason, "sink") {
+		t.Errorf("FailReason = %q", res.FailReason)
+	}
+	if res.Interactions != 1 {
+		t.Errorf("should stop immediately, consumed %d", res.Interactions)
+	}
+}
+
+func TestEngineTransferBetweenNonOwnersNotOffered(t *testing.T) {
+	// After 2 transmits to 1 at t=0, interaction {1,2} at t=1 must not
+	// consult the algorithm (2 owns nothing); a scripted transfer at t=1
+	// is simply ignored.
+	calls := 0
+	alg := countingAlg{onDecide: func(it seq.Interaction, t int) Decision {
+		calls++
+		if t == 0 {
+			return FirstReceives // 2 -> 1
+		}
+		return FirstReceives // would be 2 -> 1 again: must never be asked
+	}}
+	adv := seqAdv{steps: []seq.Interaction{{U: 1, V: 2}, {U: 1, V: 2}}}
+	res, err := RunOnce(Config{N: 3, MaxInteractions: 10}, alg, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("Decide called %d times, want 1", calls)
+	}
+	if res.Transmissions != 1 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+type countingAlg struct {
+	onDecide func(it seq.Interaction, t int) Decision
+}
+
+func (countingAlg) Name() string     { return "counting" }
+func (countingAlg) Oblivious() bool  { return true }
+func (countingAlg) Setup(*Env) error { return nil }
+func (a countingAlg) Decide(_ *Env, it seq.Interaction, t int) Decision {
+	return a.onDecide(it, t)
+}
+
+func TestEngineLastGap(t *testing.T) {
+	// Transmissions at t=0 and t=4: gap = 3 interactions between them.
+	cfg := Config{N: 3, MaxInteractions: 10}
+	alg := scriptAlg{receivers: map[int]graph.NodeID{0: 0, 4: 0}}
+	adv := seqAdv{steps: []seq.Interaction{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 2}, {U: 1, V: 2}, {U: 0, V: 2},
+	}}
+	res, err := RunOnce(cfg, alg, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.LastGap != 3 {
+		t.Errorf("LastGap = %d, want 3", res.LastGap)
+	}
+}
+
+func TestEngineAggregation(t *testing.T) {
+	tests := []struct {
+		name     string
+		f        agg.Func
+		payloads []float64
+		want     float64
+	}{
+		{name: "min", f: agg.Min, payloads: []float64{5, 3, 9}, want: 3},
+		{name: "max", f: agg.Max, payloads: []float64{5, 3, 9}, want: 9},
+		{name: "sum", f: agg.Sum, payloads: []float64{5, 3, 9}, want: 17},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Config{
+				N: 3, MaxInteractions: 10, Agg: tt.f,
+				Payloads: tt.payloads, VerifyAggregate: true,
+			}
+			alg := scriptAlg{receivers: map[int]graph.NodeID{0: 1, 1: 0}}
+			adv := seqAdv{steps: []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}}}
+			res, err := RunOnce(cfg, alg, adv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SinkValue.Num != tt.want {
+				t.Errorf("sink = %v, want %v", res.SinkValue.Num, tt.want)
+			}
+		})
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "too few nodes", cfg: Config{N: 1, MaxInteractions: 5}},
+		{name: "bad sink", cfg: Config{N: 3, Sink: 5, MaxInteractions: 5}},
+		{name: "no cap", cfg: Config{N: 3}},
+		{name: "payload mismatch", cfg: Config{N: 3, MaxInteractions: 5, Payloads: []float64{1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewEngine(tt.cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestEngineSingleUse(t *testing.T) {
+	e, err := NewEngine(Config{N: 3, MaxInteractions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := scriptAlg{}
+	adv := seqAdv{}
+	if _, err := e.Run(alg, adv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(alg, adv); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestEngineNilParticipants(t *testing.T) {
+	e, err := NewEngine(Config{N: 3, MaxInteractions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(nil, seqAdv{}); err == nil {
+		t.Error("nil algorithm should fail")
+	}
+}
+
+func TestEngineRejectsBadAdversaryInteraction(t *testing.T) {
+	cfg := Config{N: 3, MaxInteractions: 10}
+	alg := scriptAlg{}
+	adv := advFunc(func(t int, _ ExecView) (seq.Interaction, bool) {
+		return seq.Interaction{U: 1, V: 1}, true // self-loop
+	})
+	if _, err := RunOnce(cfg, alg, adv); err == nil {
+		t.Error("self-interaction should error")
+	}
+	adv2 := advFunc(func(t int, _ ExecView) (seq.Interaction, bool) {
+		return seq.Interaction{U: 0, V: 9}, true // out of range
+	})
+	if _, err := RunOnce(cfg, alg, adv2); err == nil {
+		t.Error("out-of-range interaction should error")
+	}
+}
+
+func TestEngineExecView(t *testing.T) {
+	e, err := NewEngine(Config{N: 4, Sink: 2, MaxInteractions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 4 || e.Sink() != 2 || e.OwnerCount() != 4 {
+		t.Errorf("view: n=%d sink=%d owners=%d", e.N(), e.Sink(), e.OwnerCount())
+	}
+	if !e.Owns(0) || e.Owns(-1) || e.Owns(4) {
+		t.Error("Owns wrong")
+	}
+}
+
+func TestEngineAdaptiveAdversarySeesOwnership(t *testing.T) {
+	// The adversary watches node 2's data: after 2 transmits, it starts
+	// emitting {0,1} instead of {1,2}.
+	sawLoss := false
+	adv := advFunc(func(t int, v ExecView) (seq.Interaction, bool) {
+		if !v.Owns(2) {
+			sawLoss = true
+			return seq.Interaction{U: 0, V: 1}, true
+		}
+		return seq.Interaction{U: 1, V: 2}, true
+	})
+	alg := scriptAlg{receivers: map[int]graph.NodeID{0: 1, 1: 0}}
+	res, err := RunOnce(Config{N: 3, MaxInteractions: 10}, alg, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawLoss {
+		t.Error("adversary never observed the transmission")
+	}
+	if !res.Terminated {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// recordingSink captures events.
+type recordingSink struct {
+	events []Event
+	done   *Result
+}
+
+func (r *recordingSink) OnEvent(ev Event)  { r.events = append(r.events, ev) }
+func (r *recordingSink) OnDone(res Result) { r.done = &res }
+
+func TestEngineEvents(t *testing.T) {
+	rec := &recordingSink{}
+	cfg := Config{N: 3, MaxInteractions: 10, Events: rec}
+	alg := scriptAlg{receivers: map[int]graph.NodeID{1: 1, 2: 0}}
+	adv := seqAdv{steps: []seq.Interaction{
+		{U: 1, V: 2}, // declined
+		{U: 1, V: 2}, // 2 -> 1
+		{U: 0, V: 1}, // 1 -> 0, terminate
+	}}
+	res, err := RunOnce(cfg, alg, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != 3 {
+		t.Fatalf("got %d events", len(rec.events))
+	}
+	if rec.events[0].Decision != NoTransfer || !rec.events[0].BothOwned {
+		t.Errorf("event0 = %+v", rec.events[0])
+	}
+	if rec.events[1].Sender != 2 || rec.events[1].Receiver != 1 {
+		t.Errorf("event1 = %+v", rec.events[1])
+	}
+	if rec.done == nil || rec.done.Terminated != res.Terminated {
+		t.Error("OnDone not delivered")
+	}
+}
+
+// observerAlg verifies Observe is called on every interaction, including
+// those where an endpoint lacks data.
+type observerAlg struct {
+	scriptAlg
+
+	observed []int
+}
+
+func (o *observerAlg) Observe(_ *Env, _ seq.Interaction, t int) {
+	o.observed = append(o.observed, t)
+}
+
+func TestEngineObserverSeesAllInteractions(t *testing.T) {
+	alg := &observerAlg{scriptAlg: scriptAlg{receivers: map[int]graph.NodeID{0: 1}}}
+	adv := seqAdv{steps: []seq.Interaction{
+		{U: 1, V: 2}, // 2 -> 1
+		{U: 1, V: 2}, // 2 has no data: Decide skipped, Observe still called
+		{U: 1, V: 2},
+	}}
+	if _, err := RunOnce(Config{N: 3, MaxInteractions: 10}, alg, adv); err != nil {
+		t.Fatal(err)
+	}
+	if len(alg.observed) != 3 {
+		t.Errorf("Observe called %d times, want 3", len(alg.observed))
+	}
+}
+
+func TestRunOncePropagatesEngineError(t *testing.T) {
+	if _, err := RunOnce(Config{N: 0}, scriptAlg{}, seqAdv{}); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestEngineDefaultKnowledgeIsEmptyBundle(t *testing.T) {
+	e, err := NewEngine(Config{N: 3, MaxInteractions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := e.Env()
+	if env.Know == nil {
+		t.Fatal("knowledge bundle is nil")
+	}
+	if env.Know.HasMeetTime() || env.Know.HasFutures() {
+		t.Error("default bundle should grant nothing")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"doda/internal/graph"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+// chaosAlg makes uniformly random decisions — including illegal-looking
+// ones like ordering the sink to transmit. Whatever it does, the engine
+// must preserve the model invariants.
+type chaosAlg struct {
+	src *rng.Source
+}
+
+func (chaosAlg) Name() string     { return "chaos" }
+func (chaosAlg) Oblivious() bool  { return true }
+func (chaosAlg) Setup(*Env) error { return nil }
+func (c chaosAlg) Decide(_ *Env, it seq.Interaction, _ int) Decision {
+	switch c.src.Intn(3) {
+	case 0:
+		return FirstReceives
+	case 1:
+		return SecondReceives
+	default:
+		return NoTransfer
+	}
+}
+
+// auditSink tracks ownership from events independently of the engine.
+type auditSink struct {
+	n          int
+	owns       []bool
+	violations []string
+}
+
+func newAuditSink(n int) *auditSink {
+	a := &auditSink{n: n, owns: make([]bool, n)}
+	for i := range a.owns {
+		a.owns[i] = true
+	}
+	return a
+}
+
+func (a *auditSink) OnEvent(ev Event) {
+	receiver, transfer := ev.Decision.Receiver(ev.It)
+	if !transfer {
+		return
+	}
+	sender, _ := ev.Decision.Sender(ev.It)
+	if !ev.BothOwned {
+		a.violations = append(a.violations, "transfer without both owners")
+	}
+	if !a.owns[sender] {
+		a.violations = append(a.violations, "sender already transmitted")
+	}
+	if !a.owns[receiver] {
+		a.violations = append(a.violations, "receiver already transmitted")
+	}
+	a.owns[sender] = false
+}
+
+func (a *auditSink) OnDone(res Result) {
+	owners := 0
+	for _, o := range a.owns {
+		if o {
+			owners++
+		}
+	}
+	if res.Terminated && owners != 1 {
+		a.violations = append(a.violations, "terminated with multiple owners")
+	}
+	if res.Transmissions != a.n-owners {
+		a.violations = append(a.violations, "transmission count mismatch")
+	}
+}
+
+func TestPropertyChaosPreservesInvariants(t *testing.T) {
+	// Whatever decisions the algorithm makes on whatever adversary, the
+	// engine never allows a node to transmit twice, to receive after
+	// transmitting, or to terminate in an inconsistent state — and when
+	// it terminates, the sink's provenance covers every node exactly
+	// once.
+	f := func(seedRaw uint64) bool {
+		src := rng.New(seedRaw)
+		n := 3 + src.Intn(10)
+		audit := newAuditSink(n)
+		adv := advFunc(func(t int, _ ExecView) (seq.Interaction, bool) {
+			a, b := src.Pair(n)
+			return seq.Interaction{U: graph.NodeID(a), V: graph.NodeID(b)}, true
+		})
+		res, err := RunOnce(Config{
+			N: n, MaxInteractions: 50 * n * n, Events: audit, VerifyAggregate: true,
+		}, chaosAlg{src: src.Split()}, adv)
+		if err != nil {
+			// The engine rejects double aggregation with an error rather
+			// than corrupting state; chaos cannot trigger it because the
+			// engine gates Decide on ownership — so any error is a bug.
+			t.Logf("engine error: %v", err)
+			return false
+		}
+		if len(audit.violations) > 0 {
+			t.Logf("violations: %v", audit.violations)
+			return false
+		}
+		if res.Failed {
+			// Chaos ordered the sink to transmit: legal outcome, but the
+			// run must have stopped immediately after.
+			return !res.Terminated
+		}
+		if res.Terminated {
+			return res.SinkValue.Count == n && res.SinkValue.Origins.Full()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTransmissionsBounded(t *testing.T) {
+	// Across any run, transmissions never exceed n-1 and declined +
+	// transmissions never exceed interactions.
+	f := func(seedRaw uint64) bool {
+		src := rng.New(seedRaw)
+		n := 3 + src.Intn(8)
+		adv := advFunc(func(t int, _ ExecView) (seq.Interaction, bool) {
+			a, b := src.Pair(n)
+			return seq.Interaction{U: graph.NodeID(a), V: graph.NodeID(b)}, true
+		})
+		res, err := RunOnce(Config{N: n, MaxInteractions: 20 * n * n},
+			chaosAlg{src: src.Split()}, adv)
+		if err != nil {
+			return false
+		}
+		if res.Transmissions > n-1 {
+			return false
+		}
+		return res.Transmissions+res.Declined <= res.Interactions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDurationConsistency(t *testing.T) {
+	// Duration is -1 with no transmissions, otherwise the time of the
+	// last one, which is always < Interactions.
+	f := func(seedRaw uint64) bool {
+		src := rng.New(seedRaw)
+		n := 3 + src.Intn(8)
+		adv := advFunc(func(t int, _ ExecView) (seq.Interaction, bool) {
+			a, b := src.Pair(n)
+			return seq.Interaction{U: graph.NodeID(a), V: graph.NodeID(b)}, true
+		})
+		res, err := RunOnce(Config{N: n, MaxInteractions: 10 * n * n},
+			chaosAlg{src: src.Split()}, adv)
+		if err != nil {
+			return false
+		}
+		if res.Transmissions == 0 {
+			return res.Duration == -1
+		}
+		return res.Duration >= 0 && res.Duration < res.Interactions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

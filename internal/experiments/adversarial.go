@@ -1,0 +1,607 @@
+package experiments
+
+// Experiments E1-E6: the oblivious / adaptive adversary results of
+// Section 3 — impossibility constructions made executable, plus the
+// possibility results under topology and future knowledge.
+
+import (
+	"fmt"
+
+	"doda/internal/adversary"
+	"doda/internal/algorithms"
+	"doda/internal/core"
+	"doda/internal/graph"
+	"doda/internal/knowledge"
+	"doda/internal/offline"
+	"doda/internal/rng"
+	"doda/internal/seq"
+	"doda/internal/stats"
+)
+
+func e1() Experiment {
+	return Experiment{
+		ID:         "E1",
+		Name:       "Adaptive adversary defeats every algorithm (3 nodes)",
+		PaperClaim: "Theorem 1: for every A ∈ DODA there is an adaptive online adversary with cost_A(I) = ∞",
+		Run:        runE1,
+	}
+}
+
+func runE1(cfg Config) (*Report, error) {
+	r := &Report{ID: "E1", Name: "Adaptive adversary defeats every algorithm (3 nodes)",
+		PaperClaim: "Theorem 1: cost_A(I) = ∞ under the adaptive online adversary"}
+	horizons := []int{100, 1000, 10000}
+	if cfg.scale() == ScaleFull {
+		horizons = []int{100, 1000, 10000, 100000}
+	}
+	algs := []func() core.Algorithm{
+		func() core.Algorithm { return algorithms.Waiting{} },
+		func() core.Algorithm { return algorithms.NewGathering() },
+		func() core.Algorithm {
+			alg, _ := algorithms.NewGatheringTieBreak(algorithms.RandomTieBreak, cfg.Seed)
+			return alg
+		},
+		func() core.Algorithm { return newCoinFlip(0.5, cfg.Seed+1) },
+	}
+	tb := &Table{
+		Title:   "Theorem 1 adversary vs algorithms (n=3): terminated? / convergecasts still possible",
+		Columns: []string{"algorithm", "horizon", "terminated", "T(i) computed", "cost"},
+	}
+	for _, mk := range algs {
+		for _, h := range horizons {
+			alg := mk()
+			adv, err := adversary.NewTheorem1(3, 0)
+			if err != nil {
+				return nil, err
+			}
+			rec := newRecording(adv, 3)
+			res, err := core.RunOnce(core.Config{N: 3, MaxInteractions: h}, alg, rec)
+			if err != nil {
+				return nil, err
+			}
+			emitted, err := rec.Sequence()
+			if err != nil {
+				return nil, err
+			}
+			clock, err := offline.NewClock(emitted, 0, emitted.Len())
+			if err != nil {
+				return nil, err
+			}
+			// Count how many successive convergecasts fit in the emitted
+			// prefix: it must keep growing with the horizon, witnessing
+			// cost_A = ∞.
+			count := 0
+			for {
+				if _, ok := clock.T(count + 1); !ok {
+					break
+				}
+				count++
+			}
+			cost := "∞"
+			if res.Terminated {
+				if c, ok := clock.Cost(res.Duration); ok {
+					cost = fmt.Sprintf("%d", c)
+				}
+			}
+			tb.AddRow(alg.Name(), h, res.Terminated, count, cost)
+			r.check(fmt.Sprintf("%s@%d not terminated", alg.Name(), h), !res.Terminated,
+				"terminated=%v", res.Terminated, "non-termination")
+			r.check(fmt.Sprintf("%s@%d convergecasts possible", alg.Name(), h), count >= h/10,
+				"%d successive convergecasts", count, fmt.Sprintf(">= %d", h/10))
+			cfg.progressf("E1 %s horizon=%d done\n", alg.Name(), h)
+		}
+	}
+	r.Tables = append(r.Tables, tb)
+	r.note("cost_A(I) exceeds every bound: the algorithm never terminates while T(i) stays finite for all i")
+	return r, nil
+}
+
+func e2() Experiment {
+	return Experiment{
+		ID:         "E2",
+		Name:       "Oblivious adversary defeats oblivious randomized algorithms",
+		PaperClaim: "Theorem 2: for every randomized A ∈ D∅ODA there is an oblivious adversary with cost_A(I) = ∞ w.h.p.",
+		Run:        runE2,
+	}
+}
+
+func runE2(cfg Config) (*Report, error) {
+	r := &Report{ID: "E2", Name: "Oblivious adversary defeats oblivious randomized algorithms",
+		PaperClaim: "Theorem 2: star prefix + blocking loop defeats oblivious randomized algorithms w.h.p."}
+	ns := sizes(cfg, []int{8, 16, 32}, []int{8, 16, 32, 64, 128})
+	trials := reps(cfg, 200, 1000)
+	probes := reps(cfg, 400, 2000)
+	tb := &Table{
+		Title:   "Theorem 2 construction vs coin-flip(0.5): estimated l0, chosen d, non-termination rate",
+		Columns: []string{"n", "l0", "d", "trials", "blocked rate"},
+	}
+	src := rng.New(cfg.Seed ^ 0xe2)
+	for _, n := range ns {
+		l0, d, err := estimateTheorem2Params(n, probes, src)
+		if err != nil {
+			return nil, err
+		}
+		built, err := adversary.BuildTheorem2(n, l0, d, 4*n)
+		if err != nil {
+			return nil, err
+		}
+		blocked := 0
+		for trial := 0; trial < trials; trial++ {
+			adv, err := adversary.NewOblivious("theorem2", built)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.RunOnce(core.Config{N: n, MaxInteractions: built.Len()},
+				newCoinFlip(0.5, src.Uint64()), adv)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Terminated {
+				blocked++
+			}
+		}
+		rate := float64(blocked) / float64(trials)
+		tb.AddRow(n, l0, d, trials, rate)
+		r.check(fmt.Sprintf("n=%d mostly blocked", n), rate >= 0.5,
+			"blocked rate %.3f", rate, ">= 0.5, increasing with n")
+		cfg.progressf("E2 n=%d rate=%.3f\n", n, rate)
+	}
+	r.Tables = append(r.Tables, tb)
+	return r, nil
+}
+
+// estimateTheorem2Params performs the adversary's "knows the code" step
+// empirically: Monte-Carlo over star prefixes to find l0 (first prefix
+// length at which someone has transmitted with probability > 1 - 1/n) and
+// the node d with the highest probability of still owning data.
+func estimateTheorem2Params(n, probes int, src *rng.Source) (l0, d int, err error) {
+	m := n - 1
+	maxLen := 8 * m
+	star, err := adversary.BuildTheorem2(n, maxLen, 0, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	// survivors[l] counts trials where no transmission happened in the
+	// length-l prefix; ownersAt[u] counts trials where u_{u} still owns
+	// data at the end of the estimation prefix.
+	firstTx := make([]int, probes)
+	owners := make([]int, n)
+	for trial := 0; trial < probes; trial++ {
+		rec := trace2recorder{}
+		adv, err := adversary.NewOblivious("star", star)
+		if err != nil {
+			return 0, 0, err
+		}
+		eng, err := core.NewEngine(core.Config{N: n, MaxInteractions: star.Len(), Events: &rec})
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := eng.Run(newCoinFlip(0.5, src.Uint64()), adv); err != nil {
+			return 0, 0, err
+		}
+		firstTx[trial] = rec.firstTransmission
+		for u := 1; u < n; u++ {
+			if eng.Owns(graph.NodeID(u)) {
+				owners[u]++
+			}
+		}
+	}
+	// P_l = fraction of trials whose first transmission is at or after l.
+	l0 = maxLen
+	for l := 1; l <= maxLen; l++ {
+		survive := 0
+		for _, ft := range firstTx {
+			if ft < 0 || ft >= l {
+				survive++
+			}
+		}
+		if float64(survive)/float64(probes) < 1/float64(n) {
+			l0 = l
+			break
+		}
+	}
+	// Choose u_d with maximal survival frequency, excluding u_{l0 mod m}
+	// (the proof's requirement that d's transmission probability is
+	// unchanged between prefix lengths l0-1 and l0).
+	excluded := l0 % m
+	best, bestCount := -1, -1
+	for i := 0; i < m; i++ {
+		if i == excluded {
+			continue
+		}
+		if owners[i+1] > bestCount {
+			best, bestCount = i, owners[i+1]
+		}
+	}
+	return l0, best, nil
+}
+
+// trace2recorder captures only the first transmission time.
+type trace2recorder struct {
+	firstTransmission int
+	seen              bool
+}
+
+func (t *trace2recorder) OnEvent(ev core.Event) {
+	if !t.seen {
+		t.firstTransmission = -1
+	}
+	t.seen = true
+	if _, ok := ev.Decision.Receiver(ev.It); ok && t.firstTransmission < 0 {
+		t.firstTransmission = ev.T
+	}
+}
+
+func (t *trace2recorder) OnDone(core.Result) {}
+
+func e3() Experiment {
+	return Experiment{
+		ID:         "E3",
+		Name:       "Underlying-graph knowledge is insufficient (4-node cycle)",
+		PaperClaim: "Theorem 3: for every A ∈ DODA(Ḡ), an adaptive adversary on a cycle forces cost_A(I) = ∞",
+		Run:        runE3,
+	}
+}
+
+func runE3(cfg Config) (*Report, error) {
+	r := &Report{ID: "E3", Name: "Underlying-graph knowledge is insufficient (4-node cycle)",
+		PaperClaim: "Theorem 3: cost = ∞ on the cycle even knowing Ḡ"}
+	horizons := []int{100, 1000, 10000}
+	if cfg.scale() == ScaleFull {
+		horizons = append(horizons, 100000)
+	}
+	tb := &Table{
+		Title:   "Theorem 3 adversary vs Ḡ-aware algorithms (n=4)",
+		Columns: []string{"algorithm", "horizon", "terminated", "T(i) computed"},
+	}
+	type mk struct {
+		name string
+		make func(g *graph.Undirected) (core.Algorithm, *knowledge.Bundle, error)
+	}
+	mks := []mk{
+		{name: "spanning-tree", make: func(g *graph.Undirected) (core.Algorithm, *knowledge.Bundle, error) {
+			b, err := knowledge.NewBundle(knowledge.WithUnderlying(g))
+			return algorithms.NewSpanningTree(), b, err
+		}},
+		{name: "gathering", make: func(g *graph.Undirected) (core.Algorithm, *knowledge.Bundle, error) {
+			b, err := knowledge.NewBundle(knowledge.WithUnderlying(g))
+			return algorithms.NewGathering(), b, err
+		}},
+	}
+	for _, m := range mks {
+		for _, h := range horizons {
+			adv, err := adversary.NewTheorem3(4, 0)
+			if err != nil {
+				return nil, err
+			}
+			g, err := adv.UnderlyingGraph()
+			if err != nil {
+				return nil, err
+			}
+			alg, know, err := m.make(g)
+			if err != nil {
+				return nil, err
+			}
+			rec := newRecording(adv, 4)
+			res, err := core.RunOnce(core.Config{N: 4, MaxInteractions: h, Know: know}, alg, rec)
+			if err != nil {
+				return nil, err
+			}
+			emitted, err := rec.Sequence()
+			if err != nil {
+				return nil, err
+			}
+			clock, err := offline.NewClock(emitted, 0, emitted.Len())
+			if err != nil {
+				return nil, err
+			}
+			count := 0
+			for {
+				if _, ok := clock.T(count + 1); !ok {
+					break
+				}
+				count++
+			}
+			tb.AddRow(m.name, h, res.Terminated, count)
+			r.check(fmt.Sprintf("%s@%d not terminated", m.name, h), !res.Terminated,
+				"terminated=%v", res.Terminated, "non-termination")
+			r.check(fmt.Sprintf("%s@%d convergecasts possible", m.name, h), count >= h/20,
+				"%d successive convergecasts", count, fmt.Sprintf(">= %d", h/20))
+		}
+		cfg.progressf("E3 %s done\n", m.name)
+	}
+	r.Tables = append(r.Tables, tb)
+	return r, nil
+}
+
+func e4() Experiment {
+	return Experiment{
+		ID:         "E4",
+		Name:       "Recurrent interactions: finite but unbounded cost",
+		PaperClaim: "Theorem 4: with Ḡ known and recurrent interactions, cost is finite yet unbounded",
+		Run:        runE4,
+	}
+}
+
+func runE4(cfg Config) (*Report, error) {
+	r := &Report{ID: "E4", Name: "Recurrent interactions: finite but unbounded cost",
+		PaperClaim: "Theorem 4: spanning-tree algorithm has finite cost; delaying one tree edge makes it grow"}
+	n := 12
+	if cfg.scale() == ScaleFull {
+		n = 24
+	}
+	repeats := []int{1, 4, 16, 64}
+	src := rng.New(cfg.Seed ^ 0xe4)
+	g, err := graph.RandomConnected(n, n/2, src)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := g.SpanningTree(0)
+	if err != nil {
+		return nil, err
+	}
+	delayed, err := removableTreeEdge(g, tree)
+	if err != nil {
+		return nil, err
+	}
+	var frequent []graph.Edge
+	for _, e := range g.Edges() {
+		if e != delayed {
+			frequent = append(frequent, e)
+		}
+	}
+	tb := &Table{
+		Title:   fmt.Sprintf("Theorem 4: spanning-tree cost vs delay factor (n=%d, |E|=%d, delayed edge %d-%d)", n, g.M(), delayed.U, delayed.V),
+		Columns: []string{"delay repeat", "terminated", "duration", "cost"},
+	}
+	costs := make([]int, 0, len(repeats))
+	for _, k := range repeats {
+		adv, _, err := adversary.DelayedRecurrent(n, frequent, delayed, k)
+		if err != nil {
+			return nil, err
+		}
+		know, err := knowledge.NewBundle(knowledge.WithUnderlying(g))
+		if err != nil {
+			return nil, err
+		}
+		rec := newRecording(adv, n)
+		cap := (k*len(frequent) + 1) * (n + 2) * 4
+		res, err := core.RunOnce(core.Config{N: n, MaxInteractions: cap, Know: know},
+			algorithms.NewSpanningTree(), rec)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Terminated {
+			tb.AddRow(k, false, "-", "-")
+			r.check(fmt.Sprintf("repeat=%d terminated", k), false, "terminated=%v", false, "termination (finite cost)")
+			continue
+		}
+		emitted, err := rec.Sequence()
+		if err != nil {
+			return nil, err
+		}
+		clock, err := offline.NewClock(emitted, 0, emitted.Len())
+		if err != nil {
+			return nil, err
+		}
+		cost, ok := clock.Cost(res.Duration)
+		if !ok {
+			// The recorded prefix ends at termination; the final
+			// convergecast may not complete within it. Extend by one
+			// round so T(i) can cross the duration.
+			ext, _, err2 := adversary.DelayedRecurrent(n, frequent, delayed, k)
+			if err2 != nil {
+				return nil, err2
+			}
+			view := extendedView{rec: emitted, tail: ext}
+			clock2, err2 := offline.NewClock(view, 0, emitted.Len()+(k*len(frequent)+1)*(n+2)*4)
+			if err2 != nil {
+				return nil, err2
+			}
+			cost, ok = clock2.Cost(res.Duration)
+			if !ok {
+				return nil, fmt.Errorf("experiments: E4 cost not computable for repeat=%d", k)
+			}
+		}
+		tb.AddRow(k, res.Terminated, res.Duration, cost)
+		costs = append(costs, cost)
+		r.check(fmt.Sprintf("repeat=%d terminated", k), res.Terminated, "terminated=%v", res.Terminated, "termination (finite cost)")
+		cfg.progressf("E4 repeat=%d cost=%d\n", k, cost)
+	}
+	r.Tables = append(r.Tables, tb)
+	if len(costs) == len(repeats) {
+		grew := costs[len(costs)-1] > costs[0]
+		r.check("cost grows with delay", grew,
+			"cost %v", costs, "increasing with the delay factor (unbounded cost)")
+	}
+	return r, nil
+}
+
+// extendedView glues a recorded finite prefix to a fresh adversary's
+// stream so the offline clock can search past the recorded end.
+type extendedView struct {
+	rec  *seq.Sequence
+	tail core.Adversary
+}
+
+func (v extendedView) N() int { return v.rec.N() }
+
+func (v extendedView) Bound() (int, bool) { return 0, false }
+
+func (v extendedView) At(t int) seq.Interaction {
+	if t < v.rec.Len() {
+		return v.rec.At(t)
+	}
+	it, _ := v.tail.Next(t, nil)
+	return it
+}
+
+// removableTreeEdge returns a spanning-tree edge whose removal keeps the
+// graph connected (it lies on a cycle), so the adversary can starve it
+// while convergecasts remain possible.
+func removableTreeEdge(g *graph.Undirected, tree *graph.Tree) (graph.Edge, error) {
+	for _, e := range tree.Edges() {
+		var rest []graph.Edge
+		for _, o := range g.Edges() {
+			if o != e {
+				rest = append(rest, o)
+			}
+		}
+		h, err := graph.FromEdges(g.N(), rest)
+		if err != nil {
+			return graph.Edge{}, err
+		}
+		if h.Connected() {
+			return e, nil
+		}
+	}
+	return graph.Edge{}, fmt.Errorf("experiments: no removable tree edge (graph is a tree)")
+}
+
+func e5() Experiment {
+	return Experiment{
+		ID:         "E5",
+		Name:       "Tree underlying graph: spanning-tree algorithm is optimal",
+		PaperClaim: "Theorem 5: if Ḡ is a tree, the wait-for-children algorithm achieves cost 1",
+		Run:        runE5,
+	}
+}
+
+func runE5(cfg Config) (*Report, error) {
+	r := &Report{ID: "E5", Name: "Tree underlying graph: spanning-tree algorithm is optimal",
+		PaperClaim: "Theorem 5: duration equals opt(0) on every recurrent tree schedule"}
+	ns := sizes(cfg, []int{6, 12, 24}, []int{6, 12, 24, 48, 96})
+	trials := reps(cfg, 20, 100)
+	src := rng.New(cfg.Seed ^ 0xe5)
+	tb := &Table{
+		Title:   "Theorem 5: spanning-tree duration vs offline optimum on random trees",
+		Columns: []string{"n", "trials", "optimal runs", "mean duration", "mean opt"},
+	}
+	for _, n := range ns {
+		optimal := 0
+		var durations, opts stats.Welford
+		for trial := 0; trial < trials; trial++ {
+			g, err := graph.RandomTree(n, src)
+			if err != nil {
+				return nil, err
+			}
+			edges := g.Edges()
+			rng.Shuffle(src, edges)
+			adv, _, err := adversary.Recurrent(n, edges)
+			if err != nil {
+				return nil, err
+			}
+			know, err := knowledge.NewBundle(knowledge.WithUnderlying(g))
+			if err != nil {
+				return nil, err
+			}
+			rec := newRecording(adv, n)
+			res, err := core.RunOnce(core.Config{N: n, MaxInteractions: len(edges) * (n + 2) * 3, Know: know},
+				algorithms.NewSpanningTree(), rec)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Terminated {
+				return nil, fmt.Errorf("experiments: E5 run did not terminate (n=%d)", n)
+			}
+			emitted, err := rec.Sequence()
+			if err != nil {
+				return nil, err
+			}
+			opt, ok := offline.Opt(emitted, 0, 0, emitted.Len())
+			if !ok {
+				return nil, fmt.Errorf("experiments: E5 no offline optimum (n=%d)", n)
+			}
+			if res.Duration == opt {
+				optimal++
+			}
+			durations.Add(float64(res.Duration))
+			opts.Add(float64(opt))
+		}
+		tb.AddRow(n, trials, optimal, durations.Mean(), opts.Mean())
+		r.check(fmt.Sprintf("n=%d always optimal", n), optimal == trials,
+			"%s optimal", fmt.Sprintf("%d/%d", optimal, trials), "all runs match opt(0) (cost 1)")
+		cfg.progressf("E5 n=%d optimal=%d/%d\n", n, optimal, trials)
+	}
+	r.Tables = append(r.Tables, tb)
+	return r, nil
+}
+
+func e6() Experiment {
+	return Experiment{
+		ID:         "E6",
+		Name:       "Future knowledge bounds cost by n",
+		PaperClaim: "Theorem 6: there is A ∈ DODA(future) with cost_A(I) ≤ n on every sequence",
+		Run:        runE6,
+	}
+}
+
+func runE6(cfg Config) (*Report, error) {
+	r := &Report{ID: "E6", Name: "Future knowledge bounds cost by n",
+		PaperClaim: "Theorem 6: gossip futures then play the optimal suffix schedule; cost ≤ n"}
+	ns := sizes(cfg, []int{6, 10, 16}, []int{6, 10, 16, 24, 32})
+	trials := reps(cfg, 15, 60)
+	src := rng.New(cfg.Seed ^ 0xe6)
+	tb := &Table{
+		Title:   "Theorem 6: future-optimal cost on random and recurrent sequences",
+		Columns: []string{"n", "sequence", "trials", "max cost", "bound n"},
+	}
+	for _, n := range ns {
+		for _, kind := range []string{"uniform", "tree-recurrent"} {
+			maxCost := 0
+			for trial := 0; trial < trials; trial++ {
+				var s *seq.Sequence
+				var err error
+				switch kind {
+				case "uniform":
+					length := int(6*float64(n)*expectedOffline(n)) + 2000
+					s, err = seq.Uniform(n, length, src)
+				default:
+					g, errT := graph.RandomTree(n, src)
+					if errT != nil {
+						return nil, errT
+					}
+					edges := g.Edges()
+					rng.Shuffle(src, edges)
+					s, err = seq.RoundRobin(n, edges, 4*n)
+				}
+				if err != nil {
+					return nil, err
+				}
+				know, err := knowledge.NewBundle(knowledge.WithFutures(s))
+				if err != nil {
+					return nil, err
+				}
+				adv, err := adversary.NewOblivious(kind, s)
+				if err != nil {
+					return nil, err
+				}
+				res, err := core.RunOnce(core.Config{N: n, MaxInteractions: s.Len(), Know: know},
+					algorithms.NewFutureOptimal(s.Len()), adv)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Terminated {
+					return nil, fmt.Errorf("experiments: E6 %s n=%d did not terminate", kind, n)
+				}
+				clock, err := offline.NewClock(s, 0, s.Len())
+				if err != nil {
+					return nil, err
+				}
+				cost, ok := clock.Cost(res.Duration)
+				if !ok {
+					return nil, fmt.Errorf("experiments: E6 cost not computable")
+				}
+				if cost > maxCost {
+					maxCost = cost
+				}
+			}
+			tb.AddRow(n, kind, trials, maxCost, n)
+			r.check(fmt.Sprintf("n=%d %s cost ≤ n", n, kind), maxCost <= n,
+				"max cost %d", maxCost, fmt.Sprintf("≤ %d", n))
+			cfg.progressf("E6 n=%d %s maxCost=%d\n", n, kind, maxCost)
+		}
+	}
+	r.Tables = append(r.Tables, tb)
+	return r, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Experiments are advertised as bit-for-bit reproducible given
+// (Scale, Seed); EXPERIMENTS.md relies on it. Pin the property on a
+// cheap experiment end-to-end, including formatting.
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	e, ok := ByID("E5")
+	if !ok {
+		t.Fatal("E5 missing")
+	}
+	render := func(seed uint64) string {
+		rep, err := e.Run(Config{Scale: ScaleQuick, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render(777)
+	second := render(777)
+	if first != second {
+		t.Errorf("same seed produced different reports:\n%s\nvs\n%s", first, second)
+	}
+	other := render(778)
+	if first == other {
+		t.Errorf("different seeds produced identical reports (suspicious)")
+	}
+}
+
+func TestExperimentSeedChangesMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	// E8's means are Monte-Carlo: different seeds must move them, and
+	// both must still pass the paper's bands.
+	e, ok := ByID("E8")
+	if !ok {
+		t.Fatal("E8 missing")
+	}
+	r1, err := e.Run(Config{Scale: ScaleQuick, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(Config{Scale: ScaleQuick, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Pass() || !r2.Pass() {
+		t.Error("E8 failed under one of the seeds")
+	}
+	if len(r1.Tables) == 0 || len(r2.Tables) == 0 {
+		t.Fatal("missing tables")
+	}
+	if r1.Tables[0].Rows[0][1] == r2.Tables[0].Rows[0][1] {
+		t.Error("different seeds yielded identical measured means")
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 12345.6)
+	var buf bytes.Buffer
+	if err := tb.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "2.500") || !strings.Contains(out, "12346") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow(1, 2)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{give: 0, want: "0"},
+		{give: 0.5, want: "0.500"},
+		{give: 42.25, want: "42.2"},
+		{give: 12345.9, want: "12346"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.give); got != tt.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestReportPassAndFormat(t *testing.T) {
+	r := &Report{ID: "X", Name: "demo", PaperClaim: "claim"}
+	r.check("first", true, "%v", 1, "1")
+	if !r.Pass() {
+		t.Error("should pass")
+	}
+	r.check("second", false, "%v", 2, "3")
+	if r.Pass() {
+		t.Error("should fail")
+	}
+	r.note("a note")
+	var buf bytes.Buffer
+	if err := r.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FAIL", "demo", "claim", "a note", "[ok  ] first", "[FAIL] second"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	e, ok := ByID("e10")
+	if !ok || e.ID != "E10" {
+		t.Errorf("ByID(e10) = %v,%v", e.ID, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Errorf("IDs() has %d entries, All() %d", len(ids), len(All()))
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if ScaleQuick.String() != "quick" || ScaleFull.String() != "full" {
+		t.Error("scale names")
+	}
+	if Scale(9).String() != "Scale(9)" {
+		t.Error("unknown scale")
+	}
+}
+
+func TestAllHaveDistinctIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range All() {
+		if e.ID == "" || e.Name == "" || e.PaperClaim == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// Per-experiment quick-scale runs. Each experiment's internal checks are
+// the real assertions; the test fails if any check fails.
+func runExperiment(t *testing.T, id string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("quick-scale experiment skipped in -short mode")
+	}
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	rep, err := e.Run(Config{Scale: ScaleQuick, Seed: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		var buf bytes.Buffer
+		if err := rep.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		t.Errorf("experiment %s failed:\n%s", id, buf.String())
+	}
+}
+
+func TestE1(t *testing.T)  { runExperiment(t, "E1") }
+func TestE2(t *testing.T)  { runExperiment(t, "E2") }
+func TestE3(t *testing.T)  { runExperiment(t, "E3") }
+func TestE4(t *testing.T)  { runExperiment(t, "E4") }
+func TestE5(t *testing.T)  { runExperiment(t, "E5") }
+func TestE6(t *testing.T)  { runExperiment(t, "E6") }
+func TestE7(t *testing.T)  { runExperiment(t, "E7") }
+func TestE8(t *testing.T)  { runExperiment(t, "E8") }
+func TestE9(t *testing.T)  { runExperiment(t, "E9") }
+func TestE10(t *testing.T) { runExperiment(t, "E10") }
+func TestE11(t *testing.T) { runExperiment(t, "E11") }
+func TestE12(t *testing.T) { runExperiment(t, "E12") }
+func TestE13(t *testing.T) { runExperiment(t, "E13") }
+func TestE14(t *testing.T) { runExperiment(t, "E14") }
+func TestA1(t *testing.T)  { runExperiment(t, "A1") }
+func TestA2(t *testing.T)  { runExperiment(t, "A2") }
+func TestX1(t *testing.T)  { runExperiment(t, "X1") }
+func TestX2(t *testing.T)  { runExperiment(t, "X2") }

@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+
+	"doda/internal/rng"
+)
+
+// Path returns the path graph 0-1-2-...-(n-1).
+func Path(n int) (*Undirected, error) {
+	g, err := NewUndirected(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Cycle returns the cycle graph on n >= 3 nodes.
+func Cycle(n int) (*Undirected, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	g, err := Path(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.AddEdge(NodeID(n-1), 0); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Star returns the star graph with the given center.
+func Star(n int, center NodeID) (*Undirected, error) {
+	g, err := NewUndirected(n)
+	if err != nil {
+		return nil, err
+	}
+	if center < 0 || int(center) >= n {
+		return nil, fmt.Errorf("graph: center %d out of range", center)
+	}
+	for i := 0; i < n; i++ {
+		if NodeID(i) == center {
+			continue
+		}
+		if err := g.AddEdge(center, NodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Complete returns the complete graph K_n. This is the underlying graph of
+// the randomized adversary (§4: "the underlying graph is a complete graph
+// of n nodes").
+func Complete(n int) (*Undirected, error) {
+	g, err := NewUndirected(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(NodeID(i), NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes, sampled
+// via a random Prüfer sequence. For n <= 2 it returns the unique tree.
+func RandomTree(n int, src *rng.Source) (*Undirected, error) {
+	g, err := NewUndirected(n)
+	if err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		return g, nil
+	}
+	if n == 2 {
+		if err := g.AddEdge(0, 1); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = src.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	// Classic decoding: repeatedly attach the smallest leaf.
+	for _, v := range prufer {
+		for leaf := 0; leaf < n; leaf++ {
+			if degree[leaf] == 1 {
+				if err := g.AddEdge(NodeID(leaf), NodeID(v)); err != nil {
+					return nil, err
+				}
+				degree[leaf]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	// Two nodes of degree 1 remain; join them.
+	u, v := -1, -1
+	for i := 0; i < n; i++ {
+		if degree[i] == 1 {
+			if u == -1 {
+				u = i
+			} else {
+				v = i
+			}
+		}
+	}
+	if err := g.AddEdge(NodeID(u), NodeID(v)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// RandomConnected returns a random connected graph on n nodes with
+// extra additional non-tree edges (clamped to the number of available
+// slots). It starts from a random spanning tree, guaranteeing
+// connectivity, then adds distinct random extra edges.
+func RandomConnected(n, extra int, src *rng.Source) (*Undirected, error) {
+	g, err := RandomTree(n, src)
+	if err != nil {
+		return nil, err
+	}
+	maxExtra := n*(n-1)/2 - (n - 1)
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	for added := 0; added < extra; {
+		a, b := src.Pair(n)
+		if g.HasEdge(NodeID(a), NodeID(b)) {
+			continue
+		}
+		if err := g.AddEdge(NodeID(a), NodeID(b)); err != nil {
+			return nil, err
+		}
+		added++
+	}
+	return g, nil
+}

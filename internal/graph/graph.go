@@ -1,0 +1,331 @@
+// Package graph provides the static-graph substrate underneath the dynamic
+// model: node identifiers, the underlying graph Ḡ of an interaction
+// sequence (the paper's §3.2), connectivity queries, deterministic
+// spanning-tree construction (all nodes must compute the *same* tree from
+// Ḡ, as Theorem 4 requires), and graph generators for experiments and
+// examples.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes are numbered 0..n-1; by convention the
+// sink is node 0 unless stated otherwise. The paper's node identifiers
+// used for symmetry breaking are exactly these integers.
+type NodeID int
+
+// Edge is an unordered pair of distinct nodes, stored canonically with
+// U < V.
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge returns the canonical Edge for the unordered pair {a, b}.
+// It returns an error if a == b (self-loops are meaningless interactions).
+func NewEdge(a, b NodeID) (Edge, error) {
+	if a == b {
+		return Edge{}, fmt.Errorf("graph: self-loop on node %d", a)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}, nil
+}
+
+// MustEdge is NewEdge for statically known distinct endpoints; it panics
+// on a self-loop. Use only with literals in tests and generators.
+func MustEdge(a, b NodeID) Edge {
+	e, err := NewEdge(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not u, and reports whether u is
+// an endpoint at all.
+func (e Edge) Other(u NodeID) (NodeID, bool) {
+	switch u {
+	case e.U:
+		return e.V, true
+	case e.V:
+		return e.U, true
+	default:
+		return 0, false
+	}
+}
+
+// Undirected is a simple undirected graph over nodes 0..n-1.
+//
+// It is the representation of the paper's underlying graph Ḡ = (V, E)
+// where E contains {u,v} iff u and v interact at least once.
+type Undirected struct {
+	n   int
+	adj [][]NodeID
+	set map[Edge]struct{}
+}
+
+// NewUndirected returns an empty graph on n nodes.
+func NewUndirected(n int) (*Undirected, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: need at least one node, got %d", n)
+	}
+	return &Undirected{
+		n:   n,
+		adj: make([][]NodeID, n),
+		set: make(map[Edge]struct{}),
+	}, nil
+}
+
+// FromEdges builds a graph on n nodes from the given edges. Duplicate
+// edges are ignored; out-of-range endpoints are an error.
+func FromEdges(n int, edges []Edge) (*Undirected, error) {
+	g, err := NewUndirected(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of nodes.
+func (g *Undirected) N() int { return g.n }
+
+// M returns the number of (distinct) edges.
+func (g *Undirected) M() int { return len(g.set) }
+
+// AddEdge inserts the undirected edge {a,b}. Inserting an existing edge
+// is a no-op. Self-loops and out-of-range nodes are errors.
+func (g *Undirected) AddEdge(a, b NodeID) error {
+	if err := g.checkNode(a); err != nil {
+		return err
+	}
+	if err := g.checkNode(b); err != nil {
+		return err
+	}
+	e, err := NewEdge(a, b)
+	if err != nil {
+		return err
+	}
+	if _, dup := g.set[e]; dup {
+		return nil
+	}
+	g.set[e] = struct{}{}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	return nil
+}
+
+func (g *Undirected) checkNode(u NodeID) error {
+	if u < 0 || int(u) >= g.n {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", u, g.n)
+	}
+	return nil
+}
+
+// HasEdge reports whether {a,b} is an edge.
+func (g *Undirected) HasEdge(a, b NodeID) bool {
+	e, err := NewEdge(a, b)
+	if err != nil {
+		return false
+	}
+	_, ok := g.set[e]
+	return ok
+}
+
+// Neighbors returns a copy of u's adjacency list, sorted by NodeID so all
+// callers observe the same deterministic order regardless of insertion
+// history.
+func (g *Undirected) Neighbors(u NodeID) []NodeID {
+	if u < 0 || int(u) >= g.n {
+		return nil
+	}
+	out := make([]NodeID, len(g.adj[u]))
+	copy(out, g.adj[u])
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the degree of u (0 for out-of-range nodes).
+func (g *Undirected) Degree(u NodeID) int {
+	if u < 0 || int(u) >= g.n {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// Edges returns all edges sorted canonically ((U,V) lexicographic).
+func (g *Undirected) Edges() []Edge {
+	out := make([]Edge, 0, len(g.set))
+	for e := range g.set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Connected reports whether the graph is connected (true for n == 1).
+func (g *Undirected) Connected() bool {
+	return len(g.componentOf(0)) == g.n
+}
+
+// ComponentOf returns the nodes reachable from u, sorted.
+func (g *Undirected) ComponentOf(u NodeID) []NodeID {
+	if u < 0 || int(u) >= g.n {
+		return nil
+	}
+	comp := g.componentOf(u)
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	return comp
+}
+
+func (g *Undirected) componentOf(u NodeID) []NodeID {
+	seen := make([]bool, g.n)
+	queue := []NodeID{u}
+	seen[u] = true
+	var order []NodeID
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		order = append(order, x)
+		for _, y := range g.adj[x] {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return order
+}
+
+// IsTree reports whether the graph is a tree (connected, m == n-1).
+func (g *Undirected) IsTree() bool {
+	return g.M() == g.n-1 && g.Connected()
+}
+
+// Tree is a rooted spanning tree: Parent[root] == root.
+type Tree struct {
+	Root   NodeID
+	Parent []NodeID
+}
+
+// ErrDisconnected reports that a spanning tree was requested on a
+// disconnected graph.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// SpanningTree returns the BFS spanning tree rooted at root, visiting
+// neighbours in increasing NodeID order. Because the order depends only
+// on the edge set, every node that knows Ḡ computes the *same* tree —
+// the property the Theorem 4/5 algorithm relies on ("they compute the
+// same tree, using nodes identifiers").
+func (g *Undirected) SpanningTree(root NodeID) (*Tree, error) {
+	if err := g.checkNode(root); err != nil {
+		return nil, err
+	}
+	parent := make([]NodeID, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+	queue := []NodeID{root}
+	visited := 1
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.Neighbors(x) {
+			if parent[y] == -1 {
+				parent[y] = x
+				visited++
+				queue = append(queue, y)
+			}
+		}
+	}
+	if visited != g.n {
+		return nil, ErrDisconnected
+	}
+	return &Tree{Root: root, Parent: parent}, nil
+}
+
+// Children returns the children of u in the tree, sorted.
+func (t *Tree) Children(u NodeID) []NodeID {
+	var out []NodeID
+	for v, p := range t.Parent {
+		if p == u && NodeID(v) != t.Root {
+			out = append(out, NodeID(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Depth returns the depth of u (root has depth 0), or -1 if u is not in
+// the tree's node range.
+func (t *Tree) Depth(u NodeID) int {
+	if u < 0 || int(u) >= len(t.Parent) {
+		return -1
+	}
+	d := 0
+	for u != t.Root {
+		u = t.Parent[u]
+		d++
+		if d > len(t.Parent) {
+			return -1 // corrupted parent pointers; avoid spinning forever
+		}
+	}
+	return d
+}
+
+// Edges returns the n-1 tree edges in canonical order.
+func (t *Tree) Edges() []Edge {
+	out := make([]Edge, 0, len(t.Parent)-1)
+	for v, p := range t.Parent {
+		if NodeID(v) == t.Root {
+			continue
+		}
+		out = append(out, MustEdge(NodeID(v), p))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// SubtreeSizes returns, for every node, the size of its subtree
+// (the root's entry equals n).
+func (t *Tree) SubtreeSizes() []int {
+	n := len(t.Parent)
+	size := make([]int, n)
+	// Process nodes by decreasing depth so children are final before
+	// parents.
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return t.Depth(order[i]) > t.Depth(order[j])
+	})
+	for i := range size {
+		size[i] = 1
+	}
+	for _, u := range order {
+		if u != t.Root {
+			size[t.Parent[u]] += size[u]
+		}
+	}
+	return size
+}

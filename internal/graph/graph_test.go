@@ -1,0 +1,382 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"doda/internal/rng"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	e, err := NewEdge(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.U != 2 || e.V != 5 {
+		t.Errorf("edge not canonical: %+v", e)
+	}
+}
+
+func TestNewEdgeSelfLoop(t *testing.T) {
+	if _, err := NewEdge(3, 3); err == nil {
+		t.Error("want error for self-loop")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := MustEdge(1, 4)
+	if v, ok := e.Other(1); !ok || v != 4 {
+		t.Errorf("Other(1) = %d,%v", v, ok)
+	}
+	if v, ok := e.Other(4); !ok || v != 1 {
+		t.Errorf("Other(4) = %d,%v", v, ok)
+	}
+	if _, ok := e.Other(2); ok {
+		t.Error("Other(2) should report not-an-endpoint")
+	}
+}
+
+func TestAddEdgeAndQueries(t *testing.T) {
+	g, err := NewUndirected(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err != nil { // duplicate, reversed
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Errorf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("missing edge 0-1")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge 0-2")
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self-loop reported present")
+	}
+	if d := g.Degree(1); d != 1 {
+		t.Errorf("Degree(1) = %d", d)
+	}
+	if d := g.Degree(99); d != 0 {
+		t.Errorf("Degree(out of range) = %d", d)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g, _ := NewUndirected(3)
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("want error for out-of-range node")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("want error for negative node")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("want error for self-loop")
+	}
+}
+
+func TestNewUndirectedRejectsEmpty(t *testing.T) {
+	if _, err := NewUndirected(0); err == nil {
+		t.Error("want error for zero nodes")
+	}
+}
+
+func TestNeighborsSortedCopy(t *testing.T) {
+	g, _ := NewUndirected(5)
+	for _, v := range []NodeID{4, 2, 3} {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb := g.Neighbors(0)
+	want := []NodeID{2, 3, 4}
+	if len(nb) != 3 {
+		t.Fatalf("Neighbors = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", nb, want)
+		}
+	}
+	nb[0] = 99 // mutation must not leak into the graph
+	if g.Neighbors(0)[0] != 2 {
+		t.Error("Neighbors returned internal storage")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g, _ := FromEdges(4, []Edge{MustEdge(2, 3), MustEdge(0, 2), MustEdge(0, 1)})
+	es := g.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {2, 3}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", es, want)
+		}
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g, _ := FromEdges(4, []Edge{MustEdge(0, 1), MustEdge(1, 2)})
+	if g.Connected() {
+		t.Error("graph with isolated node reported connected")
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("path graph reported disconnected")
+	}
+	comp := g.ComponentOf(3)
+	if len(comp) != 4 {
+		t.Errorf("ComponentOf(3) = %v", comp)
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	path, _ := Path(5)
+	if !path.IsTree() {
+		t.Error("path should be a tree")
+	}
+	cyc, _ := Cycle(5)
+	if cyc.IsTree() {
+		t.Error("cycle should not be a tree")
+	}
+	disc, _ := FromEdges(4, []Edge{MustEdge(0, 1), MustEdge(2, 3), MustEdge(1, 2)})
+	if !disc.IsTree() {
+		t.Error("4-path should be a tree")
+	}
+	single, _ := NewUndirected(1)
+	if !single.IsTree() {
+		t.Error("single node should be a tree")
+	}
+}
+
+func TestSpanningTreeDeterministicAndValid(t *testing.T) {
+	src := rng.New(5)
+	g, err := RandomConnected(20, 15, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := g.SpanningTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := g.SpanningTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1.Parent {
+		if t1.Parent[i] != t2.Parent[i] {
+			t.Fatalf("spanning tree not deterministic at node %d", i)
+		}
+	}
+	// Every parent edge must exist in the graph; root points to itself.
+	if t1.Parent[0] != 0 {
+		t.Errorf("root parent = %d", t1.Parent[0])
+	}
+	for v, p := range t1.Parent {
+		if NodeID(v) == t1.Root {
+			continue
+		}
+		if !g.HasEdge(NodeID(v), p) {
+			t.Errorf("tree edge %d-%d not in graph", v, p)
+		}
+	}
+	if len(t1.Edges()) != g.N()-1 {
+		t.Errorf("tree has %d edges, want %d", len(t1.Edges()), g.N()-1)
+	}
+}
+
+func TestSpanningTreeDisconnected(t *testing.T) {
+	g, _ := FromEdges(4, []Edge{MustEdge(0, 1)})
+	if _, err := g.SpanningTree(0); err != ErrDisconnected {
+		t.Errorf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestSpanningTreeBadRoot(t *testing.T) {
+	g, _ := Path(3)
+	if _, err := g.SpanningTree(7); err == nil {
+		t.Error("want error for out-of-range root")
+	}
+}
+
+func TestTreeChildrenDepth(t *testing.T) {
+	star, _ := Star(5, 0)
+	tr, err := star.SpanningTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := tr.Children(0)
+	if len(kids) != 4 {
+		t.Errorf("Children(0) = %v", kids)
+	}
+	for _, k := range kids {
+		if tr.Depth(k) != 1 {
+			t.Errorf("Depth(%d) = %d", k, tr.Depth(k))
+		}
+	}
+	if tr.Depth(0) != 0 {
+		t.Errorf("Depth(root) = %d", tr.Depth(0))
+	}
+	if tr.Depth(-1) != -1 {
+		t.Error("Depth of out-of-range node should be -1")
+	}
+}
+
+func TestTreeDepthOnPath(t *testing.T) {
+	p, _ := Path(6)
+	tr, err := p.SpanningTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if d := tr.Depth(NodeID(i)); d != i {
+			t.Errorf("Depth(%d) = %d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestSubtreeSizes(t *testing.T) {
+	p, _ := Path(4)
+	tr, _ := p.SpanningTree(0)
+	sizes := tr.SubtreeSizes()
+	want := []int{4, 3, 2, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("SubtreeSizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	tests := []struct {
+		name     string
+		build    func() (*Undirected, error)
+		wantErr  bool
+		wantN    int
+		wantM    int
+		wantTree bool
+	}{
+		{name: "path5", build: func() (*Undirected, error) { return Path(5) }, wantN: 5, wantM: 4, wantTree: true},
+		{name: "cycle5", build: func() (*Undirected, error) { return Cycle(5) }, wantN: 5, wantM: 5},
+		{name: "cycle too small", build: func() (*Undirected, error) { return Cycle(2) }, wantErr: true},
+		{name: "star center0", build: func() (*Undirected, error) { return Star(6, 0) }, wantN: 6, wantM: 5, wantTree: true},
+		{name: "star bad center", build: func() (*Undirected, error) { return Star(4, 9) }, wantErr: true},
+		{name: "complete4", build: func() (*Undirected, error) { return Complete(4) }, wantN: 4, wantM: 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.build()
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != tt.wantN || g.M() != tt.wantM {
+				t.Errorf("n=%d m=%d, want n=%d m=%d", g.N(), g.M(), tt.wantN, tt.wantM)
+			}
+			if tt.wantTree && !g.IsTree() {
+				t.Error("expected a tree")
+			}
+			if !g.Connected() {
+				t.Error("generator produced disconnected graph")
+			}
+		})
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	src := rng.New(11)
+	for _, n := range []int{1, 2, 3, 10, 50} {
+		g, err := RandomTree(n, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsTree() {
+			t.Errorf("RandomTree(%d) is not a tree: m=%d connected=%v", n, g.M(), g.Connected())
+		}
+	}
+}
+
+func TestRandomConnectedEdgeCount(t *testing.T) {
+	src := rng.New(13)
+	g, err := RandomConnected(10, 5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 14 { // 9 tree edges + 5 extra
+		t.Errorf("M = %d, want 14", g.M())
+	}
+	if !g.Connected() {
+		t.Error("disconnected")
+	}
+}
+
+func TestRandomConnectedClampsExtra(t *testing.T) {
+	src := rng.New(17)
+	g, err := RandomConnected(4, 1000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 6 { // complete graph K4
+		t.Errorf("M = %d, want 6", g.M())
+	}
+}
+
+func TestQuickRandomTreeAlwaysTree(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%63) + 1
+		g, err := RandomTree(n, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return g.IsTree()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpanningTreeDepthConsistent(t *testing.T) {
+	// Parent depth is always child depth - 1.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		g, err := RandomConnected(12, src.Intn(10), src)
+		if err != nil {
+			return false
+		}
+		tr, err := g.SpanningTree(0)
+		if err != nil {
+			return false
+		}
+		for v := range tr.Parent {
+			u := NodeID(v)
+			if u == tr.Root {
+				continue
+			}
+			if tr.Depth(u) != tr.Depth(tr.Parent[u])+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

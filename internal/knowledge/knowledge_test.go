@@ -1,0 +1,191 @@
+package knowledge
+
+import (
+	"errors"
+	"testing"
+
+	"doda/internal/graph"
+	"doda/internal/seq"
+)
+
+func testSequence(t *testing.T) *seq.Sequence {
+	t.Helper()
+	s, err := seq.NewSequence(4, []seq.Interaction{
+		{U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 1}, {U: 2, V: 3}, {U: 0, V: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEmptyBundleGrantsNothing(t *testing.T) {
+	b, err := NewBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.HasMeetTime() || b.HasFutures() || b.HasUnderlying() || b.HasFullSequence() {
+		t.Error("empty bundle grants an oracle")
+	}
+	if _, _, err := b.MeetTime(1, 0); !errors.Is(err, ErrNotGranted) {
+		t.Errorf("MeetTime err = %v", err)
+	}
+	if _, err := b.FutureOf(1); !errors.Is(err, ErrNotGranted) {
+		t.Errorf("FutureOf err = %v", err)
+	}
+	if _, err := b.Underlying(); !errors.Is(err, ErrNotGranted) {
+		t.Errorf("Underlying err = %v", err)
+	}
+	if _, err := b.FullSequence(); !errors.Is(err, ErrNotGranted) {
+		t.Errorf("FullSequence err = %v", err)
+	}
+	if b.NumFutures() != 0 {
+		t.Error("NumFutures should be 0")
+	}
+}
+
+func TestNilBundleSafeQueries(t *testing.T) {
+	var b *Bundle
+	if b.HasMeetTime() || b.HasFutures() || b.HasUnderlying() || b.HasFullSequence() {
+		t.Error("nil bundle grants an oracle")
+	}
+}
+
+func TestMeetTimeOracle(t *testing.T) {
+	s := testSequence(t)
+	b, err := NewBundle(WithMeetTime(s, 0, s.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasMeetTime() {
+		t.Fatal("meetTime not granted")
+	}
+	mt, ok, err := b.MeetTime(2, 0)
+	if err != nil || !ok || mt != 1 {
+		t.Errorf("MeetTime(2,0) = %d,%v,%v", mt, ok, err)
+	}
+	// Node 2 never meets the sink after t=1.
+	if _, ok, _ := b.MeetTime(2, 1); ok {
+		t.Error("phantom meeting")
+	}
+	// Sink: identity.
+	if mt, ok, _ := b.MeetTime(0, 42); !ok || mt != 42 {
+		t.Errorf("sink MeetTime = %d,%v", mt, ok)
+	}
+}
+
+func TestMeetTimeBadSink(t *testing.T) {
+	s := testSequence(t)
+	if _, err := NewBundle(WithMeetTime(s, 99, s.Len())); err == nil {
+		t.Error("want error for bad sink")
+	}
+}
+
+func TestFuturesOracle(t *testing.T) {
+	s := testSequence(t)
+	b, err := NewBundle(WithFutures(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumFutures() != 4 {
+		t.Errorf("NumFutures = %d", b.NumFutures())
+	}
+	f, err := b.FutureOf(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []seq.TimedStep{{T: 3, With: 2}, {T: 4, With: 0}}
+	if len(f) != len(want) {
+		t.Fatalf("FutureOf(3) = %v", f)
+	}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("FutureOf(3) = %v, want %v", f, want)
+		}
+	}
+	if _, err := b.FutureOf(11); err == nil {
+		t.Error("want error for out-of-range node")
+	}
+}
+
+func TestUnderlyingOracle(t *testing.T) {
+	s := testSequence(t)
+	b, err := NewBundle(WithUnderlying(s.UnderlyingGraph()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Underlying()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(1, 3) {
+		t.Error("wrong underlying graph")
+	}
+	if _, err := NewBundle(WithUnderlying(nil)); err == nil {
+		t.Error("want error for nil graph")
+	}
+}
+
+func TestFullSequenceOracle(t *testing.T) {
+	s := testSequence(t)
+	b, err := NewBundle(WithFullSequence(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.FullSequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.N() != 4 {
+		t.Errorf("N = %d", v.N())
+	}
+	if _, err := NewBundle(WithFullSequence(nil)); err == nil {
+		t.Error("want error for nil view")
+	}
+}
+
+func TestCombinedGrants(t *testing.T) {
+	s := testSequence(t)
+	b, err := NewBundle(
+		WithMeetTime(s, 0, s.Len()),
+		WithFutures(s),
+		WithUnderlying(s.UnderlyingGraph()),
+		WithFullSequence(s),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasMeetTime() || !b.HasFutures() || !b.HasUnderlying() || !b.HasFullSequence() {
+		t.Error("combined bundle missing grants")
+	}
+}
+
+func TestFutureConsistentWithMeetTime(t *testing.T) {
+	// For every node, its first future entry with the sink must agree
+	// with the meetTime oracle.
+	s := testSequence(t)
+	b, err := NewBundle(WithMeetTime(s, 0, s.Len()), WithFutures(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.NodeID(1); u < 4; u++ {
+		f, err := b.FutureOf(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantT, wantOK := -1, false
+		for _, step := range f {
+			if step.With == 0 {
+				wantT, wantOK = step.T, true
+				break
+			}
+		}
+		got, ok, err := b.MeetTime(u, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantOK || (ok && got != wantT) {
+			t.Errorf("node %d: meetTime %d,%v future says %d,%v", u, got, ok, wantT, wantOK)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package offline
+
+// Broadcast machinery. Theorem 8's proof rests on a duality: a
+// convergecast on a window exists iff a broadcast from the sink exists on
+// the reversed window ("by reversing the order of the interactions in
+// the sequence, this implies that a sequence of Θ(n log n) interactions
+// is also sufficient to perform a convergecast"). This file implements
+// forward broadcast (infection) so the duality is directly testable, and
+// because broadcast completion times are what the proofs of Theorem 6
+// and Corollary 1 bound (futures spread by broadcast).
+
+import (
+	"fmt"
+
+	"doda/internal/graph"
+	"doda/internal/seq"
+)
+
+// BroadcastCompletion returns the earliest time at which information
+// originating at source at time `from` has reached all nodes, spreading
+// through interactions (both endpoints leave an interaction knowing
+// everything either knew — the control-information gossip of the model).
+// ok is false if the broadcast does not complete before horizon.
+func BroadcastCompletion(view seq.View, source graph.NodeID, from, horizon int) (int, bool) {
+	n := view.N()
+	if source < 0 || int(source) >= n {
+		return 0, false
+	}
+	if b, finite := view.Bound(); finite && horizon > b {
+		horizon = b
+	}
+	if from < 0 {
+		from = 0
+	}
+	informed := make([]bool, n)
+	informed[source] = true
+	count := 1
+	if count == n {
+		return from, true
+	}
+	for t := from; t < horizon; t++ {
+		it := view.At(t)
+		iu, iv := informed[it.U], informed[it.V]
+		if iu == iv {
+			continue
+		}
+		informed[it.U], informed[it.V] = true, true
+		count++
+		if count == n {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// AllInformedCompletion returns the earliest time at which *every* node
+// knows *every* node's initial information under pairwise gossip — the
+// completion of n simultaneous broadcasts. This is the quantity the
+// future-gossip algorithm's phase 1 waits for (Theorem 6 / Corollary 1).
+func AllInformedCompletion(view seq.View, from, horizon int) (int, bool) {
+	n := view.N()
+	if b, finite := view.Bound(); finite && horizon > b {
+		horizon = b
+	}
+	if from < 0 {
+		from = 0
+	}
+	// know[u] is a bitmask over origins for n <= 64, otherwise a word
+	// slice; keep it simple and exact with word slices.
+	words := (n + 63) / 64
+	know := make([][]uint64, n)
+	full := make([]uint64, words)
+	for u := 0; u < n; u++ {
+		know[u] = make([]uint64, words)
+		know[u][u/64] |= 1 << (uint(u) % 64)
+		full[u/64] |= 1 << (uint(u) % 64)
+	}
+	isFull := func(u int) bool {
+		for w := range full {
+			if know[u][w] != full[w] {
+				return false
+			}
+		}
+		return true
+	}
+	fullCount := 0
+	for u := 0; u < n; u++ {
+		if isFull(u) {
+			fullCount++
+		}
+	}
+	for t := from; t < horizon; t++ {
+		it := view.At(t)
+		u, v := int(it.U), int(it.V)
+		wasU, wasV := isFull(u), isFull(v)
+		for w := 0; w < words; w++ {
+			merged := know[u][w] | know[v][w]
+			know[u][w], know[v][w] = merged, merged
+		}
+		if !wasU && isFull(u) {
+			fullCount++
+		}
+		if !wasV && isFull(v) {
+			fullCount++
+		}
+		if fullCount == n {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// ReverseWindow materialises the interactions of view in [from, end]
+// (inclusive) in reversed order, as a finite sequence. It is the
+// transformation at the heart of Theorem 8's broadcast/convergecast
+// duality.
+func ReverseWindow(view seq.View, from, end int) (*seq.Sequence, error) {
+	if from < 0 {
+		from = 0
+	}
+	if end < from {
+		return nil, fmt.Errorf("offline: empty window [%d,%d]", from, end)
+	}
+	if b, finite := view.Bound(); finite && end >= b {
+		return nil, fmt.Errorf("offline: window end %d beyond bound %d", end, b)
+	}
+	steps := make([]seq.Interaction, 0, end-from+1)
+	for t := end; t >= from; t-- {
+		steps = append(steps, view.At(t))
+	}
+	return seq.NewSequence(view.N(), steps)
+}

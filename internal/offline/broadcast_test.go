@@ -1,0 +1,175 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"doda/internal/graph"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+func TestBroadcastCompletionChain(t *testing.T) {
+	// 0 informs 1 at t=0, 1 informs 2 at t=1.
+	s := mustSeq(t, 3, []seq.Interaction{{U: 0, V: 1}, {U: 1, V: 2}})
+	end, ok := BroadcastCompletion(s, 0, 0, s.Len())
+	if !ok || end != 1 {
+		t.Errorf("BroadcastCompletion = %d,%v", end, ok)
+	}
+}
+
+func TestBroadcastCompletionBlocked(t *testing.T) {
+	// Wrong order: {1,2} then {0,1} spreads from 0 to 1 only.
+	s := mustSeq(t, 3, []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}})
+	if _, ok := BroadcastCompletion(s, 0, 0, s.Len()); ok {
+		t.Error("broadcast should not complete")
+	}
+	// From source 2 the same order works.
+	if end, ok := BroadcastCompletion(s, 2, 0, s.Len()); !ok || end != 1 {
+		t.Errorf("from 2: %d,%v", end, ok)
+	}
+}
+
+func TestBroadcastCompletionFromOffset(t *testing.T) {
+	s := mustSeq(t, 3, []seq.Interaction{
+		{U: 0, V: 1}, {U: 1, V: 2}, // early broadcast
+		{U: 0, V: 2}, {U: 0, V: 1}, // late one: 0->2 at 2, 0->1 at 3
+	})
+	end, ok := BroadcastCompletion(s, 0, 1, s.Len())
+	if !ok || end != 3 {
+		t.Errorf("BroadcastCompletion(from=1) = %d,%v", end, ok)
+	}
+}
+
+func TestBroadcastCompletionBadSource(t *testing.T) {
+	s := mustSeq(t, 3, []seq.Interaction{{U: 0, V: 1}})
+	if _, ok := BroadcastCompletion(s, 9, 0, s.Len()); ok {
+		t.Error("bad source should fail")
+	}
+}
+
+func TestAllInformedCompletion(t *testing.T) {
+	// Forward then backward wave over a path: all informed at t=4.
+	s := mustSeq(t, 4, []seq.Interaction{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3},
+		{U: 1, V: 2}, {U: 0, V: 1},
+	})
+	end, ok := AllInformedCompletion(s, 0, s.Len())
+	if !ok || end != 4 {
+		t.Errorf("AllInformedCompletion = %d,%v", end, ok)
+	}
+}
+
+func TestAllInformedIncomplete(t *testing.T) {
+	s := mustSeq(t, 3, []seq.Interaction{{U: 0, V: 1}})
+	if _, ok := AllInformedCompletion(s, 0, s.Len()); ok {
+		t.Error("gossip cannot complete without node 2")
+	}
+}
+
+func TestAllInformedLargeN(t *testing.T) {
+	// Exercise the multi-word bitmask path (n > 64).
+	src := rng.New(77)
+	n := 70
+	s, err := seq.Uniform(n, 40*n, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AllInformedCompletion(s, 0, s.Len()); !ok {
+		t.Error("gossip should complete on a long uniform sequence")
+	}
+}
+
+func TestReverseWindow(t *testing.T) {
+	s := mustSeq(t, 3, []seq.Interaction{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	rev, err := ReverseWindow(s, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []seq.Interaction{{U: 0, V: 2}, {U: 1, V: 2}, {U: 0, V: 1}}
+	for i := range want {
+		if rev.At(i) != want[i] {
+			t.Fatalf("rev = %v %v %v", rev.At(0), rev.At(1), rev.At(2))
+		}
+	}
+	if _, err := ReverseWindow(s, 2, 1); err == nil {
+		t.Error("empty window should fail")
+	}
+	if _, err := ReverseWindow(s, 0, 5); err == nil {
+		t.Error("window beyond bound should fail")
+	}
+}
+
+func TestTheorem8Duality(t *testing.T) {
+	// The heart of Theorem 8's proof: a convergecast to s on I[a..b]
+	// exists iff a broadcast from s completes on the reversed window.
+	src := rng.New(88)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + src.Intn(6)
+		s, err := seq.Uniform(n, 30*n, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := graph.NodeID(src.Intn(n))
+		from := src.Intn(10)
+		end := from + src.Intn(s.Len()-from-1)
+		covers := Covers(s, sink, from, end)
+		rev, err := ReverseWindow(s, from, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, broadcastOK := BroadcastCompletion(rev, sink, 0, rev.Len())
+		if covers != broadcastOK {
+			t.Fatalf("duality broken: n=%d window [%d,%d] covers=%v broadcast=%v",
+				n, from, end, covers, broadcastOK)
+		}
+	}
+}
+
+func TestQuickBroadcastMonotoneInWindow(t *testing.T) {
+	// If a broadcast completes by horizon h it completes for any h' > h.
+	f := func(seedRaw uint64) bool {
+		src := rng.New(seedRaw)
+		n := 3 + src.Intn(5)
+		s, err := seq.Uniform(n, 50*n, src)
+		if err != nil {
+			return false
+		}
+		end, ok := BroadcastCompletion(s, 0, 0, s.Len())
+		if !ok {
+			return true
+		}
+		end2, ok2 := BroadcastCompletion(s, 0, 0, end+1)
+		return ok2 && end2 == end
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAllInformedAfterEveryBroadcast(t *testing.T) {
+	// All-informed completion is at least every single-source broadcast
+	// completion.
+	f := func(seedRaw uint64) bool {
+		src := rng.New(seedRaw)
+		n := 3 + src.Intn(5)
+		s, err := seq.Uniform(n, 60*n, src)
+		if err != nil {
+			return false
+		}
+		all, ok := AllInformedCompletion(s, 0, s.Len())
+		if !ok {
+			return true
+		}
+		for u := 0; u < n; u++ {
+			single, ok := BroadcastCompletion(s, graph.NodeID(u), 0, s.Len())
+			if !ok || single > all {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

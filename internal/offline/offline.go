@@ -1,0 +1,282 @@
+// Package offline computes optimal offline convergecasts on interaction
+// sequences, the successive-convergecast clock T(i), and the paper's cost
+// function (§2.3):
+//
+//	T(1)   = opt(0)
+//	T(i+1) = opt(T(i) + 1)
+//	cost_A(I) = min{ i | duration(A, I) <= T(i) }
+//
+// where opt(t) is the completion time of a minimum-duration data
+// aggregation schedule (a "convergecast") started at time t.
+//
+// The core primitive is the reverse-broadcast argument used in the proof
+// of Theorem 8: a convergecast exists on the window I[from..end] iff a
+// broadcast from the sink exists on the reversed window, i.e. iff the
+// backward infection process started at the sink at time end reaches all
+// nodes. Backward infection also yields the schedule itself: when node u
+// is infected at time t through interaction {u, v} (v already infected),
+// u sends at t to v, and v's own send happens strictly later — so every
+// node transmits exactly once and data flows to the sink.
+package offline
+
+import (
+	"fmt"
+
+	"doda/internal/graph"
+	"doda/internal/seq"
+)
+
+// Schedule is an optimal offline convergecast plan: for every non-sink
+// node, the time at which it transmits and the receiver of its datum.
+type Schedule struct {
+	Sink graph.NodeID
+	// Start is the first time index the schedule was allowed to use.
+	Start int
+	// End is the completion time: the largest send time.
+	End int
+	// SendTime[u] is when node u transmits (-1 for the sink).
+	SendTime []int
+	// Receiver[u] is who receives u's datum (-1 for the sink).
+	Receiver []graph.NodeID
+}
+
+// Covers reports whether a convergecast to sink exists within the window
+// I[from..end] (inclusive bounds), by running the backward infection
+// process. It returns the infection order size; full coverage means a
+// schedule exists.
+func Covers(view seq.View, sink graph.NodeID, from, end int) bool {
+	n := view.N()
+	infected := make([]bool, n)
+	infected[sink] = true
+	count := 1
+	for t := end; t >= from; t-- {
+		it := view.At(t)
+		iu, iv := infected[it.U], infected[it.V]
+		if iu == iv {
+			continue
+		}
+		if iu {
+			infected[it.V] = true
+		} else {
+			infected[it.U] = true
+		}
+		count++
+		if count == n {
+			return true
+		}
+	}
+	return count == n
+}
+
+// Opt returns the completion time opt(from) of an optimal convergecast
+// starting at time from, searching window ends up to horizon (exclusive).
+// ok is false when no convergecast completes before the horizon — the
+// paper's opt(t) = ∞ case.
+func Opt(view seq.View, sink graph.NodeID, from, horizon int) (end int, ok bool) {
+	s, err := Plan(view, sink, from, horizon)
+	if err != nil {
+		return 0, false
+	}
+	return s.End, true
+}
+
+// ErrNoConvergecast reports that no convergecast completes within the
+// allowed horizon.
+type ErrNoConvergecast struct {
+	From, Horizon int
+}
+
+func (e *ErrNoConvergecast) Error() string {
+	return fmt.Sprintf("offline: no convergecast in window [%d,%d)", e.From, e.Horizon)
+}
+
+// Plan computes an optimal (minimum completion time) convergecast
+// schedule starting at time from, considering interactions strictly
+// before horizon. The search uses galloping followed by binary search on
+// the monotone predicate Covers(from, end).
+func Plan(view seq.View, sink graph.NodeID, from, horizon int) (*Schedule, error) {
+	n := view.N()
+	if sink < 0 || int(sink) >= n {
+		return nil, fmt.Errorf("offline: sink %d out of range [0,%d)", sink, n)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if b, finite := view.Bound(); finite && horizon > b {
+		horizon = b
+	}
+	// A convergecast needs at least n-1 transmissions, hence n-1
+	// interactions: the earliest possible end is from + n - 2.
+	lo := from + n - 2
+	if lo < from {
+		lo = from
+	}
+	if lo >= horizon {
+		return nil, &ErrNoConvergecast{From: from, Horizon: horizon}
+	}
+	// Gallop for an upper bound end with coverage.
+	hi := lo
+	step := n
+	for !Covers(view, sink, from, hi) {
+		if hi == horizon-1 {
+			return nil, &ErrNoConvergecast{From: from, Horizon: horizon}
+		}
+		hi += step
+		step *= 2
+		if hi > horizon-1 {
+			hi = horizon - 1
+		}
+	}
+	// Binary search the minimal covering end in [lo, hi].
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if Covers(view, sink, from, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return extract(view, sink, from, lo), nil
+}
+
+// extract replays the backward infection at the minimal end and records
+// the schedule. At the minimal end the last infection happens exactly at
+// `end` (otherwise a smaller window would cover), so End == end.
+func extract(view seq.View, sink graph.NodeID, from, end int) *Schedule {
+	n := view.N()
+	s := &Schedule{
+		Sink:     sink,
+		Start:    from,
+		End:      end,
+		SendTime: make([]int, n),
+		Receiver: make([]graph.NodeID, n),
+	}
+	for u := range s.SendTime {
+		s.SendTime[u] = -1
+		s.Receiver[u] = -1
+	}
+	infected := make([]bool, n)
+	infected[sink] = true
+	count := 1
+	for t := end; t >= from && count < n; t-- {
+		it := view.At(t)
+		iu, iv := infected[it.U], infected[it.V]
+		if iu == iv {
+			continue
+		}
+		var sender, receiver graph.NodeID
+		if iu {
+			sender, receiver = it.V, it.U
+		} else {
+			sender, receiver = it.U, it.V
+		}
+		infected[sender] = true
+		s.SendTime[sender] = t
+		s.Receiver[sender] = receiver
+		count++
+	}
+	return s
+}
+
+// Validate checks that the schedule is a correct convergecast: every
+// non-sink node sends exactly once, through an interaction that really
+// occurs at its send time, to a receiver that transmits strictly later
+// (or is the sink), with the completion time consistent.
+func (s *Schedule) Validate(view seq.View) error {
+	n := view.N()
+	if len(s.SendTime) != n || len(s.Receiver) != n {
+		return fmt.Errorf("offline: schedule sized for %d nodes, view has %d", len(s.SendTime), n)
+	}
+	maxSend := -1
+	for u := 0; u < n; u++ {
+		uid := graph.NodeID(u)
+		if uid == s.Sink {
+			if s.SendTime[u] != -1 {
+				return fmt.Errorf("offline: sink %d has a send time", u)
+			}
+			continue
+		}
+		t := s.SendTime[u]
+		if t < s.Start {
+			return fmt.Errorf("offline: node %d sends at %d before start %d", u, t, s.Start)
+		}
+		it := view.At(t)
+		recv := s.Receiver[u]
+		if !it.Involves(uid) || !it.Involves(recv) {
+			return fmt.Errorf("offline: node %d's send at %d does not match interaction %v", u, t, it)
+		}
+		if recv != s.Sink && s.SendTime[recv] <= t {
+			return fmt.Errorf("offline: receiver %d of node %d sends at %d, not after %d",
+				recv, u, s.SendTime[recv], t)
+		}
+		if t > maxSend {
+			maxSend = t
+		}
+	}
+	if maxSend != s.End {
+		return fmt.Errorf("offline: End = %d but last send is %d", s.End, maxSend)
+	}
+	return nil
+}
+
+// Clock iterates the successive-convergecast times T(1), T(2), ... over a
+// view, lazily: T(1) = opt(0), T(i+1) = opt(T(i)+1).
+type Clock struct {
+	view    seq.View
+	sink    graph.NodeID
+	horizon int
+	ts      []int // ts[i-1] = T(i)
+	dead    bool  // no further convergecast fits in the horizon
+}
+
+// NewClock returns a Clock over view with the given search horizon.
+func NewClock(view seq.View, sink graph.NodeID, horizon int) (*Clock, error) {
+	if sink < 0 || int(sink) >= view.N() {
+		return nil, fmt.Errorf("offline: sink %d out of range [0,%d)", sink, view.N())
+	}
+	return &Clock{view: view, sink: sink, horizon: horizon}, nil
+}
+
+// T returns T(i) for i >= 1 and whether it is finite within the horizon.
+func (c *Clock) T(i int) (int, bool) {
+	if i < 1 {
+		return 0, false
+	}
+	for len(c.ts) < i && !c.dead {
+		from := 0
+		if len(c.ts) > 0 {
+			from = c.ts[len(c.ts)-1] + 1
+		}
+		end, ok := Opt(c.view, c.sink, from, c.horizon)
+		if !ok {
+			c.dead = true
+			break
+		}
+		c.ts = append(c.ts, end)
+	}
+	if i <= len(c.ts) {
+		return c.ts[i-1], true
+	}
+	return 0, false
+}
+
+// Computed returns how many successive convergecasts have been computed.
+func (c *Clock) Computed() int { return len(c.ts) }
+
+// Cost returns cost_A(I) = min{ i | duration <= T(i) } for an algorithm
+// that terminated at the given duration (the time index of its last
+// transmission). ok is false when the cost is infinite within the
+// horizon: every computable T(i) is smaller than duration. A duration of
+// -1 (terminated with no transmissions needed, n == 1 edge cases) has
+// cost 1 when T(1) exists.
+func (c *Clock) Cost(duration int) (int, bool) {
+	for i := 1; ; i++ {
+		ti, ok := c.T(i)
+		if !ok {
+			return 0, false
+		}
+		if duration <= ti {
+			return i, true
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package offline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"doda/internal/graph"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+func mustSeq(t *testing.T, n int, steps []seq.Interaction) *seq.Sequence {
+	t.Helper()
+	s, err := seq.NewSequence(n, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCoversSimpleChain(t *testing.T) {
+	// 2 -> 1 at t=0, 1 -> 0 at t=1: convergecast to sink 0 within [0,1].
+	s := mustSeq(t, 3, []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}})
+	if !Covers(s, 0, 0, 1) {
+		t.Error("chain should cover")
+	}
+	// Window [0,0] is too small.
+	if Covers(s, 0, 0, 0) {
+		t.Error("single interaction cannot aggregate 3 nodes")
+	}
+}
+
+func TestCoversWrongOrder(t *testing.T) {
+	// {0,1} then {1,2}: node 2 can reach the sink only via 1, but 1's
+	// send must happen after 2's — impossible here.
+	s := mustSeq(t, 3, []seq.Interaction{{U: 0, V: 1}, {U: 1, V: 2}})
+	if Covers(s, 0, 0, 1) {
+		t.Error("reversed chain must not cover")
+	}
+}
+
+func TestPlanMinimalEnd(t *testing.T) {
+	// The chain completes at t=1 even though more interactions follow.
+	s := mustSeq(t, 3, []seq.Interaction{
+		{U: 1, V: 2}, {U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 1},
+	})
+	plan, err := Plan(s, 0, 0, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.End != 1 {
+		t.Errorf("End = %d, want 1", plan.End)
+	}
+	if err := plan.Validate(s); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if plan.SendTime[0] != -1 || plan.Receiver[0] != -1 {
+		t.Error("sink should not send")
+	}
+	if plan.SendTime[2] != 0 || plan.Receiver[2] != 1 {
+		t.Errorf("node 2 schedule = %d -> %d", plan.SendTime[2], plan.Receiver[2])
+	}
+	if plan.SendTime[1] != 1 || plan.Receiver[1] != 0 {
+		t.Errorf("node 1 schedule = %d -> %d", plan.SendTime[1], plan.Receiver[1])
+	}
+}
+
+func TestPlanRespectsFrom(t *testing.T) {
+	// Starting at t=1 skips the early chain; the only completion uses
+	// the later interactions.
+	s := mustSeq(t, 3, []seq.Interaction{
+		{U: 1, V: 2}, {U: 0, V: 1}, // early convergecast
+		{U: 1, V: 2}, {U: 0, V: 2}, // later one: 1->2 at 2, 2->0 at 3
+	})
+	plan, err := Plan(s, 0, 1, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.End != 3 {
+		t.Errorf("End = %d, want 3", plan.End)
+	}
+	if err := plan.Validate(s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanNoConvergecast(t *testing.T) {
+	// Node 2 never interacts: impossible.
+	s := mustSeq(t, 3, []seq.Interaction{{U: 0, V: 1}, {U: 0, V: 1}})
+	_, err := Plan(s, 0, 0, s.Len())
+	var noCC *ErrNoConvergecast
+	if !errors.As(err, &noCC) {
+		t.Fatalf("err = %v, want ErrNoConvergecast", err)
+	}
+	if _, ok := Opt(s, 0, 0, s.Len()); ok {
+		t.Error("Opt should report no convergecast")
+	}
+}
+
+func TestPlanBadSink(t *testing.T) {
+	s := mustSeq(t, 3, []seq.Interaction{{U: 0, V: 1}})
+	if _, err := Plan(s, 9, 0, s.Len()); err == nil {
+		t.Error("want error for out-of-range sink")
+	}
+}
+
+func TestPlanFromBeyondEnd(t *testing.T) {
+	s := mustSeq(t, 3, []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}})
+	if _, err := Plan(s, 0, 10, s.Len()); err == nil {
+		t.Error("want error when window is empty")
+	}
+}
+
+func TestPlanNegativeFromClamped(t *testing.T) {
+	s := mustSeq(t, 3, []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}})
+	plan, err := Plan(s, 0, -5, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.End != 1 {
+		t.Errorf("End = %d", plan.End)
+	}
+}
+
+func TestOptOnStarSequence(t *testing.T) {
+	// Star: every node meets the sink once, in order 1..4. Completion is
+	// the last interaction.
+	steps := []seq.Interaction{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+	}
+	s := mustSeq(t, 5, steps)
+	end, ok := Opt(s, 0, 0, s.Len())
+	if !ok || end != 3 {
+		t.Errorf("Opt = %d,%v want 3,true", end, ok)
+	}
+}
+
+func TestClockSuccessiveConvergecasts(t *testing.T) {
+	// Two disjoint back-to-back convergecasts on 3 nodes.
+	unit := []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}}
+	s := mustSeq(t, 3, append(append([]seq.Interaction{}, unit...), unit...))
+	c, err := NewClock(s, 0, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, ok := c.T(1)
+	if !ok || t1 != 1 {
+		t.Errorf("T(1) = %d,%v", t1, ok)
+	}
+	t2, ok := c.T(2)
+	if !ok || t2 != 3 {
+		t.Errorf("T(2) = %d,%v", t2, ok)
+	}
+	if _, ok := c.T(3); ok {
+		t.Error("T(3) should be infinite")
+	}
+	if c.Computed() != 2 {
+		t.Errorf("Computed = %d", c.Computed())
+	}
+	if _, ok := c.T(0); ok {
+		t.Error("T(0) is undefined")
+	}
+}
+
+func TestClockCost(t *testing.T) {
+	unit := []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}}
+	s := mustSeq(t, 3, append(append([]seq.Interaction{}, unit...), unit...))
+	c, err := NewClock(s, 0, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		duration int
+		want     int
+		wantOK   bool
+	}{
+		{duration: 0, want: 1, wantOK: true},
+		{duration: 1, want: 1, wantOK: true}, // optimal
+		{duration: 2, want: 2, wantOK: true},
+		{duration: 3, want: 2, wantOK: true},
+		{duration: 4, wantOK: false}, // beyond T(2): infinite cost
+	}
+	for _, tt := range tests {
+		got, ok := c.Cost(tt.duration)
+		if ok != tt.wantOK || (ok && got != tt.want) {
+			t.Errorf("Cost(%d) = %d,%v want %d,%v", tt.duration, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestClockBadSink(t *testing.T) {
+	s := mustSeq(t, 3, []seq.Interaction{{U: 0, V: 1}})
+	if _, err := NewClock(s, -1, s.Len()); err == nil {
+		t.Error("want error for bad sink")
+	}
+}
+
+func TestOptOnUniformMatchesBruteForce(t *testing.T) {
+	// Brute-force reference: try all window ends increasing.
+	src := rng.New(101)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + src.Intn(4)
+		s, err := seq.Uniform(n, 120, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from := src.Intn(20)
+		got, gotOK := Opt(s, 0, from, s.Len())
+		wantOK := false
+		want := 0
+		for end := from; end < s.Len(); end++ {
+			if Covers(s, 0, from, end) {
+				want, wantOK = end, true
+				break
+			}
+		}
+		if gotOK != wantOK || (gotOK && got != want) {
+			t.Fatalf("trial %d: Opt(from=%d) = %d,%v want %d,%v", trial, from, got, gotOK, want, wantOK)
+		}
+	}
+}
+
+func TestQuickPlanValidates(t *testing.T) {
+	f := func(seedRaw uint64) bool {
+		src := rng.New(seedRaw)
+		n := 3 + src.Intn(6)
+		s, err := seq.Uniform(n, 40*n, src)
+		if err != nil {
+			return false
+		}
+		sink := graph.NodeID(src.Intn(n))
+		from := src.Intn(n)
+		plan, err := Plan(s, sink, from, s.Len())
+		if err != nil {
+			// Rare but possible on short sequences; not a failure of the
+			// planner itself.
+			var noCC *ErrNoConvergecast
+			return errors.As(err, &noCC)
+		}
+		return plan.Validate(s) == nil
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOptMonotoneInFrom(t *testing.T) {
+	// Starting later can never finish earlier.
+	f := func(seedRaw uint64) bool {
+		src := rng.New(seedRaw)
+		n := 3 + src.Intn(4)
+		s, err := seq.Uniform(n, 60*n, src)
+		if err != nil {
+			return false
+		}
+		e1, ok1 := Opt(s, 0, 0, s.Len())
+		e2, ok2 := Opt(s, 0, 5, s.Len())
+		if !ok1 || !ok2 {
+			return true // nothing to compare
+		}
+		return e2 >= e1
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

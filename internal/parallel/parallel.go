@@ -1,0 +1,67 @@
+// Package parallel provides a small deterministic fan-out helper: run one
+// function per item on a bounded worker pool and collect results in input
+// order. Used by dodabench to run independent experiments concurrently —
+// safe because every experiment derives its randomness from its own seed,
+// so concurrency cannot change any reported number.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Map runs f(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in input order. The first error (by input order) is
+// returned alongside the partial results; panics in f are converted to
+// errors rather than crashing the process.
+func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parallel: negative item count %d", n)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, nil
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = safeCall(f, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("parallel: item %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// safeCall invokes f(i), converting panics into errors so one faulty item
+// cannot take down the pool.
+func safeCall[T any](f func(i int) (T, error), i int) (result T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return f(i)
+}

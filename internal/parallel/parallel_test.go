@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrdered(t *testing.T) {
+	got, err := Map(10, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapNegative(t *testing.T) {
+	if _, err := Map(-1, 4, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestMapSingleWorkerFallback(t *testing.T) {
+	got, err := Map(5, 0, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMapFirstErrorByInputOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := Map(10, 4, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errB
+		case 3:
+			return 0, errA
+		default:
+			return i, nil
+		}
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("err = %v, want first-by-order %v", err, errA)
+	}
+}
+
+func TestMapPanicConverted(t *testing.T) {
+	_, err := Map(4, 2, func(i int) (int, error) {
+		if i == 2 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	var active, peak atomic.Int32
+	_, err := Map(64, 3, func(i int) (int, error) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer active.Add(-1)
+		// Busy-wait briefly so workers overlap.
+		for j := 0; j < 1000; j++ {
+			_ = j
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds worker bound 3", p)
+	}
+}
+
+func TestQuickMapIdentity(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw % 64)
+		w := int(wRaw%8) + 1
+		got, err := Map(n, w, func(i int) (int, error) { return i, nil })
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,406 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"doda/internal/graph"
+	"doda/internal/rng"
+)
+
+func TestNewInteractionCanonical(t *testing.T) {
+	i, err := NewInteraction(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.U != 1 || i.V != 4 {
+		t.Errorf("interaction = %v", i)
+	}
+	if _, err := NewInteraction(2, 2); err == nil {
+		t.Error("want error for self-interaction")
+	}
+}
+
+func TestInteractionOtherInvolves(t *testing.T) {
+	i := MustInteraction(2, 7)
+	if !i.Involves(2) || !i.Involves(7) || i.Involves(3) {
+		t.Error("Involves wrong")
+	}
+	if w, ok := i.Other(2); !ok || w != 7 {
+		t.Errorf("Other(2) = %d,%v", w, ok)
+	}
+	if _, ok := i.Other(9); ok {
+		t.Error("Other(9) should fail")
+	}
+	if i.String() != "{2,7}" {
+		t.Errorf("String = %q", i.String())
+	}
+}
+
+func TestNewSequenceValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		steps   []Interaction
+		wantErr bool
+	}{
+		{name: "ok", n: 3, steps: []Interaction{{0, 1}, {1, 2}}},
+		{name: "canonicalises", n: 3, steps: []Interaction{{2, 1}}},
+		{name: "too few nodes", n: 1, wantErr: true},
+		{name: "self pair", n: 3, steps: []Interaction{{1, 1}}, wantErr: true},
+		{name: "out of range", n: 3, steps: []Interaction{{0, 3}}, wantErr: true},
+		{name: "negative", n: 3, steps: []Interaction{{-1, 2}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := NewSequence(tt.n, tt.steps)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Len() != len(tt.steps) {
+				t.Errorf("Len = %d", s.Len())
+			}
+			for i := 0; i < s.Len(); i++ {
+				it := s.At(i)
+				if it.U >= it.V {
+					t.Errorf("step %d not canonical: %v", i, it)
+				}
+			}
+		})
+	}
+}
+
+func TestSequenceDoesNotAliasInput(t *testing.T) {
+	steps := []Interaction{{0, 1}}
+	s, err := NewSequence(2, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps[0] = Interaction{1, 0}
+	if s.At(0) != (Interaction{0, 1}) {
+		t.Error("sequence aliased caller slice")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s, _ := NewSequence(4, []Interaction{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	sub := s.Slice(1, 3)
+	if sub.Len() != 2 || sub.At(0) != (Interaction{1, 2}) || sub.At(1) != (Interaction{2, 3}) {
+		t.Errorf("Slice = %v %v", sub.At(0), sub.At(1))
+	}
+	if s.Slice(-5, 100).Len() != 4 {
+		t.Error("clamping failed")
+	}
+	if s.Slice(3, 1).Len() != 0 {
+		t.Error("inverted range should be empty")
+	}
+}
+
+func TestConcatRepeat(t *testing.T) {
+	a, _ := NewSequence(3, []Interaction{{0, 1}})
+	b, _ := NewSequence(3, []Interaction{{1, 2}})
+	c, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.At(1) != (Interaction{1, 2}) {
+		t.Errorf("Concat wrong")
+	}
+	r := a.Repeat(3)
+	if r.Len() != 3 {
+		t.Errorf("Repeat len = %d", r.Len())
+	}
+	if a.Repeat(-1).Len() != 0 {
+		t.Error("Repeat(-1) should be empty")
+	}
+	d, _ := NewSequence(4, []Interaction{{0, 1}})
+	if _, err := a.Concat(d); err == nil {
+		t.Error("want error for node count mismatch")
+	}
+}
+
+func TestUnderlyingGraph(t *testing.T) {
+	s, _ := NewSequence(4, []Interaction{{0, 1}, {1, 2}, {0, 1}, {2, 3}})
+	g := s.UnderlyingGraph()
+	if g.M() != 3 {
+		t.Errorf("M = %d, want 3 (duplicates collapse)", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(2, 3) {
+		t.Error("missing edges")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("phantom edge")
+	}
+}
+
+func TestFutureOf(t *testing.T) {
+	s, _ := NewSequence(4, []Interaction{{0, 1}, {1, 2}, {2, 3}, {1, 3}})
+	f := s.FutureOf(1)
+	want := []TimedStep{{T: 0, With: 0}, {T: 1, With: 2}, {T: 3, With: 3}}
+	if len(f) != len(want) {
+		t.Fatalf("FutureOf(1) = %v", f)
+	}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("FutureOf(1) = %v, want %v", f, want)
+		}
+	}
+	if got := s.FutureOf(0); len(got) != 1 {
+		t.Errorf("FutureOf(0) = %v", got)
+	}
+}
+
+func TestStreamLazyMaterialisation(t *testing.T) {
+	calls := 0
+	st, err := NewStream(3, func(t int) Interaction {
+		calls++
+		return Interaction{U: 0, V: graph.NodeID(1 + t%2)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaterializedLen() != 0 {
+		t.Error("stream materialised eagerly")
+	}
+	it := st.At(4)
+	if calls != 5 {
+		t.Errorf("generator called %d times, want 5", calls)
+	}
+	if it != (Interaction{0, 1}) {
+		t.Errorf("At(4) = %v", it)
+	}
+	// Re-reading must not call the generator again.
+	_ = st.At(2)
+	if calls != 5 {
+		t.Errorf("generator re-invoked: %d calls", calls)
+	}
+	if _, finite := st.Bound(); finite {
+		t.Error("stream should report unbounded")
+	}
+}
+
+func TestStreamCanonicalisesGeneratorOutput(t *testing.T) {
+	st, _ := NewStream(3, func(t int) Interaction { return Interaction{U: 2, V: 0} })
+	if got := st.At(0); got != (Interaction{0, 2}) {
+		t.Errorf("At(0) = %v, want canonical {0,2}", got)
+	}
+}
+
+func TestStreamPrefix(t *testing.T) {
+	src := rng.New(3)
+	st, _ := NewStream(5, UniformGen(5, src))
+	p := st.Prefix(10)
+	if p.Len() != 10 {
+		t.Fatalf("Prefix len = %d", p.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if p.At(i) != st.At(i) {
+			t.Fatalf("prefix diverges at %d", i)
+		}
+	}
+	if st.Prefix(0).Len() != 0 || st.Prefix(-1).Len() != 0 {
+		t.Error("empty prefixes wrong")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if _, err := NewStream(1, func(int) Interaction { return Interaction{} }); err == nil {
+		t.Error("want error for n < 2")
+	}
+	if _, err := NewStream(3, nil); err == nil {
+		t.Error("want error for nil generator")
+	}
+}
+
+func TestUniformProperties(t *testing.T) {
+	src := rng.New(7)
+	s, err := Uniform(6, 5000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	counts := make(map[Interaction]int)
+	for i := 0; i < s.Len(); i++ {
+		it := s.At(i)
+		if it.U >= it.V || it.U < 0 || int(it.V) >= 6 {
+			t.Fatalf("invalid interaction %v", it)
+		}
+		counts[it]++
+	}
+	if len(counts) != 15 { // C(6,2)
+		t.Errorf("saw %d distinct pairs, want 15", len(counts))
+	}
+	for it, c := range counts {
+		if c < 200 || c > 470 { // mean ~333, generous band
+			t.Errorf("pair %v count %d is far from uniform", it, c)
+		}
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := Uniform(1, 10, src); err == nil {
+		t.Error("want error for n < 2")
+	}
+	if _, err := Uniform(3, -1, src); err == nil {
+		t.Error("want error for negative length")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	edges := []graph.Edge{graph.MustEdge(0, 1), graph.MustEdge(1, 2)}
+	s, err := RoundRobin(3, edges, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for t2 := 0; t2 < 6; t2++ {
+		want := Interaction{U: edges[t2%2].U, V: edges[t2%2].V}
+		if s.At(t2) != want {
+			t.Fatalf("At(%d) = %v, want %v", t2, s.At(t2), want)
+		}
+	}
+	if _, err := RoundRobin(3, nil, 2); err == nil {
+		t.Error("want error for no edges")
+	}
+}
+
+func TestMeetTimesBasics(t *testing.T) {
+	// Sink = 0. Meetings of node 2 with sink at t=1 and t=4.
+	s, _ := NewSequence(3, []Interaction{
+		{1, 2}, {0, 2}, {1, 2}, {0, 1}, {0, 2},
+	})
+	mt, err := NewMeetTimes(s, 0, s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		u      graph.NodeID
+		after  int
+		want   int
+		wantOK bool
+	}{
+		{u: 2, after: -1, want: 1, wantOK: true},
+		{u: 2, after: 0, want: 1, wantOK: true},
+		{u: 2, after: 1, want: 4, wantOK: true},
+		{u: 2, after: 4, wantOK: false},
+		{u: 1, after: 0, want: 3, wantOK: true},
+		{u: 1, after: 3, wantOK: false},
+		{u: 0, after: 7, want: 7, wantOK: true}, // sink: identity
+	}
+	for _, tt := range tests {
+		got, ok := mt.Next(tt.u, tt.after)
+		if ok != tt.wantOK || (ok && got != tt.want) {
+			t.Errorf("Next(%d,%d) = %d,%v want %d,%v", tt.u, tt.after, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestMeetTimesHorizonCap(t *testing.T) {
+	// An unbounded stream that never brings node 2 to the sink.
+	st, _ := NewStream(3, func(int) Interaction { return Interaction{0, 1} })
+	mt, err := NewMeetTimes(st, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mt.Next(2, 0); ok {
+		t.Error("meeting reported beyond horizon")
+	}
+	if mt.Scanned() != 500 {
+		t.Errorf("Scanned = %d, want horizon 500", mt.Scanned())
+	}
+	// Node 1 meets the sink constantly.
+	if got, ok := mt.Next(1, 10); !ok || got != 11 {
+		t.Errorf("Next(1,10) = %d,%v", got, ok)
+	}
+}
+
+func TestMeetTimesValidation(t *testing.T) {
+	s, _ := NewSequence(3, nil)
+	if _, err := NewMeetTimes(s, 5, 10); err == nil {
+		t.Error("want error for out-of-range sink")
+	}
+	if _, err := NewMeetTimes(s, 0, -1); err == nil {
+		t.Error("want error for negative horizon")
+	}
+}
+
+func TestMeetTimesOutOfRangeNode(t *testing.T) {
+	s, _ := NewSequence(3, []Interaction{{0, 1}})
+	mt, _ := NewMeetTimes(s, 0, s.Len())
+	if _, ok := mt.Next(9, 0); ok {
+		t.Error("out-of-range node should have no meetings")
+	}
+}
+
+func TestQuickMeetTimesAgainstLinearScan(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(5)
+		s, err := Uniform(n, 300, src)
+		if err != nil {
+			return false
+		}
+		mt, err := NewMeetTimes(s, 0, s.Len())
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 30; trial++ {
+			u := graph.NodeID(src.Intn(n))
+			after := src.Intn(300) - 5
+			got, ok := mt.Next(u, after)
+			// Reference: linear scan.
+			wantOK := false
+			want := 0
+			if u == 0 {
+				want, wantOK = after, true
+			} else {
+				for t2 := max(after+1, 0); t2 < s.Len(); t2++ {
+					it := s.At(t2)
+					if it.Involves(u) && it.Involves(0) {
+						want, wantOK = t2, true
+						break
+					}
+				}
+			}
+			if ok != wantOK || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUniformCanonical(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		s, err := Uniform(n, 64, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			it := s.At(i)
+			if !(0 <= it.U && it.U < it.V && int(it.V) < n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

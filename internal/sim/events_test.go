@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"doda/internal/adversary"
+	"doda/internal/algorithms"
+	"doda/internal/core"
+	"doda/internal/knowledge"
+	"doda/internal/seq"
+	"doda/internal/trace"
+)
+
+func TestRuntimeEventsMatchEngine(t *testing.T) {
+	// Tracing the concurrent runtime must produce the exact same event
+	// stream as tracing the sequential engine on the same workload.
+	const n = 10
+	const seed = 99
+
+	engRec := trace.NewRecorder()
+	advA, _, err := adversary.Randomized(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engRes, err := core.RunOnce(core.Config{
+		N: n, MaxInteractions: 100000, Events: engRec,
+	}, algorithms.NewGathering(), advA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simRec := trace.NewRecorder()
+	advB, _, err := adversary.Randomized(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(Config{N: n, MaxInteractions: 100000, Events: simRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := rt.Run(algorithms.NewGathering(), advB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if engRes.Duration != simRes.Duration {
+		t.Fatalf("durations differ: %d vs %d", engRes.Duration, simRes.Duration)
+	}
+	if len(engRec.Records) != len(simRec.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(engRec.Records), len(simRec.Records))
+	}
+	for i := range engRec.Records {
+		if engRec.Records[i] != simRec.Records[i] {
+			t.Fatalf("record %d differs:\nengine %+v\nsim    %+v",
+				i, engRec.Records[i], simRec.Records[i])
+		}
+	}
+	if simRec.Result == nil || simRec.Result.Terminated != simRes.Terminated {
+		t.Error("sim summary missing or inconsistent")
+	}
+	if err := simRec.Verify(n, 0); err != nil {
+		t.Errorf("sim trace verification: %v", err)
+	}
+}
+
+func TestRuntimeEventsWithWaitingGreedy(t *testing.T) {
+	const n = 12
+	rec := trace.NewRecorder()
+	adv, stream, err := adversary.Randomized(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := 50 * n * n
+	know, err := knowledge.NewBundle(knowledge.WithMeetTime(stream, 0, cap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(Config{N: n, MaxInteractions: cap, Know: know, Events: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(algorithms.WaitingGreedy{Tau: algorithms.TauStar(n)}, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatalf("res = %+v", res)
+	}
+	declined := 0
+	for _, r := range rec.Records {
+		if r.BothOwned && r.Sender < 0 {
+			declined++
+		}
+	}
+	if declined != res.Declined {
+		t.Errorf("trace says %d declined, result says %d", declined, res.Declined)
+	}
+}
+
+func TestRuntimeEventsSequenceReconstruction(t *testing.T) {
+	rec := trace.NewRecorder()
+	s, err := seq.NewSequence(3, []seq.Interaction{{U: 1, V: 2}, {U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := adversary.NewOblivious("seq", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(Config{N: 3, MaxInteractions: 10, Events: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(algorithms.NewGathering(), adv); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rec.Sequence(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < back.Len(); i++ {
+		if back.At(i) != s.At(i) {
+			t.Fatalf("reconstructed sequence differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package sim is the concurrent, message-passing realisation of the DODA
+// model: every node runs as its own goroutine with a mailbox, and a
+// scheduler goroutine plays the adversary. When two nodes interact, the
+// scheduler notifies both; they rendezvous directly with each other,
+// exchange control information (the paper's "nodes can exchange control
+// information before deciding whether they transmit"), agree on the
+// transfer decision, move the datum in a message, and acknowledge the
+// scheduler.
+//
+// Interactions are atomic and totally ordered in the model (a sequence of
+// single-edge graphs), so the scheduler waits for each interaction's
+// acknowledgement before emitting the next one; the node-local protocol
+// within an interaction, however, is genuinely concurrent message
+// passing. The runtime produces results identical to core.Engine — the
+// equivalence is tested — which justifies using the fast sequential
+// engine as the measurement instrument in benchmarks.
+//
+// Every goroutine has a managed lifetime: Run tears the whole system down
+// (stop channel + WaitGroup) before returning, on every path.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"doda/internal/agg"
+	"doda/internal/core"
+	"doda/internal/graph"
+	"doda/internal/knowledge"
+	"doda/internal/seq"
+)
+
+// meetMsg tells a node it is interacting at time t.
+type meetMsg struct {
+	t  int
+	it seq.Interaction
+	// lead is true for the node that runs the decision (the canonical
+	// first endpoint). The follower sends its control info to the leader
+	// over info and receives the outcome over outcome.
+	lead    bool
+	info    chan controlInfo
+	outcome chan outcomeMsg
+	// ack returns the node's post-interaction ownership to the scheduler.
+	ack chan ackMsg
+}
+
+// controlInfo is what the follower reveals to the leader at the start of
+// an interaction.
+type controlInfo struct {
+	owns  bool
+	value agg.Value
+}
+
+// outcomeMsg closes the rendezvous: whether the follower's datum moved to
+// the leader, or the leader's datum is attached for the follower to
+// merge.
+type outcomeMsg struct {
+	// takeMine: the follower must aggregate value (the leader
+	// transmitted).
+	takeMine bool
+	// gaveYours: the leader consumed the follower's datum (the follower
+	// transmitted and no longer owns data).
+	gaveYours bool
+	value     agg.Value
+}
+
+// ackMsg reports both endpoints' ownership after the interaction, plus
+// what happened, so the scheduler can maintain the adversary's view.
+type ackMsg struct {
+	u, v         graph.NodeID
+	uOwns, vOwns bool
+	decision     core.Decision
+	bothOwned    bool
+}
+
+// node is one node goroutine's state.
+type node struct {
+	id    graph.NodeID
+	owns  bool
+	value agg.Value
+	inbox chan meetMsg
+}
+
+// Config parameterises a concurrent run. Fields mirror core.Config.
+type Config struct {
+	N               int
+	Sink            graph.NodeID
+	Agg             agg.Func
+	Payloads        []float64
+	MaxInteractions int
+	Know            *knowledge.Bundle
+	// Events receives trace events from the scheduler (nil = no
+	// tracing). Delivery order matches interaction order.
+	Events core.EventSink
+}
+
+// Runtime executes one algorithm against one adversary with one goroutine
+// per node. Single-use, like core.Engine.
+type Runtime struct {
+	cfg   Config
+	env   *core.Env
+	nodes []*node
+	owns  []bool // scheduler's view, updated from acks
+	nOwn  int
+	used  bool
+}
+
+var _ core.ExecView = (*Runtime)(nil)
+
+// NewRuntime validates cfg and prepares a run.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.Sink < 0 || int(cfg.Sink) >= cfg.N {
+		return nil, fmt.Errorf("sim: sink %d out of range [0,%d)", cfg.Sink, cfg.N)
+	}
+	if cfg.MaxInteractions <= 0 {
+		return nil, fmt.Errorf("sim: MaxInteractions must be positive, got %d", cfg.MaxInteractions)
+	}
+	if cfg.Agg == nil {
+		cfg.Agg = agg.Min
+	}
+	if cfg.Payloads == nil {
+		cfg.Payloads = make([]float64, cfg.N)
+		for i := range cfg.Payloads {
+			cfg.Payloads[i] = float64(i)
+		}
+	}
+	if len(cfg.Payloads) != cfg.N {
+		return nil, fmt.Errorf("sim: %d payloads for %d nodes", len(cfg.Payloads), cfg.N)
+	}
+	know := cfg.Know
+	if know == nil {
+		var err error
+		know, err = knowledge.NewBundle()
+		if err != nil {
+			return nil, err
+		}
+	}
+	rt := &Runtime{
+		cfg: cfg,
+		env: &core.Env{
+			N:     cfg.N,
+			Sink:  cfg.Sink,
+			Know:  know,
+			State: make([]any, cfg.N),
+		},
+		nodes: make([]*node, cfg.N),
+		owns:  make([]bool, cfg.N),
+		nOwn:  cfg.N,
+	}
+	for u := 0; u < cfg.N; u++ {
+		rt.nodes[u] = &node{
+			id:    graph.NodeID(u),
+			owns:  true,
+			value: agg.Initial(graph.NodeID(u), cfg.Payloads[u], cfg.N),
+			inbox: make(chan meetMsg),
+		}
+		rt.owns[u] = true
+	}
+	return rt, nil
+}
+
+// N implements core.ExecView.
+func (rt *Runtime) N() int { return rt.cfg.N }
+
+// Sink implements core.ExecView.
+func (rt *Runtime) Sink() graph.NodeID { return rt.cfg.Sink }
+
+// Owns implements core.ExecView from the scheduler's acknowledged state.
+func (rt *Runtime) Owns(u graph.NodeID) bool {
+	if u < 0 || int(u) >= rt.cfg.N {
+		return false
+	}
+	return rt.owns[u]
+}
+
+// OwnerCount implements core.ExecView.
+func (rt *Runtime) OwnerCount() int { return rt.nOwn }
+
+// Run plays alg against adv. It spawns one goroutine per node, drives the
+// interaction sequence, and always shuts every goroutine down before
+// returning.
+func (rt *Runtime) Run(alg core.Algorithm, adv core.Adversary) (core.Result, error) {
+	if alg == nil || adv == nil {
+		return core.Result{}, fmt.Errorf("sim: nil algorithm or adversary")
+	}
+	if rt.used {
+		return core.Result{}, fmt.Errorf("sim: runtime is single-use; create a new one")
+	}
+	rt.used = true
+
+	// Mirror the engine: D∅ODA algorithms get no node memory.
+	if alg.Oblivious() {
+		rt.env.State = nil
+	}
+
+	if err := alg.Setup(rt.env); err != nil {
+		return core.Result{}, fmt.Errorf("sim: setup of %s: %w", alg.Name(), err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, nd := range rt.nodes {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			nd.loop(rt, alg, stop)
+		}(nd)
+	}
+	// shutdown is idempotent and must complete before reading any node's
+	// state from this goroutine: a follower may still be applying a
+	// merge when the scheduler observes termination.
+	var stopOnce sync.Once
+	shutdown := func() {
+		stopOnce.Do(func() {
+			close(stop)
+			wg.Wait()
+		})
+	}
+	defer shutdown()
+
+	res := core.Result{
+		Algorithm: alg.Name(),
+		Adversary: adv.Name(),
+		Duration:  -1,
+	}
+	ack := make(chan ackMsg)
+
+	for t := 0; t < rt.cfg.MaxInteractions; t++ {
+		it, ok := adv.Next(t, rt)
+		if !ok {
+			break
+		}
+		canon, err := seq.NewInteraction(it.U, it.V)
+		if err != nil {
+			return res, fmt.Errorf("sim: adversary %s at t=%d: %w", adv.Name(), t, err)
+		}
+		if canon.U < 0 || int(canon.V) >= rt.cfg.N {
+			return res, fmt.Errorf("sim: adversary %s at t=%d: interaction %v out of range", adv.Name(), t, canon)
+		}
+		res.Interactions++
+
+		info := make(chan controlInfo, 1)
+		outcome := make(chan outcomeMsg, 1)
+		lead := meetMsg{t: t, it: canon, lead: true, info: info, outcome: outcome, ack: ack}
+		follow := meetMsg{t: t, it: canon, lead: false, info: info, outcome: outcome, ack: ack}
+		rt.nodes[canon.U].inbox <- lead
+		rt.nodes[canon.V].inbox <- follow
+
+		// Only the leader acknowledges, with both ownerships.
+		a := <-ack
+		rt.owns[a.u] = a.uOwns
+		rt.owns[a.v] = a.vOwns
+		rt.nOwn = 0
+		for _, o := range rt.owns {
+			if o {
+				rt.nOwn++
+			}
+		}
+		ev := core.Event{T: t, It: canon, BothOwned: a.bothOwned, Decision: a.decision}
+		if a.bothOwned {
+			if receiver, transferred := a.decision.Receiver(canon); transferred {
+				res.Transmissions++
+				res.LastGap = t - res.Duration - 1
+				res.Duration = t
+				sender, _ := a.decision.Sender(canon)
+				ev.Sender, ev.Receiver = sender, receiver
+			} else {
+				res.Declined++
+			}
+		}
+		if rt.cfg.Events != nil {
+			rt.cfg.Events.OnEvent(ev)
+		}
+
+		if !rt.owns[rt.cfg.Sink] {
+			res.Failed = true
+			res.FailReason = fmt.Sprintf("sink %d transmitted its data at t=%d and can never terminate", rt.cfg.Sink, t)
+			break
+		}
+		if rt.nOwn == 1 {
+			res.Terminated = true
+			break
+		}
+	}
+
+	shutdown()
+	if res.Terminated {
+		res.SinkValue = rt.nodes[rt.cfg.Sink].value
+		if res.SinkValue.Count != rt.cfg.N {
+			return res, fmt.Errorf("sim: sink aggregated %d data, want %d", res.SinkValue.Count, rt.cfg.N)
+		}
+	}
+	if rt.cfg.Events != nil {
+		rt.cfg.Events.OnDone(res)
+	}
+	return res, nil
+}
+
+// loop is the node goroutine body: wait for meet messages, run the
+// pairwise interaction protocol, exit on stop.
+func (nd *node) loop(rt *Runtime, alg core.Algorithm, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case m := <-nd.inbox:
+			if m.lead {
+				nd.leadInteraction(rt, alg, m)
+			} else {
+				nd.followInteraction(rt, m)
+			}
+		}
+	}
+}
+
+// leadInteraction runs on the canonical first endpoint: collect the
+// peer's control info, run Observe/Decide exactly once, apply the
+// transfer, inform the peer, acknowledge the scheduler.
+func (nd *node) leadInteraction(rt *Runtime, alg core.Algorithm, m meetMsg) {
+	peer := <-m.info // follower's control information
+
+	if obs, ok := alg.(core.Observer); ok {
+		obs.Observe(rt.env, m.it, m.t)
+	}
+
+	a := ackMsg{u: m.it.U, v: m.it.V}
+	var out outcomeMsg
+	if nd.owns && peer.owns {
+		a.bothOwned = true
+		d := alg.Decide(rt.env, m.it, m.t)
+		a.decision = d
+		switch d {
+		case core.FirstReceives: // leader receives the follower's datum
+			merged, err := agg.Merge(rt.cfg.Agg, nd.value, peer.value)
+			if err == nil {
+				nd.value = merged
+				out.gaveYours = true
+			} else {
+				a.decision = core.NoTransfer // refuse instead of corrupting
+			}
+		case core.SecondReceives: // leader transmits to the follower
+			out.takeMine = true
+			out.value = nd.value
+			nd.value = agg.Value{}
+			nd.owns = false
+		}
+	}
+	m.outcome <- out
+
+	a.uOwns = nd.owns
+	a.vOwns = peer.owns && !out.gaveYours
+	m.ack <- a
+}
+
+// followInteraction runs on the second endpoint: reveal control info,
+// then apply the leader's outcome.
+func (nd *node) followInteraction(rt *Runtime, m meetMsg) {
+	m.info <- controlInfo{owns: nd.owns, value: nd.value}
+	out := <-m.outcome
+	switch {
+	case out.takeMine:
+		// The leader transmitted its datum to us; merge mirrors the
+		// engine's receiver-side merge (aggregation functions are
+		// commutative, provenance is a union, so order is irrelevant).
+		if merged, err := agg.Merge(rt.cfg.Agg, nd.value, out.value); err == nil {
+			nd.value = merged
+		}
+	case out.gaveYours:
+		nd.value = agg.Value{}
+		nd.owns = false
+	}
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"doda/internal/adversary"
+	"doda/internal/algorithms"
+	"doda/internal/core"
+	"doda/internal/knowledge"
+	"doda/internal/seq"
+)
+
+func TestRuntimeValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "too few nodes", cfg: Config{N: 1, MaxInteractions: 5}},
+		{name: "bad sink", cfg: Config{N: 3, Sink: 9, MaxInteractions: 5}},
+		{name: "no cap", cfg: Config{N: 3}},
+		{name: "payload mismatch", cfg: Config{N: 3, MaxInteractions: 5, Payloads: []float64{1, 2}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewRuntime(tt.cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestRuntimeSingleUse(t *testing.T) {
+	rt, err := NewRuntime(Config{N: 3, MaxInteractions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := seq.NewSequence(3, []seq.Interaction{{U: 1, V: 2}})
+	adv, _ := adversary.NewOblivious("seq", s)
+	if _, err := rt.Run(algorithms.Waiting{}, adv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(algorithms.Waiting{}, adv); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestRuntimeNilParticipants(t *testing.T) {
+	rt, err := NewRuntime(Config{N: 3, MaxInteractions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(nil, nil); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestRuntimeGatheringTerminates(t *testing.T) {
+	adv, _, err := adversary.Randomized(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(Config{N: 8, MaxInteractions: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(algorithms.NewGathering(), adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Transmissions != 7 {
+		t.Errorf("transmissions = %d", res.Transmissions)
+	}
+	if res.SinkValue.Count != 8 || !res.SinkValue.Origins.Full() {
+		t.Errorf("sink value = %+v", res.SinkValue)
+	}
+}
+
+func TestRuntimeNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		adv, _, err := adversary.Randomized(6, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := NewRuntime(Config{N: 6, MaxInteractions: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(algorithms.NewGathering(), adv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give exited goroutines a moment to be reaped by the scheduler.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// equivalence runs the same algorithm/adversary/seed in both the
+// sequential engine and the concurrent runtime and compares results.
+func equivalence(t *testing.T, n int, seed uint64, mkAlg func() core.Algorithm, know func(st *seq.Stream) *knowledge.Bundle) {
+	t.Helper()
+	advA, streamA, err := adversary.Randomized(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advB, streamB, err := adversary.Randomized(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := 50 * n * n
+
+	var knowA, knowB *knowledge.Bundle
+	if know != nil {
+		knowA, knowB = know(streamA), know(streamB)
+	}
+
+	engineRes, err := core.RunOnce(core.Config{
+		N: n, MaxInteractions: cap, Know: knowA, VerifyAggregate: true,
+	}, mkAlg(), advA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := NewRuntime(Config{N: n, MaxInteractions: cap, Know: knowB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := rt.Run(mkAlg(), advB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if engineRes.Terminated != simRes.Terminated ||
+		engineRes.Duration != simRes.Duration ||
+		engineRes.Interactions != simRes.Interactions ||
+		engineRes.Transmissions != simRes.Transmissions ||
+		engineRes.Declined != simRes.Declined ||
+		engineRes.LastGap != simRes.LastGap {
+		t.Errorf("engine %+v != sim %+v", engineRes, simRes)
+	}
+	if engineRes.Terminated && engineRes.SinkValue.Num != simRes.SinkValue.Num {
+		t.Errorf("sink payload: engine %v, sim %v", engineRes.SinkValue.Num, simRes.SinkValue.Num)
+	}
+}
+
+func TestEquivalenceWaiting(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		equivalence(t, 10, seed, func() core.Algorithm { return algorithms.Waiting{} }, nil)
+	}
+}
+
+func TestEquivalenceGathering(t *testing.T) {
+	for _, seed := range []uint64{4, 5, 6} {
+		equivalence(t, 12, seed, func() core.Algorithm { return algorithms.NewGathering() }, nil)
+	}
+}
+
+func TestEquivalenceWaitingGreedy(t *testing.T) {
+	const n = 12
+	for _, seed := range []uint64{7, 8} {
+		equivalence(t, n, seed,
+			func() core.Algorithm { return algorithms.WaitingGreedy{Tau: algorithms.TauStar(n)} },
+			func(st *seq.Stream) *knowledge.Bundle {
+				b, err := knowledge.NewBundle(knowledge.WithMeetTime(st, 0, 50*n*n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			})
+	}
+}
+
+func TestRuntimeAdaptiveAdversary(t *testing.T) {
+	// The Theorem 1 adversary must also defeat Gathering under the
+	// concurrent runtime: no termination within the cap.
+	adv, err := adversary.NewTheorem1(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(Config{N: 3, MaxInteractions: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(algorithms.NewGathering(), adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated {
+		t.Errorf("theorem-1 adversary failed to block gathering: %+v", res)
+	}
+	if res.Interactions != 2000 {
+		t.Errorf("interactions = %d", res.Interactions)
+	}
+}
+
+func TestRuntimeSequenceExhaustion(t *testing.T) {
+	s, _ := seq.NewSequence(3, []seq.Interaction{{U: 1, V: 2}})
+	adv, _ := adversary.NewOblivious("seq", s)
+	rt, err := NewRuntime(Config{N: 3, MaxInteractions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(algorithms.Waiting{}, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated || res.Interactions != 1 {
+		t.Errorf("res = %+v", res)
+	}
+}

@@ -1,0 +1,379 @@
+// Package stats provides the descriptive and inferential statistics the
+// experiment harness needs to compare measured interaction counts against
+// the paper's closed forms and asymptotic exponents: summary statistics,
+// streaming (Welford) accumulators, harmonic numbers, least-squares and
+// log-log regression, quantiles and histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData reports a statistic requested over an empty sample.
+var ErrNoData = errors.New("stats: no data")
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN if len < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs, or NaN for an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns NaN for an empty
+// sample and clamps q into [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Summary holds the standard descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. Fields requiring at least two points
+// (Var, StdDev) are NaN for smaller samples.
+func Summarize(xs []float64) Summary {
+	s := Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Var:  Variance(xs),
+		Min:  Min(xs),
+		Max:  Max(xs),
+	}
+	s.StdDev = math.Sqrt(s.Var)
+	if len(xs) > 0 {
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		s.Median = quantileSorted(sorted, 0.5)
+		s.P90 = quantileSorted(sorted, 0.9)
+		s.P99 = quantileSorted(sorted, 0.99)
+	} else {
+		s.Median, s.P90, s.P99 = math.NaN(), math.NaN(), math.NaN()
+	}
+	return s
+}
+
+// MeanCI95 returns the half-width of the normal-approximation 95%
+// confidence interval for the mean of xs (1.96 * stderr). NaN if len < 2.
+func MeanCI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Welford is a streaming mean/variance accumulator. The zero value is an
+// empty accumulator ready for use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (NaN if empty).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running unbiased sample variance (NaN if n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (NaN if empty).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
+
+// Max returns the largest observation (NaN if empty).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
+
+// Harmonic returns the n-th harmonic number H(n) = sum_{i=1..n} 1/i.
+// H(0) = 0. The paper's closed forms for Waiting and the offline optimum
+// are expressed with H(n-1).
+func Harmonic(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	// Exact summation below the crossover, asymptotic expansion above: the
+	// expansion error is < 1/(120 n^4), far below experiment noise.
+	if n < 1024 {
+		h := 0.0
+		for i := 1; i <= n; i++ {
+			h += 1 / float64(i)
+		}
+		return h
+	}
+	const gamma = 0.5772156649015328606
+	fn := float64(n)
+	return math.Log(fn) + gamma + 1/(2*fn) - 1/(12*fn*fn)
+}
+
+// Fit is the result of a least-squares line fit y = Slope*x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y = a*x + b by ordinary least squares. It returns an
+// error when fewer than two points are supplied or x is constant.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Fit{}, ErrNoData
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, errors.New("stats: x values are constant")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// Coefficient of determination.
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for i := range x {
+		r := y[i] - (slope*x[i] + intercept)
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// LogLogFit fits y = c * x^e by least squares on (log x, log y) and
+// returns the exponent e (Slope), log-intercept, and R². Points with
+// non-positive coordinates are rejected with an error. This is how the
+// harness estimates the empirical growth exponents (2 for Gathering,
+// ~1.5 for Waiting Greedy, ~1 for the offline optimum up to log factors).
+func LogLogFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: log-log fit needs positive data, got (%v,%v)", x[i], y[i])
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // observations below Lo
+	Over     int // observations at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It returns an error if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: invalid range [%v,%v)", lo, hi)
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		Counts:   make([]int, bins),
+		binWidth: (hi - lo) / float64(bins),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Counts) { // float round-off at the top edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including outliers.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Ratio returns measured/expected, the harness's headline
+// closeness-to-theory figure. Returns NaN when expected is zero.
+func Ratio(measured, expected float64) float64 {
+	if expected == 0 {
+		return math.NaN()
+	}
+	return measured / expected
+}
+
+// WithinFactor reports whether measured is within factor f of expected,
+// i.e. expected/f <= measured <= expected*f. Used by experiment verdicts
+// where the paper gives a Θ() bound rather than an exact constant.
+func WithinFactor(measured, expected, f float64) bool {
+	if expected <= 0 || measured <= 0 || f < 1 {
+		return false
+	}
+	return measured >= expected/f && measured <= expected*f
+}

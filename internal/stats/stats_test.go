@@ -1,0 +1,366 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"doda/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "single", give: []float64{5}, want: 5},
+		{name: "pair", give: []float64{2, 4}, want: 3},
+		{name: "mixed signs", give: []float64{-1, 0, 1}, want: 0},
+		{name: "fractional", give: []float64{1, 2}, want: 1.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Sample variance of 2,4,4,4,5,5,7,9 is 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got, want := Variance(xs), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 0.25, want: 2},
+		{q: 0.5, want: 3},
+		{q: 1, want: 5},
+		{q: -0.5, want: 1}, // clamped
+		{q: 1.5, want: 5},  // clamped
+		{q: 0.1, want: 1.4},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5.5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !almostEqual(s.Median, 5.5, 1e-12) {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.P90 <= s.Median || s.P99 < s.P90 {
+		t.Errorf("quantile ordering violated: median=%v p90=%v p99=%v", s.Median, s.P90, s.P99)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("N = %d", s.N)
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean, "Median": s.Median, "Min": s.Min, "Max": s.Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty sample = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	src := rng.New(99)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = src.Float64()*100 - 50
+		w.Add(xs[i])
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean %v != batch %v", w.Mean(), Mean(xs))
+	}
+	if !almostEqual(w.Variance(), Variance(xs), 1e-7) {
+		t.Errorf("Welford var %v != batch %v", w.Variance(), Variance(xs))
+	}
+	if w.Min() != Min(xs) || w.Max() != Max(xs) {
+		t.Errorf("Welford min/max mismatch")
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d", w.N())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) || !math.IsNaN(w.Min()) || !math.IsNaN(w.Max()) {
+		t.Error("empty Welford should return NaN everywhere")
+	}
+}
+
+func TestHarmonicSmall(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{n: 0, want: 0},
+		{n: -3, want: 0},
+		{n: 1, want: 1},
+		{n: 2, want: 1.5},
+		{n: 4, want: 25.0 / 12.0},
+	}
+	for _, tt := range tests {
+		if got := Harmonic(tt.n); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Harmonic(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestHarmonicAsymptoticContinuity(t *testing.T) {
+	// The asymptotic branch must agree with exact summation at the
+	// crossover to many digits.
+	exact := 0.0
+	for i := 1; i <= 5000; i++ {
+		exact += 1 / float64(i)
+	}
+	if got := Harmonic(5000); !almostEqual(got, exact, 1e-9) {
+		t.Errorf("Harmonic(5000) = %v, exact %v", got, exact)
+	}
+}
+
+func TestHarmonicMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 1; n < 3000; n += 7 {
+		h := Harmonic(n)
+		if h <= prev {
+			t.Fatalf("Harmonic not increasing at n=%d: %v <= %v", n, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for constant x")
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	// y = 3 x^2.5 must be recovered exactly.
+	x := []float64{1, 2, 4, 8, 16, 32}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 * math.Pow(v, 2.5)
+	}
+	f, err := LogLogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 2.5, 1e-9) {
+		t.Errorf("exponent = %v, want 2.5", f.Slope)
+	}
+	if !almostEqual(math.Exp(f.Intercept), 3, 1e-9) {
+		t.Errorf("constant = %v, want 3", math.Exp(f.Intercept))
+	}
+}
+
+func TestLogLogFitRejectsNonPositive(t *testing.T) {
+	if _, err := LogLogFit([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Error("want error for x=0")
+	}
+	if _, err := LogLogFit([]float64{1, 2}, []float64{-1, 1}); err == nil {
+		t.Error("want error for y<0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("want error for zero bins")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("want error for empty range")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(10, 5); got != 2 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("Ratio with zero expected should be NaN")
+	}
+}
+
+func TestWithinFactor(t *testing.T) {
+	tests := []struct {
+		name    string
+		m, e, f float64
+		want    bool
+	}{
+		{name: "exact", m: 100, e: 100, f: 1, want: true},
+		{name: "within2 low", m: 51, e: 100, f: 2, want: true},
+		{name: "within2 high", m: 199, e: 100, f: 2, want: true},
+		{name: "outside low", m: 49, e: 100, f: 2, want: false},
+		{name: "outside high", m: 201, e: 100, f: 2, want: false},
+		{name: "bad factor", m: 100, e: 100, f: 0.5, want: false},
+		{name: "nonpositive", m: 0, e: 100, f: 2, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := WithinFactor(tt.m, tt.e, tt.f); got != tt.want {
+				t.Errorf("WithinFactor(%v,%v,%v) = %v", tt.m, tt.e, tt.f, got)
+			}
+		})
+	}
+}
+
+func TestMeanCI95ShrinksWithN(t *testing.T) {
+	src := rng.New(7)
+	small := make([]float64, 50)
+	large := make([]float64, 5000)
+	for i := range small {
+		small[i] = src.Float64()
+	}
+	for i := range large {
+		large[i] = src.Float64()
+	}
+	if MeanCI95(large) >= MeanCI95(small) {
+		t.Errorf("CI should shrink with sample size: %v vs %v", MeanCI95(large), MeanCI95(small))
+	}
+}
+
+func TestQuickQuantileWithinRange(t *testing.T) {
+	f := func(seed uint64, qRaw uint8) bool {
+		src := rng.New(seed)
+		n := src.Intn(100) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Float64() * 1000
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(xs, q)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWelfordMeanBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		var w Welford
+		for i := 0; i < 64; i++ {
+			w.Add(src.Float64())
+		}
+		return w.Mean() >= w.Min() && w.Mean() <= w.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package trace records executions as JSON-lines event streams that can
+// be written, read back, inspected and replayed. A trace captures enough
+// to audit a run offline: every interaction, the algorithm's decision,
+// and the final result.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"doda/internal/core"
+	"doda/internal/graph"
+	"doda/internal/seq"
+)
+
+// Record is one traced interaction.
+type Record struct {
+	T         int    `json:"t"`
+	U         int    `json:"u"`
+	V         int    `json:"v"`
+	BothOwned bool   `json:"bothOwned"`
+	Decision  string `json:"decision"`
+	Sender    int    `json:"sender"`   // -1 when no transfer
+	Receiver  int    `json:"receiver"` // -1 when no transfer
+}
+
+// Summary is the trace trailer: the run's outcome.
+type Summary struct {
+	Algorithm     string  `json:"algorithm"`
+	Adversary     string  `json:"adversary"`
+	Terminated    bool    `json:"terminated"`
+	Failed        bool    `json:"failed"`
+	FailReason    string  `json:"failReason,omitempty"`
+	Duration      int     `json:"duration"`
+	Interactions  int     `json:"interactions"`
+	Transmissions int     `json:"transmissions"`
+	Declined      int     `json:"declined"`
+	SinkPayload   float64 `json:"sinkPayload"`
+	SinkCount     int     `json:"sinkCount"`
+}
+
+// Recorder collects events in memory; it implements core.EventSink.
+type Recorder struct {
+	Records []Record
+	Result  *Summary
+}
+
+var _ core.EventSink = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// OnEvent implements core.EventSink.
+func (r *Recorder) OnEvent(ev core.Event) {
+	rec := Record{
+		T:         ev.T,
+		U:         int(ev.It.U),
+		V:         int(ev.It.V),
+		BothOwned: ev.BothOwned,
+		Decision:  ev.Decision.String(),
+		Sender:    -1,
+		Receiver:  -1,
+	}
+	if _, ok := ev.Decision.Receiver(ev.It); ok {
+		rec.Sender = int(ev.Sender)
+		rec.Receiver = int(ev.Receiver)
+	}
+	r.Records = append(r.Records, rec)
+}
+
+// OnDone implements core.EventSink.
+func (r *Recorder) OnDone(res core.Result) {
+	r.Result = &Summary{
+		Algorithm:     res.Algorithm,
+		Adversary:     res.Adversary,
+		Terminated:    res.Terminated,
+		Failed:        res.Failed,
+		FailReason:    res.FailReason,
+		Duration:      res.Duration,
+		Interactions:  res.Interactions,
+		Transmissions: res.Transmissions,
+		Declined:      res.Declined,
+		SinkPayload:   res.SinkValue.Num,
+		SinkCount:     res.SinkValue.Count,
+	}
+}
+
+// envelope is one JSON line: exactly one of the fields is set.
+type envelope struct {
+	Record  *Record  `json:"record,omitempty"`
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// Write streams the trace as JSON lines: one envelope per record, then
+// one for the summary.
+func (r *Recorder) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range r.Records {
+		if err := enc.Encode(envelope{Record: &r.Records[i]}); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+	}
+	if r.Result != nil {
+		if err := enc.Encode(envelope{Summary: r.Result}); err != nil {
+			return fmt.Errorf("trace: encode summary: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines trace written by Write.
+func Read(rd io.Reader) (*Recorder, error) {
+	out := &Recorder{}
+	dec := json.NewDecoder(rd)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		switch {
+		case env.Record != nil:
+			out.Records = append(out.Records, *env.Record)
+		case env.Summary != nil:
+			out.Result = env.Summary
+		default:
+			return nil, errors.New("trace: empty envelope")
+		}
+	}
+	return out, nil
+}
+
+// Sequence reconstructs the interaction sequence the trace observed.
+func (r *Recorder) Sequence(n int) (*seq.Sequence, error) {
+	steps := make([]seq.Interaction, len(r.Records))
+	for i, rec := range r.Records {
+		if rec.T != i {
+			return nil, fmt.Errorf("trace: record %d has t=%d (trace not contiguous)", i, rec.T)
+		}
+		it, err := seq.NewInteraction(graph.NodeID(rec.U), graph.NodeID(rec.V))
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		steps[i] = it
+	}
+	return seq.NewSequence(n, steps)
+}
+
+// Verify replays the trace's transfers against the model rules: each node
+// transmits at most once, transfers only occur between current data
+// owners, and — when the trace claims termination — the sink ends as the
+// unique owner having aggregated all n data.
+func (r *Recorder) Verify(n int, sink graph.NodeID) error {
+	if sink < 0 || int(sink) >= n {
+		return fmt.Errorf("trace: sink %d out of range [0,%d)", sink, n)
+	}
+	owns := make([]bool, n)
+	for i := range owns {
+		owns[i] = true
+	}
+	transmissions := 0
+	for i, rec := range r.Records {
+		if rec.Sender < 0 {
+			continue
+		}
+		if rec.Sender >= n || rec.Receiver < 0 || rec.Receiver >= n {
+			return fmt.Errorf("trace: record %d transfer %d->%d out of range", i, rec.Sender, rec.Receiver)
+		}
+		if !owns[rec.Sender] {
+			return fmt.Errorf("trace: record %d: sender %d already transmitted", i, rec.Sender)
+		}
+		if !owns[rec.Receiver] {
+			return fmt.Errorf("trace: record %d: receiver %d cannot receive after transmitting", i, rec.Receiver)
+		}
+		owns[rec.Sender] = false
+		transmissions++
+	}
+	if r.Result != nil && r.Result.Terminated {
+		if transmissions != n-1 {
+			return fmt.Errorf("trace: terminated with %d transmissions, want %d", transmissions, n-1)
+		}
+		for u := 0; u < n; u++ {
+			if owns[u] != (graph.NodeID(u) == sink) {
+				return fmt.Errorf("trace: terminated but node %d ownership is %v", u, owns[u])
+			}
+		}
+	}
+	return nil
+}

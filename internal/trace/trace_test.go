@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"doda/internal/adversary"
+	"doda/internal/algorithms"
+	"doda/internal/core"
+	"doda/internal/seq"
+)
+
+func recordRun(t *testing.T, n int, seed uint64) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	adv, _, err := adversary.Randomized(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.RunOnce(core.Config{
+		N: n, MaxInteractions: 100000, Events: rec, VerifyAggregate: true,
+	}, algorithms.NewGathering(), adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderCapturesRun(t *testing.T) {
+	rec := recordRun(t, 8, 3)
+	if rec.Result == nil {
+		t.Fatal("no summary")
+	}
+	if !rec.Result.Terminated {
+		t.Fatalf("summary = %+v", rec.Result)
+	}
+	if len(rec.Records) != rec.Result.Interactions {
+		t.Errorf("%d records for %d interactions", len(rec.Records), rec.Result.Interactions)
+	}
+	transfers := 0
+	for _, r := range rec.Records {
+		if r.Sender >= 0 {
+			transfers++
+		}
+	}
+	if transfers != rec.Result.Transmissions {
+		t.Errorf("%d transfer records, summary says %d", transfers, rec.Result.Transmissions)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rec := recordRun(t, 6, 9)
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(rec.Records) {
+		t.Fatalf("records: %d != %d", len(back.Records), len(rec.Records))
+	}
+	for i := range rec.Records {
+		if back.Records[i] != rec.Records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back.Records[i], rec.Records[i])
+		}
+	}
+	if back.Result == nil || *back.Result != *rec.Result {
+		t.Errorf("summary mismatch: %+v vs %+v", back.Result, rec.Result)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("want error")
+	}
+	if _, err := Read(strings.NewReader("{}\n")); err == nil {
+		t.Error("empty envelope should error")
+	}
+}
+
+func TestSequenceReconstruction(t *testing.T) {
+	rec := recordRun(t, 6, 11)
+	s, err := rec.Sequence(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != len(rec.Records) {
+		t.Errorf("len = %d", s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		it := s.At(i)
+		if int(it.U) != rec.Records[i].U || int(it.V) != rec.Records[i].V {
+			t.Fatalf("step %d mismatch", i)
+		}
+	}
+}
+
+func TestSequenceRejectsNonContiguous(t *testing.T) {
+	rec := &Recorder{Records: []Record{{T: 5, U: 0, V: 1}}}
+	if _, err := rec.Sequence(3); err == nil {
+		t.Error("want error for non-contiguous trace")
+	}
+}
+
+func TestVerifyAcceptsRealRun(t *testing.T) {
+	rec := recordRun(t, 10, 13)
+	if err := rec.Verify(10, 0); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesDoubleTransmit(t *testing.T) {
+	rec := &Recorder{Records: []Record{
+		{T: 0, U: 1, V: 2, Sender: 1, Receiver: 2, BothOwned: true},
+		{T: 1, U: 1, V: 2, Sender: 1, Receiver: 2, BothOwned: true},
+	}}
+	if err := rec.Verify(3, 0); err == nil {
+		t.Error("double transmission must fail verification")
+	}
+}
+
+func TestVerifyCatchesReceiveAfterTransmit(t *testing.T) {
+	rec := &Recorder{Records: []Record{
+		{T: 0, U: 1, V: 2, Sender: 1, Receiver: 2},
+		{T: 1, U: 0, V: 1, Sender: 0, Receiver: 1}, // 1 already transmitted
+	}}
+	if err := rec.Verify(3, 2); err == nil {
+		t.Error("receive-after-transmit must fail verification")
+	}
+}
+
+func TestVerifyCatchesBogusTermination(t *testing.T) {
+	rec := &Recorder{
+		Records: []Record{{T: 0, U: 1, V: 2, Sender: 1, Receiver: 2}},
+		Result:  &Summary{Terminated: true},
+	}
+	if err := rec.Verify(3, 0); err == nil {
+		t.Error("termination with missing transmissions must fail")
+	}
+}
+
+func TestVerifyBadSink(t *testing.T) {
+	rec := &Recorder{}
+	if err := rec.Verify(3, 7); err == nil {
+		t.Error("want error for bad sink")
+	}
+}
+
+func TestRecorderDecisionStrings(t *testing.T) {
+	rec := NewRecorder()
+	it := seq.MustInteraction(0, 1)
+	rec.OnEvent(core.Event{T: 0, It: it, BothOwned: true, Decision: core.NoTransfer})
+	rec.OnEvent(core.Event{T: 1, It: it, BothOwned: true, Decision: core.FirstReceives, Sender: 1, Receiver: 0})
+	if rec.Records[0].Decision != "⊥" || rec.Records[0].Sender != -1 {
+		t.Errorf("record 0 = %+v", rec.Records[0])
+	}
+	if rec.Records[1].Decision != "first" || rec.Records[1].Sender != 1 {
+		t.Errorf("record 1 = %+v", rec.Records[1])
+	}
+}
