@@ -16,6 +16,8 @@ import (
 	"doda/internal/core"
 	"doda/internal/knowledge"
 	"doda/internal/offline"
+	"doda/internal/rng"
+	"doda/internal/scenario"
 	"doda/internal/seq"
 	"doda/internal/sim"
 )
@@ -571,5 +573,73 @@ func BenchmarkA4MeetTimeOracle(b *testing.B) {
 		if _, _, err := mtKnow.MeetTime(u, i%100000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchModels returns one instance of every generative scenario model.
+func benchModels(b *testing.B, n int) []scenario.Model {
+	b.Helper()
+	uni, err := scenario.NewUniform(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em, err := scenario.NewEdgeMarkovian(n, 0.05, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes, err := scenario.EvenSizes(n, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm, err := scenario.NewCommunity(sizes, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := scenario.NewChurn(uni, 0.1, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []scenario.Model{uni, em, cm, ch}
+}
+
+// BenchmarkS1ScenarioGen: generation throughput of each scenario model
+// (one interaction per op, raw generator without stream caching).
+func BenchmarkS1ScenarioGen(b *testing.B) {
+	const n = 64
+	for _, m := range benchModels(b, n) {
+		b.Run(m.Name(), func(b *testing.B) {
+			gen := m.Generator(rng.New(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gen(i)
+			}
+		})
+	}
+}
+
+// BenchmarkS2ScenarioGathering: one full Gathering run per op against
+// each scenario workload, the unit of every scenario sweep.
+func BenchmarkS2ScenarioGathering(b *testing.B) {
+	const n = 64
+	for _, m := range benchModels(b, n) {
+		b.Run(m.Name(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				adv, _, err := scenario.Adversary(m, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.RunOnce(core.Config{N: n, MaxInteractions: 1 << 22},
+					algorithms.NewGathering(), adv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Terminated {
+					b.Fatalf("did not terminate: %+v", res)
+				}
+				total += float64(res.Duration + 1)
+			}
+			b.ReportMetric(total/float64(b.N), "interactions/op")
+		})
 	}
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsRegisteredScenarios(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	scenarios := 0
+	for _, name := range []string{"uniform", "zipf", "edge-markovian", "community", "churn", "trace"} {
+		if strings.Contains(out, name) {
+			scenarios++
+		}
+	}
+	if scenarios < 4 {
+		t.Errorf("list names only %d scenarios:\n%s", scenarios, out)
+	}
+}
+
+// decodeRun runs the CLI and decodes its JSON output.
+func decodeRun(t *testing.T, args []string) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestRunEdgeMarkovianGathering(t *testing.T) {
+	doc := decodeRun(t, []string{"run", "-scenario", "edge-markovian", "-alg", "gathering", "-n", "64", "-seed", "42"})
+	if doc["scenario"] != "edge-markovian" {
+		t.Errorf("scenario = %v", doc["scenario"])
+	}
+	res, ok := doc["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result object in %v", doc)
+	}
+	if res["terminated"] != true {
+		t.Errorf("result = %v", res)
+	}
+	if res["transmissions"] != float64(63) {
+		t.Errorf("transmissions = %v, want 63", res["transmissions"])
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	args := []string{"run", "-scenario", "community", "-params", "communities=3,p-intra=0.8", "-alg", "gathering", "-n", "18", "-seed", "7"}
+	a, b := decodeRun(t, args), decodeRun(t, args)
+	ra, rb := a["result"].(map[string]any), b["result"].(map[string]any)
+	if ra["duration"] != rb["duration"] || ra["interactions"] != rb["interactions"] {
+		t.Errorf("same seed, different outcomes: %v vs %v", ra, rb)
+	}
+}
+
+func TestRunChurnWaitingGreedy(t *testing.T) {
+	doc := decodeRun(t, []string{"run", "-scenario", "churn", "-params", "p-fail=0.05,p-recover=0.3",
+		"-alg", "waiting-greedy", "-n", "16", "-seed", "3"})
+	res := doc["result"].(map[string]any)
+	if res["terminated"] != true {
+		t.Errorf("result = %v", res)
+	}
+}
+
+func TestRunTraceScenario(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "contacts.csv")
+	var sb strings.Builder
+	sb.WriteString("time,u,v\n")
+	// A star around node 0, twice over: Waiting terminates on pass one.
+	for round := 0; round < 2; round++ {
+		for u := 1; u < 6; u++ {
+			sb.WriteString(strconv.Itoa(round*5+u) + "," + strconv.Itoa(u) + ",0\n")
+		}
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeRun(t, []string{"run", "-scenario", "trace", "-params", "file=" + path, "-alg", "waiting"})
+	if doc["n"] != float64(6) {
+		t.Errorf("n = %v, want 6 (from the trace)", doc["n"])
+	}
+	res := doc["result"].(map[string]any)
+	if res["terminated"] != true || res["transmissions"] != float64(5) {
+		t.Errorf("result = %v", res)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		args []string
+	}{
+		{name: "no command", args: nil},
+		{name: "unknown command", args: []string{"bogus"}},
+		{name: "unknown scenario", args: []string{"run", "-scenario", "bogus"}},
+		{name: "unknown algorithm", args: []string{"run", "-alg", "bogus"}},
+		{name: "bad params", args: []string{"run", "-params", "novalue"}},
+		{name: "unknown param key", args: []string{"run", "-scenario", "edge-markovian", "-params", "bogus=1"}},
+		{name: "trace without file", args: []string{"run", "-scenario", "trace"}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

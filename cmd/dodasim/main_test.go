@@ -94,3 +94,42 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestRunScenarioFlag(t *testing.T) {
+	if err := run([]string{"-n", "16", "-alg", "gathering", "-scenario", "edge-markovian", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioWithParams(t *testing.T) {
+	if err := run([]string{"-n", "15", "-alg", "waiting-greedy", "-scenario", "community",
+		"-params", "communities=3,p-intra=0.8", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown scenario", args: []string{"-scenario", "nope"}},
+		{name: "bad params", args: []string{"-scenario", "churn", "-params", "novalue"}},
+		{name: "unknown param", args: []string{"-scenario", "churn", "-params", "bogus=1"}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestRunScenarioFlagConflicts(t *testing.T) {
+	if err := run([]string{"-params", "p-up=0.1"}); err == nil {
+		t.Error("want error: -params without -scenario")
+	}
+	if err := run([]string{"-scenario", "uniform", "-adversary", "random"}); err == nil {
+		t.Error("want error: -scenario with explicit -adversary")
+	}
+}

@@ -103,11 +103,14 @@ func TestTraceFlow(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 18 {
+	if len(Experiments()) != 20 {
 		t.Errorf("got %d experiments", len(Experiments()))
 	}
 	if _, ok := ExperimentByID("E8"); !ok {
 		t.Error("E8 missing")
+	}
+	if _, ok := ExperimentByID("S1"); !ok {
+		t.Error("S1 missing")
 	}
 }
 

@@ -1,0 +1,3 @@
+module doda
+
+go 1.24

@@ -150,3 +150,5 @@ func TestA1(t *testing.T)  { runExperiment(t, "A1") }
 func TestA2(t *testing.T)  { runExperiment(t, "A2") }
 func TestX1(t *testing.T)  { runExperiment(t, "X1") }
 func TestX2(t *testing.T)  { runExperiment(t, "X2") }
+func TestS1(t *testing.T)  { runExperiment(t, "S1") }
+func TestS2(t *testing.T)  { runExperiment(t, "S2") }

@@ -260,7 +260,7 @@ func All() []Experiment {
 	return []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(),
 		e8(), e9(), e10(), e11(), e12(), e13(), e14(),
-		a1(), a2(), x1(), x2(),
+		a1(), a2(), x1(), x2(), s1(), s2(),
 	}
 }
 

@@ -1,0 +1,404 @@
+package scenario
+
+// The scenario registry: a central catalogue of named workloads with
+// their parameters, documentation and citations. cmd/dodascen, the
+// -scenario flag of cmd/dodasim, and the experiment harness all resolve
+// workloads through it, so adding one Spec here lights the workload up
+// across the whole stack.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"doda/internal/adversary"
+	"doda/internal/core"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+// Param documents one scenario parameter.
+type Param struct {
+	// Name is the key accepted in the params map.
+	Name string
+	// Default is the value used when the key is absent ("" = required).
+	Default string
+	// Doc is a one-line description.
+	Doc string
+}
+
+// Workload is a built scenario instance ready to execute: the adversary
+// to play, the sequence view backing knowledge oracles (the same object
+// the adversary reads), and the node count — which may differ from the
+// requested one for trace replay, where the trace dictates it.
+type Workload struct {
+	Adversary core.Adversary
+	View      seq.View
+	N         int
+}
+
+// Spec is one registered scenario.
+type Spec struct {
+	// Name is the registry key (e.g. "edge-markovian").
+	Name string
+	// Description is a one-line summary of the contact model.
+	Description string
+	// Citation anchors the model in the literature.
+	Citation string
+	// Params documents the accepted parameters.
+	Params []Param
+	// Build instantiates the workload for n nodes and the given seed.
+	// params may override the documented defaults; unknown keys are
+	// rejected.
+	Build func(n int, seed uint64, params map[string]string) (*Workload, error)
+}
+
+// All returns every registered scenario in display order.
+func All() []Spec {
+	return []Spec{
+		uniformSpec(),
+		zipfSpec(),
+		edgeMarkovianSpec(),
+		communitySpec(),
+		churnSpec(),
+		traceSpec(),
+	}
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Documented scenario defaults. The Param.Default strings, the Build
+// fallbacks, and churn's inner-model construction all derive from these
+// constants, so they cannot drift apart.
+const (
+	defEMBirth      = 0.05
+	defEMDeath      = 0.2
+	defCommunities  = 4
+	defCommIntra    = 0.9
+	defChurnFail    = 0.02
+	defChurnRecover = 0.2
+	defZipfAlpha    = 1.0
+)
+
+// DefaultCap is the generous interaction budget the CLIs share for
+// scenario runs when the user gives no explicit cap: scenario workloads
+// (community, churn, ...) can be far slower than the uniform adversary,
+// and both front-ends must agree on identical runs.
+func DefaultCap(n int) int { return 400*n*n + 10000 }
+
+// defaultInner builds the inner contact model churn wraps, using exactly
+// the defaults the named spec documents.
+func defaultInner(name string, n int) (Model, error) {
+	switch name {
+	case "uniform":
+		return NewUniform(n)
+	case "edge-markovian":
+		return NewEdgeMarkovian(n, defEMBirth, defEMDeath)
+	case "community":
+		sizes, err := EvenSizes(n, defCommunities)
+		if err != nil {
+			return nil, err
+		}
+		return NewCommunity(sizes, defCommIntra)
+	default:
+		return nil, fmt.Errorf("scenario: unknown inner model %q (want uniform, edge-markovian or community)", name)
+	}
+}
+
+// fv renders a default constant for Param.Default documentation.
+func fv(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseParams splits a command-line "k=v,k2=v2" string into the params
+// map Spec.Build accepts — the one parser both CLIs share, so parameter
+// syntax cannot drift between them. Keys and values are trimmed; empty
+// keys or values are rejected.
+func ParseParams(raw string) (map[string]string, error) {
+	params := map[string]string{}
+	if raw == "" {
+		return params, nil
+	}
+	for _, kv := range strings.Split(raw, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("scenario: bad params entry %q (want key=value)", kv)
+		}
+		params[k] = v
+	}
+	return params, nil
+}
+
+// checkKnown rejects parameter keys the spec does not document.
+func checkKnown(params map[string]string, known []Param) error {
+	for k := range params {
+		ok := false
+		for _, p := range known {
+			if p.Name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			names := make([]string, len(known))
+			for i, p := range known {
+				names[i] = p.Name
+			}
+			return fmt.Errorf("scenario: unknown parameter %q (known: %v)", k, names)
+		}
+	}
+	return nil
+}
+
+// floatParam reads params[name] as a float, falling back to def.
+func floatParam(params map[string]string, name string, def float64) (float64, error) {
+	raw, ok := params[name]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: parameter %s=%q is not a number", name, raw)
+	}
+	return v, nil
+}
+
+// intParam reads params[name] as an int, falling back to def.
+func intParam(params map[string]string, name string, def int) (int, error) {
+	raw, ok := params[name]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: parameter %s=%q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// modelWorkload wraps a Model into a Workload via Adversary.
+func modelWorkload(m Model, seed uint64) (*Workload, error) {
+	adv, st, err := Adversary(m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Adversary: adv, View: st, N: m.N()}, nil
+}
+
+func uniformSpec() Spec {
+	s := Spec{
+		Name:        "uniform",
+		Description: "every interaction drawn uniformly over the n(n-1)/2 pairs (the paper's randomized adversary)",
+		Citation:    "Bramas, Masuzawa, Tixeuil: Distributed Online Data Aggregation in Dynamic Graphs (ICDCS 2016), §4",
+	}
+	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+		if err := checkKnown(params, s.Params); err != nil {
+			return nil, err
+		}
+		m, err := NewUniform(n)
+		if err != nil {
+			return nil, err
+		}
+		return modelWorkload(m, seed)
+	}
+	return s
+}
+
+func zipfSpec() Spec {
+	s := Spec{
+		Name:        "zipf",
+		Description: "endpoints drawn with Zipf(alpha) per-node weights, node 0 (the sink) heaviest",
+		Citation:    "Bramas, Masuzawa, Tixeuil (ICDCS 2016), §5 open question 3",
+		Params: []Param{
+			{Name: "alpha", Default: fv(defZipfAlpha), Doc: "skew exponent; 0 recovers the uniform model"},
+		},
+	}
+	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+		if err := checkKnown(params, s.Params); err != nil {
+			return nil, err
+		}
+		alpha, err := floatParam(params, "alpha", defZipfAlpha)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := adversary.ZipfWeights(n, alpha)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := adversary.WeightedGen(ws, rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		st, err := seq.NewStream(n, gen)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := adversary.NewOblivious("zipf", st)
+		if err != nil {
+			return nil, err
+		}
+		return &Workload{Adversary: adv, View: st, N: n}, nil
+	}
+	return s
+}
+
+func edgeMarkovianSpec() Spec {
+	s := Spec{
+		Name:        "edge-markovian",
+		Description: "every potential edge is a two-state Markov chain (birth p-up, death p-down); interactions are uniform over the live edges",
+		Citation:    "Clementi, Macci, Monti, Pasquale, Silvestri: Flooding Time in Edge-Markovian Dynamic Graphs (PODC 2008)",
+		Params: []Param{
+			{Name: "p-up", Default: fv(defEMBirth), Doc: "per-step birth probability of an absent edge, in (0, 1]"},
+			{Name: "p-down", Default: fv(defEMDeath), Doc: "per-step death probability of a present edge, in [0, 1]"},
+		},
+	}
+	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+		if err := checkKnown(params, s.Params); err != nil {
+			return nil, err
+		}
+		pUp, err := floatParam(params, "p-up", defEMBirth)
+		if err != nil {
+			return nil, err
+		}
+		pDown, err := floatParam(params, "p-down", defEMDeath)
+		if err != nil {
+			return nil, err
+		}
+		m, err := NewEdgeMarkovian(n, pUp, pDown)
+		if err != nil {
+			return nil, err
+		}
+		return modelWorkload(m, seed)
+	}
+	return s
+}
+
+func communitySpec() Spec {
+	s := Spec{
+		Name:        "community",
+		Description: "nodes partitioned into k communities; interactions are intra-community with probability p-intra, cross-community otherwise",
+		Citation:    "Girvan, Newman: Community Structure in Social and Biological Networks (PNAS 2002)",
+		Params: []Param{
+			{Name: "communities", Default: strconv.Itoa(defCommunities), Doc: "number of (near-)equal-size communities"},
+			{Name: "p-intra", Default: fv(defCommIntra), Doc: "probability an interaction stays within a community"},
+		},
+	}
+	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+		if err := checkKnown(params, s.Params); err != nil {
+			return nil, err
+		}
+		k, err := intParam(params, "communities", defCommunities)
+		if err != nil {
+			return nil, err
+		}
+		pIntra, err := floatParam(params, "p-intra", defCommIntra)
+		if err != nil {
+			return nil, err
+		}
+		sizes, err := EvenSizes(n, k)
+		if err != nil {
+			return nil, err
+		}
+		m, err := NewCommunity(sizes, pIntra)
+		if err != nil {
+			return nil, err
+		}
+		return modelWorkload(m, seed)
+	}
+	return s
+}
+
+func churnSpec() Spec {
+	s := Spec{
+		Name:        "churn",
+		Description: "per-node online/offline availability chains filtering an inner contact model; offline nodes meet nobody",
+		Citation:    "Stutzbach, Rejaie: Understanding Churn in Peer-to-Peer Networks (IMC 2006)",
+		Params: []Param{
+			{Name: "p-fail", Default: fv(defChurnFail), Doc: "per-step probability an online node goes offline, in [0, 1]"},
+			{Name: "p-recover", Default: fv(defChurnRecover), Doc: "per-step probability an offline node comes back, in (0, 1]"},
+			{Name: "inner", Default: "uniform", Doc: "inner contact model: uniform | edge-markovian | community (with default parameters)"},
+		},
+	}
+	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+		if err := checkKnown(params, s.Params); err != nil {
+			return nil, err
+		}
+		pFail, err := floatParam(params, "p-fail", defChurnFail)
+		if err != nil {
+			return nil, err
+		}
+		pRecover, err := floatParam(params, "p-recover", defChurnRecover)
+		if err != nil {
+			return nil, err
+		}
+		innerName := params["inner"]
+		if innerName == "" {
+			innerName = "uniform"
+		}
+		inner, err := defaultInner(innerName, n)
+		if err != nil {
+			return nil, err
+		}
+		m, err := NewChurn(inner, pFail, pRecover)
+		if err != nil {
+			return nil, err
+		}
+		return modelWorkload(m, seed)
+	}
+	return s
+}
+
+func traceSpec() Spec {
+	s := Spec{
+		Name:        "trace",
+		Description: "replay a CSV contact trace (time,u,v rows); the trace dictates the node count and sequence length",
+		Citation:    "Chaintreau, Hui, Crowcroft, Diot, Gass, Scott: Impact of Human Mobility on Opportunistic Forwarding Algorithms (INFOCOM 2006)",
+		Params: []Param{
+			{Name: "file", Default: "", Doc: "path to the CSV trace (required)"},
+		},
+	}
+	s.Build = func(_ int, _ uint64, params map[string]string) (*Workload, error) {
+		if err := checkKnown(params, s.Params); err != nil {
+			return nil, err
+		}
+		path := params["file"]
+		if path == "" {
+			return nil, fmt.Errorf("scenario: the trace scenario requires file=<path>")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sq, err := ReplayTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := TraceAdversary(sq)
+		if err != nil {
+			return nil, err
+		}
+		return &Workload{Adversary: adv, View: sq, N: sq.N()}, nil
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+// Package scenario is the workload-generation layer: deterministic,
+// seedable dynamic-graph contact models that go beyond the paper's own
+// adversaries. Where package adversary implements the constructions the
+// paper analyses (uniform/weighted randomized, recurrent, the
+// impossibility sequences), this package generates the workloads the
+// wider dynamic-network literature evaluates against — edge-Markovian
+// dynamic graphs, community-structured contact patterns, node churn, and
+// replayed real-world contact traces.
+//
+// Every model plugs into the existing execution stack unchanged: a Model
+// is a generator of interactions that is wrapped into a seq.Stream (so
+// knowledge oracles can look ahead consistently) and exposed as an
+// oblivious core.Adversary. Same model, same seed ⇒ bit-for-bit the same
+// interaction sequence, across runs and platforms, exactly like the rest
+// of the repository's randomness (package rng).
+//
+// The Registry (see registry.go) catalogues the built-in models with
+// their parameters and citations; cmd/dodascen and the -scenario flag of
+// cmd/dodasim are thin front-ends over it.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"doda/internal/adversary"
+	"doda/internal/core"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+// Model is a seedable dynamic-graph workload generator. Implementations
+// carry validated parameters; all randomness flows through the rng.Source
+// handed to Generator, so one Model value can deterministically spawn any
+// number of independent sequences.
+type Model interface {
+	// Name identifies the model (used as the adversary name in results).
+	Name() string
+	// N returns the number of nodes in the generated workloads.
+	N() int
+	// Generator returns a fresh interaction generator drawing all its
+	// randomness from src. Generators are stateful and single-stream:
+	// they must be called with t = 0, 1, 2, ... as seq.Stream does.
+	Generator(src *rng.Source) func(t int) seq.Interaction
+}
+
+// Stream wraps a model into a lazily materialised unbounded sequence
+// seeded with seed.
+func Stream(m Model, seed uint64) (*seq.Stream, error) {
+	if m == nil {
+		return nil, fmt.Errorf("scenario: nil model")
+	}
+	return seq.NewStream(m.N(), m.Generator(rng.New(seed)))
+}
+
+// Adversary wraps a model into an oblivious adversary plus the stream
+// backing it (hand the stream to knowledge oracles so that adversary and
+// oracles agree on the sequence).
+func Adversary(m Model, seed uint64) (core.Adversary, *seq.Stream, error) {
+	st, err := Stream(m, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	adv, err := adversary.NewOblivious(m.Name(), st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return adv, st, nil
+}
+
+// bernoulliIndices appends to out the indices i in [0, m) of an i.i.d.
+// Bernoulli(p) trial sequence that came up true, using geometric skipping:
+// expected cost O(1 + m·p) draws instead of m, which keeps per-tick edge
+// and availability updates cheap when flip probabilities are small.
+func bernoulliIndices(src *rng.Source, m int, p float64, out []int) []int {
+	switch {
+	case m <= 0 || p <= 0:
+		return out
+	case p >= 1:
+		for i := 0; i < m; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	// Skip to the next success: K ~ Geometric(p) failures first, i.e.
+	// K = floor(log(U) / log(1-p)) for U uniform in (0, 1].
+	logq := math.Log1p(-p)
+	i := 0
+	for {
+		u := 1 - src.Float64() // (0, 1]: avoids log(0)
+		// Compare in float space before converting: for tiny p the skip
+		// can exceed MaxInt64, and float-to-int overflow is undefined.
+		skip := math.Log(u) / logq
+		if skip >= float64(m-i) {
+			return out
+		}
+		i += int(skip)
+		if i >= m {
+			return out
+		}
+		out = append(out, i)
+		i++
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+// Equivalence of the sequential engine and the concurrent runtime on
+// scenario-generated workloads: the existing equivalence tests cover the
+// paper's randomized adversary; these extend the claim to the workload
+// generators of internal/scenario (edge-Markovian, community, churn),
+// whose temporally correlated and filtered sequences exercise different
+// interaction patterns.
+
+import (
+	"testing"
+
+	"doda/internal/algorithms"
+	"doda/internal/core"
+	"doda/internal/knowledge"
+	"doda/internal/scenario"
+	"doda/internal/seq"
+)
+
+// scenarioEquivalence plays the same model/seed/algorithm on both
+// executors and requires identical results.
+func scenarioEquivalence(t *testing.T, m scenario.Model, seed uint64, mkAlg func() core.Algorithm, withMeetTime bool) {
+	t.Helper()
+	n := m.N()
+	cap := 200 * n * n
+
+	build := func() (core.Adversary, *seq.Stream) {
+		adv, st, err := scenario.Adversary(m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return adv, st
+	}
+	know := func(st *seq.Stream) *knowledge.Bundle {
+		if !withMeetTime {
+			return nil
+		}
+		b, err := knowledge.NewBundle(knowledge.WithMeetTime(st, 0, cap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	advA, streamA := build()
+	engineRes, err := core.RunOnce(core.Config{
+		N: n, MaxInteractions: cap, Know: know(streamA), VerifyAggregate: true,
+	}, mkAlg(), advA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	advB, streamB := build()
+	rt, err := NewRuntime(Config{N: n, MaxInteractions: cap, Know: know(streamB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := rt.Run(mkAlg(), advB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if engineRes.Terminated != simRes.Terminated ||
+		engineRes.Duration != simRes.Duration ||
+		engineRes.Interactions != simRes.Interactions ||
+		engineRes.Transmissions != simRes.Transmissions ||
+		engineRes.Declined != simRes.Declined ||
+		engineRes.LastGap != simRes.LastGap {
+		t.Errorf("engine %+v != sim %+v", engineRes, simRes)
+	}
+	if engineRes.Terminated && engineRes.SinkValue.Num != simRes.SinkValue.Num {
+		t.Errorf("sink payload: engine %v, sim %v", engineRes.SinkValue.Num, simRes.SinkValue.Num)
+	}
+}
+
+func TestEquivalenceEdgeMarkovian(t *testing.T) {
+	m, err := scenario.NewEdgeMarkovian(10, 0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		scenarioEquivalence(t, m, seed, func() core.Algorithm { return algorithms.NewGathering() }, false)
+	}
+}
+
+func TestEquivalenceCommunityChurn(t *testing.T) {
+	sizes, err := scenario.EvenSizes(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := scenario.NewCommunity(sizes, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := scenario.NewChurn(cm, 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{4, 5} {
+		scenarioEquivalence(t, ch, seed, func() core.Algorithm { return algorithms.Waiting{} }, false)
+		scenarioEquivalence(t, ch, seed, func() core.Algorithm { return algorithms.NewGathering() }, false)
+	}
+}
+
+func TestEquivalenceScenarioWaitingGreedy(t *testing.T) {
+	// A knowledge-using algorithm over a scenario stream: the meetTime
+	// oracle must agree between executors because both read the same
+	// deterministic stream.
+	m, err := scenario.NewEdgeMarkovian(10, 0.2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarioEquivalence(t, m, 6,
+		func() core.Algorithm { return algorithms.WaitingGreedy{Tau: algorithms.TauStar(10)} }, true)
+}

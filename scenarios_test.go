@@ -1,0 +1,84 @@
+package doda_test
+
+// Root-level coverage of the scenario re-exports: library users must be
+// able to drive every workload generator without importing internal/.
+
+import (
+	"strings"
+	"testing"
+
+	"doda"
+)
+
+func TestScenarioRegistryExported(t *testing.T) {
+	specs := doda.Scenarios()
+	if len(specs) < 4 {
+		t.Fatalf("only %d registered scenarios, want >= 4", len(specs))
+	}
+	if _, ok := doda.ScenarioByName("community"); !ok {
+		t.Error("community scenario not found by name")
+	}
+}
+
+func TestScenarioModelsThroughRootAPI(t *testing.T) {
+	const n = 14
+	uni, err := doda.NewUniformScenario(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := doda.NewEdgeMarkovian(n, 0.1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := doda.EvenCommunitySizes(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := doda.NewCommunity(sizes, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := doda.NewChurn(uni, 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []doda.ScenarioModel{uni, em, cm, ch} {
+		adv, stream, err := doda.ScenarioAdversary(m, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stream == nil {
+			t.Fatalf("%s: nil stream", m.Name())
+		}
+		res, err := doda.Run(doda.Config{N: n, MaxInteractions: 400 * n * n},
+			doda.NewGathering(), adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Terminated {
+			t.Errorf("%s: gathering did not terminate: %+v", m.Name(), res)
+		}
+	}
+}
+
+func TestReplayTraceThroughRootAPI(t *testing.T) {
+	s, err := doda.ReplayTrace(strings.NewReader("0,0,1\n1,1,2\n2,2,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 3 || s.Len() != 3 {
+		t.Fatalf("n=%d len=%d, want 3/3", s.N(), s.Len())
+	}
+	adv, err := doda.TraceAdversary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := doda.Run(doda.Config{N: s.N(), MaxInteractions: s.Len()},
+		doda.NewGathering(), adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Errorf("res = %+v", res)
+	}
+}
