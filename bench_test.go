@@ -20,6 +20,7 @@ import (
 	"doda/internal/scenario"
 	"doda/internal/seq"
 	"doda/internal/sim"
+	"doda/internal/sweep"
 )
 
 func benchSizes(b *testing.B) []int {
@@ -574,6 +575,104 @@ func BenchmarkA4MeetTimeOracle(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkHotPathEngine: the zero-allocation measurement loop — engine
+// reuse via Reset, generated (non-caching) uniform adversary, Gathering.
+// interactions/op is the model-level work per run; allocs/op must stay 0.
+func BenchmarkHotPathEngine(b *testing.B) {
+	const n = 64
+	cfg := core.Config{N: n, MaxInteractions: 400*n*n + 4000, VerifyAggregate: true}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := algorithms.NewGathering()
+	var total float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Run(alg, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += float64(res.Interactions)
+	}
+	b.ReportMetric(total/float64(b.N), "interactions/op")
+}
+
+// BenchmarkHotPathAliasDraw: one O(1) weighted draw from the Vose alias
+// table (the weighted adversary's elementary step; allocs/op must be 0).
+func BenchmarkHotPathAliasDraw(b *testing.B) {
+	ws, err := adversary.ZipfWeights(1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := rng.NewAlias(ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(2)
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += table.Draw(src)
+	}
+	_ = sink
+}
+
+// BenchmarkHotPathWeightedGen: one full weighted interaction (two alias
+// draws plus the without-replacement rejection), replacing the old O(n)
+// CDF scan.
+func BenchmarkHotPathWeightedGen(b *testing.B) {
+	ws, err := adversary.ZipfWeights(1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := adversary.WeightedGen(ws, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen(i)
+	}
+}
+
+// BenchmarkSweepGrid: whole-fleet throughput of the sharded sweep engine
+// (cells/sec over a scenario×algorithm×size grid, all cores).
+func BenchmarkSweepGrid(b *testing.B) {
+	grid := sweep.Grid{
+		Scenarios: []sweep.ScenarioRef{
+			{Name: "uniform"},
+			{Name: "zipf", Params: map[string]string{"alpha": "1"}},
+			{Name: "community", Params: map[string]string{"communities": "2"}},
+		},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      []int{16, 24},
+		Replicas:   3,
+		Seed:       4,
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sweep.Run(grid, sweep.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cells))*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
 }
 
 // benchModels returns one instance of every generative scenario model.

@@ -1,0 +1,259 @@
+package main
+
+// Hot-path micro-benchmarks behind the -json flag: the perf trajectory
+// file BENCH_hotpath.json records ns/op and allocs/op for the engine's
+// steady-state interaction loop, the concurrent runtime, the alias
+// sampler, and the sweep engine's whole-fleet throughput, so future
+// changes have a baseline to compare against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"doda/internal/adversary"
+	"doda/internal/algorithms"
+	"doda/internal/core"
+	"doda/internal/rng"
+	"doda/internal/seq"
+	"doda/internal/sim"
+	"doda/internal/sweep"
+)
+
+// perInteraction reports one measured interaction loop.
+type perInteraction struct {
+	N                    int     `json:"n"`
+	Runs                 int     `json:"runs"`
+	Interactions         int64   `json:"interactions"`
+	NsPerInteraction     float64 `json:"ns_per_interaction"`
+	AllocsPerInteraction float64 `json:"allocs_per_interaction"`
+	AllocsPerRun         float64 `json:"allocs_per_run"`
+}
+
+// perDraw reports the sampler benchmark.
+type perDraw struct {
+	Outcomes      int     `json:"outcomes"`
+	NsPerDraw     float64 `json:"ns_per_draw"`
+	AllocsPerDraw float64 `json:"allocs_per_draw"`
+}
+
+// sweepThroughput reports the fleet benchmark.
+type sweepThroughput struct {
+	Cells       int     `json:"cells"`
+	Runs        int     `json:"runs"`
+	Workers     int     `json:"workers"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// hotpathReport is the BENCH_hotpath.json document.
+type hotpathReport struct {
+	GoMaxProcs   int             `json:"gomaxprocs"`
+	Engine       perInteraction  `json:"engine"`
+	Sim          perInteraction  `json:"sim"`
+	AliasSampler perDraw         `json:"alias_sampler"`
+	WeightedGen  perDraw         `json:"weighted_gen"`
+	Sweep        sweepThroughput `json:"sweep"`
+}
+
+// benchEngine measures the sequential engine's steady-state interaction
+// cost: engine reuse via Reset, generated uniform adversary, Gathering.
+func benchEngine(n int) (perInteraction, error) {
+	cfg := core.Config{N: n, MaxInteractions: 400*n*n + 4000, VerifyAggregate: true}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return perInteraction{}, err
+	}
+	adv, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(1)))
+	if err != nil {
+		return perInteraction{}, err
+	}
+	alg := algorithms.NewGathering()
+	var interactions int64
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		interactions = 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Reset(cfg); err != nil {
+				benchErr = err
+				return
+			}
+			out, err := eng.Run(alg, adv)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			interactions += int64(out.Interactions)
+		}
+	})
+	if benchErr != nil {
+		return perInteraction{}, benchErr
+	}
+	return reduce(n, res, interactions), nil
+}
+
+// benchSim measures the concurrent runtime's per-interaction cost on the
+// same workload shape (fresh runtime per run: the goroutine fleet is part
+// of what it models).
+func benchSim(n int) (perInteraction, error) {
+	var interactions int64
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		interactions = 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			adv, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(uint64(i))))
+			if err != nil {
+				benchErr = err
+				return
+			}
+			rt, err := sim.NewRuntime(sim.Config{N: n, MaxInteractions: 400*n*n + 4000})
+			if err != nil {
+				benchErr = err
+				return
+			}
+			out, err := rt.Run(algorithms.NewGathering(), adv)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			interactions += int64(out.Interactions)
+		}
+	})
+	if benchErr != nil {
+		return perInteraction{}, benchErr
+	}
+	return reduce(n, res, interactions), nil
+}
+
+// reduce converts a BenchmarkResult over whole runs into per-interaction
+// figures.
+func reduce(n int, res testing.BenchmarkResult, interactions int64) perInteraction {
+	out := perInteraction{N: n, Runs: res.N, Interactions: interactions}
+	if interactions > 0 {
+		out.NsPerInteraction = float64(res.T.Nanoseconds()) / float64(interactions)
+		out.AllocsPerInteraction = float64(res.MemAllocs) / float64(interactions)
+	}
+	if res.N > 0 {
+		out.AllocsPerRun = float64(res.MemAllocs) / float64(res.N)
+	}
+	return out
+}
+
+// benchAlias measures one alias-table draw.
+func benchAlias(outcomes int) (perDraw, error) {
+	ws, err := adversary.ZipfWeights(outcomes, 1)
+	if err != nil {
+		return perDraw{}, err
+	}
+	table, err := rng.NewAlias(ws)
+	if err != nil {
+		return perDraw{}, err
+	}
+	src := rng.New(2)
+	sink := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += table.Draw(src)
+		}
+	})
+	_ = sink
+	return perDraw{
+		Outcomes:      outcomes,
+		NsPerDraw:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerDraw: float64(res.AllocsPerOp()),
+	}, nil
+}
+
+// benchWeightedGen measures one full weighted interaction draw (two alias
+// draws plus the without-replacement rejection).
+func benchWeightedGen(n int) (perDraw, error) {
+	ws, err := adversary.ZipfWeights(n, 1)
+	if err != nil {
+		return perDraw{}, err
+	}
+	gen, err := adversary.WeightedGen(ws, rng.New(3))
+	if err != nil {
+		return perDraw{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gen(i)
+		}
+	})
+	return perDraw{
+		Outcomes:      n,
+		NsPerDraw:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerDraw: float64(res.AllocsPerOp()),
+	}, nil
+}
+
+// benchSweep times one sharded fleet over all cores.
+func benchSweep() (sweepThroughput, error) {
+	grid := sweep.Grid{
+		Scenarios: []sweep.ScenarioRef{
+			{Name: "uniform"},
+			{Name: "zipf", Params: map[string]string{"alpha": "1"}},
+			{Name: "edge-markovian"},
+			{Name: "community", Params: map[string]string{"communities": "2"}},
+			{Name: "churn"},
+		},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      []int{16, 24},
+		Replicas:   5,
+		Seed:       4,
+	}
+	workers := runtime.GOMAXPROCS(0)
+	start := time.Now()
+	results, totals, err := sweep.Run(grid, sweep.Options{Workers: workers})
+	if err != nil {
+		return sweepThroughput{}, err
+	}
+	elapsed := time.Since(start)
+	return sweepThroughput{
+		Cells:       len(results),
+		Runs:        totals.Runs,
+		Workers:     workers,
+		ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
+		CellsPerSec: float64(len(results)) / elapsed.Seconds(),
+	}, nil
+}
+
+// writeHotpathJSON runs the hot-path suite and writes the report to path.
+func writeHotpathJSON(path string) error {
+	var rep hotpathReport
+	var err error
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	if rep.Engine, err = benchEngine(64); err != nil {
+		return fmt.Errorf("engine benchmark: %w", err)
+	}
+	if rep.Sim, err = benchSim(32); err != nil {
+		return fmt.Errorf("sim benchmark: %w", err)
+	}
+	if rep.AliasSampler, err = benchAlias(1024); err != nil {
+		return fmt.Errorf("alias benchmark: %w", err)
+	}
+	if rep.WeightedGen, err = benchWeightedGen(1024); err != nil {
+		return fmt.Errorf("weighted-gen benchmark: %w", err)
+	}
+	if rep.Sweep, err = benchSweep(); err != nil {
+		return fmt.Errorf("sweep benchmark: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -10,6 +10,7 @@
 //	dodabench -run E10,E12     # a subset
 //	dodabench -list            # list experiment ids
 //	dodabench -csv out/        # also write each table as CSV
+//	dodabench -json BENCH_hotpath.json  # hot-path perf baseline instead
 package main
 
 import (
@@ -42,9 +43,18 @@ func run(args []string) error {
 		csvDir    = fs.String("csv", "", "directory to write per-table CSV files")
 		progress  = fs.Bool("progress", false, "print sweep progress")
 		workers   = fs.Int("parallel", 1, "run experiments concurrently on this many workers (numbers are unchanged: every experiment derives its own seed)")
+		jsonPath  = fs.String("json", "", "run the hot-path micro-benchmarks and write ns/op and allocs/op to this file (e.g. BENCH_hotpath.json), skipping the experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonPath != "" {
+		if err := writeHotpathJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("hot-path benchmark report written to %s\n", *jsonPath)
+		return nil
 	}
 
 	if *list {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -59,5 +60,44 @@ func TestRunParallelMatchesSequentialVerdicts(t *testing.T) {
 func TestRunParallelAutoWorkers(t *testing.T) {
 	if err := run([]string{"-run", "E5", "-parallel", "0"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHotpathJSON exercises the -json perf-baseline mode end to end and
+// pins the zero-allocation contract in the emitted report.
+func TestHotpathJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark run skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := run([]string{"-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep hotpathReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, raw)
+	}
+	if rep.Engine.NsPerInteraction <= 0 || rep.Engine.Interactions == 0 {
+		t.Errorf("engine section empty: %+v", rep.Engine)
+	}
+	// The benchmark counter is process-wide, so unrelated goroutines can
+	// leak fractional allocations into it; anything ≥ 1 per run is a
+	// real hot-path regression (the exact 0-allocs gate lives in
+	// internal/core's AllocsPerRun test).
+	if rep.Engine.AllocsPerRun >= 1 {
+		t.Errorf("engine steady state allocates %v per run, want < 1", rep.Engine.AllocsPerRun)
+	}
+	if rep.AliasSampler.AllocsPerDraw != 0 {
+		t.Errorf("alias draw allocates %v, want 0", rep.AliasSampler.AllocsPerDraw)
+	}
+	if rep.Sim.NsPerInteraction <= 0 || rep.WeightedGen.NsPerDraw <= 0 {
+		t.Errorf("sim/weighted sections empty: %+v / %+v", rep.Sim, rep.WeightedGen)
+	}
+	if rep.Sweep.Cells == 0 || rep.Sweep.CellsPerSec <= 0 {
+		t.Errorf("sweep section empty: %+v", rep.Sweep)
 	}
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// sweepOut runs the CLI and returns stdout.
+func sweepOut(t *testing.T, args []string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestSweepEmitsOneJSONLinePerCellInOrder(t *testing.T) {
+	out := sweepOut(t, []string{
+		"-scenarios", "uniform;zipf:alpha=1", "-algs", "waiting,gathering",
+		"-n", "8,12", "-reps", "2", "-seed", "3",
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8 cells:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if doc["index"] != float64(i) {
+			t.Errorf("line %d has index %v: cells must stream in order", i, doc["index"])
+		}
+		if doc["terminated"] != doc["replicas"] {
+			t.Errorf("cell %d: %v of %v replicas terminated", i, doc["terminated"], doc["replicas"])
+		}
+	}
+}
+
+// TestShardedEqualsSequential is the acceptance gate for the sweep
+// engine: a ≥100-cell scenario×algorithm grid sharded across many
+// workers must produce byte-identical output to the workers=1 run.
+func TestShardedEqualsSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-run sweep skipped in -short mode")
+	}
+	// 5 scenarios × 2 algorithms × 10 sizes = 100 cells.
+	base := []string{
+		"-scenarios", "uniform;zipf:alpha=1;edge-markovian;community:communities=2;churn",
+		"-algs", "waiting,gathering",
+		"-n", "4,5,6,7,8,9,10,11,12,13",
+		"-reps", "2", "-seed", "11", "-summary",
+	}
+	seq := sweepOut(t, append([]string{"-workers", "1"}, base...))
+	workers := 8
+	if c := runtime.GOMAXPROCS(0); c > workers {
+		workers = c
+	}
+	par := sweepOut(t, append([]string{"-workers", itoa(workers)}, base...))
+	if seq != par {
+		t.Errorf("workers=1 and workers=%d outputs differ:\n--- sequential ---\n%s\n--- sharded ---\n%s",
+			workers, seq, par)
+	}
+	if n := strings.Count(seq, "\n"); n != 101 { // 100 cells + totals line
+		t.Errorf("got %d lines, want 101", n)
+	}
+}
+
+func itoa(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestSweepErrors(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown scenario", args: []string{"-scenarios", "bogus"}},
+		{name: "unknown algorithm", args: []string{"-algs", "bogus"}},
+		{name: "bad size", args: []string{"-n", "two"}},
+		{name: "tiny size", args: []string{"-n", "1"}},
+		{name: "zero replicas", args: []string{"-reps", "0"}},
+		{name: "empty scenarios", args: []string{"-scenarios", ";"}},
+		{name: "bad params", args: []string{"-scenarios", "zipf:novalue"}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, io.Discard, io.Discard); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -24,6 +24,15 @@ import (
 // weights: u is drawn with probability w_u / Σw, then v with probability
 // w_v / (Σw - w_u). Weights must be positive and there must be at least
 // two nodes.
+//
+// Both endpoints are sampled from a Vose alias table in O(1) and zero
+// allocations per interaction. The second endpoint is drawn by rejection
+// (redraw while it collides with the first), which realises exactly the
+// without-replacement conditional w_v / (Σw - w_u); the expected number
+// of redraws is w_u / (Σw - w_u), so draws stay O(1) unless a single
+// node carries almost all the weight — a deterministic O(n) scan takes
+// over after a bounded number of collisions to keep the worst case
+// linear rather than unbounded.
 func WeightedGen(weights []float64, src *rng.Source) (func(t int) seq.Interaction, error) {
 	n := len(weights)
 	if n < 2 {
@@ -36,10 +45,16 @@ func WeightedGen(weights []float64, src *rng.Source) (func(t int) seq.Interactio
 		}
 		total += w
 	}
+	table, err := rng.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
 	cp := make([]float64, n)
 	copy(cp, weights)
-	pick := func(excluded int, sum float64) int {
-		x := src.Float64() * sum
+	// scanExcluding is the exact linear fallback: a CDF walk over the
+	// weights with `excluded` removed from the distribution.
+	scanExcluding := func(excluded int) int {
+		x := src.Float64() * (total - cp[excluded])
 		for i, w := range cp {
 			if i == excluded {
 				continue
@@ -49,17 +64,24 @@ func WeightedGen(weights []float64, src *rng.Source) (func(t int) seq.Interactio
 				return i
 			}
 		}
-		// Float round-off: return the last eligible node.
-		for i := n - 1; i >= 0; i-- {
+		for i := n - 1; i >= 0; i-- { // float round-off
 			if i != excluded {
 				return i
 			}
 		}
 		return 0 // unreachable for n >= 2
 	}
+	const maxRejects = 32
 	return func(int) seq.Interaction {
-		a := pick(-1, total)
-		b := pick(a, total-cp[a])
+		a := table.Draw(src)
+		b := table.Draw(src)
+		for tries := 0; b == a; tries++ {
+			if tries == maxRejects {
+				b = scanExcluding(a)
+				break
+			}
+			b = table.Draw(src)
+		}
 		if a > b {
 			a, b = b, a
 		}

@@ -113,6 +113,24 @@ func Merge(f Func, a, b Value) (Value, error) {
 	}, nil
 }
 
+// MergeInto folds src into dst in place using f: dst's provenance set is
+// unioned with src's without cloning, so the measurement hot path does no
+// per-transfer allocation. It is only safe when src's Value is retired
+// after the call (the engine zeroes the sender's datum), because dst does
+// not take a private copy of anything. The overlap check is identical to
+// Merge's; on error dst is left unchanged.
+func MergeInto(f Func, dst *Value, src Value) error {
+	if dst.Origins != nil && src.Origins != nil {
+		if dst.Origins.IntersectsWith(src.Origins) {
+			return &ErrOverlap{A: dst.Origins, B: src.Origins}
+		}
+		dst.Origins.UnionWith(src.Origins)
+	}
+	dst.Num = f.Combine(dst.Num, src.Num)
+	dst.Count += src.Count
+	return nil
+}
+
 // FoldAll computes the expected final sink value: the aggregation of all
 // initial payloads, in index order. Because Funcs are commutative and
 // associative this is the unique correct answer regardless of the

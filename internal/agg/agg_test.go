@@ -153,3 +153,85 @@ func TestQuickMergeOrderIndependent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMergeIntoMatchesMerge pins the equivalence the zero-allocation hot
+// path rests on: MergeInto must produce exactly the Value Merge produces
+// — payload, count and provenance — for every aggregation function.
+func TestMergeIntoMatchesMerge(t *testing.T) {
+	const n = 67 // cross a word boundary in the bitset
+	src := rng.New(5)
+	for _, fu := range []Func{Min, Max, Sum, Count} {
+		a := Initial(0, src.Float64()*100, n)
+		b := Initial(1, src.Float64()*100, n)
+		for i := 2; i < n; i++ {
+			v := Initial(graph.NodeID(i), src.Float64()*100, n)
+			if src.Bool() {
+				var err error
+				if a, err = Merge(fu, a, v); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := MergeInto(fu, &b, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := Merge(fu, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Value{Num: a.Num, Count: a.Count, Origins: a.Origins.Clone()}
+		if err := MergeInto(fu, &got, b); err != nil {
+			t.Fatal(err)
+		}
+		if got.Num != want.Num || got.Count != want.Count {
+			t.Errorf("%s: MergeInto = (%v, %d), Merge = (%v, %d)",
+				fu.Name(), got.Num, got.Count, want.Num, want.Count)
+		}
+		if !got.Origins.Equal(want.Origins) {
+			t.Errorf("%s: provenance %v != %v", fu.Name(), got.Origins, want.Origins)
+		}
+		if !got.Origins.Full() {
+			t.Errorf("%s: provenance %v not full", fu.Name(), got.Origins)
+		}
+	}
+}
+
+func TestMergeIntoRejectsOverlapUnchanged(t *testing.T) {
+	a := Initial(0, 1, 4)
+	b := Initial(0, 2, 4) // same origin: overlap
+	before := Value{Num: a.Num, Count: a.Count, Origins: a.Origins.Clone()}
+	if err := MergeInto(Min, &a, b); err == nil {
+		t.Fatal("want overlap error")
+	}
+	if a.Num != before.Num || a.Count != before.Count || !a.Origins.Equal(before.Origins) {
+		t.Errorf("failed MergeInto mutated dst: %+v", a)
+	}
+}
+
+func TestMergeIntoNilProvenance(t *testing.T) {
+	dst := Value{Num: 3, Count: 1}
+	if err := MergeInto(Sum, &dst, Initial(1, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Num != 7 || dst.Count != 2 || dst.Origins != nil {
+		t.Errorf("nil-dst merge = %+v", dst)
+	}
+}
+
+// TestMergeIntoAllocationFree is the hot-path allocation regression gate
+// at the agg layer: one in-place merge must not touch the heap.
+func TestMergeIntoAllocationFree(t *testing.T) {
+	const n = 256
+	a := Initial(0, 1, n)
+	b := Initial(1, 2, n)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Undo the previous iteration so the overlap check keeps passing.
+		a.Origins.Remove(1)
+		a.Count = 1
+		if err := MergeInto(Sum, &a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MergeInto allocates %v objects per call, want 0", allocs)
+	}
+}

@@ -103,6 +103,14 @@ func (s *Set) Equal(t *Set) bool {
 	return true
 }
 
+// Clear removes every bit, keeping the capacity and backing storage, so
+// a set can be recycled across runs without reallocating.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
 	c := New(s.n)

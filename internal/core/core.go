@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"doda/internal/agg"
+	"doda/internal/bitset"
 	"doda/internal/graph"
 	"doda/internal/knowledge"
 	"doda/internal/seq"
@@ -200,7 +201,9 @@ type Result struct {
 	// second-to-last and the last transmission (Theorem 7 measures its
 	// expectation at n(n-1)/2).
 	LastGap int
-	// SinkValue is the sink's datum at the end of the run.
+	// SinkValue is the sink's datum at the end of the run. Its Origins
+	// set aliases engine-owned storage that Engine.Reset recycles: read
+	// or clone it before resetting the engine that produced it.
 	SinkValue agg.Value
 }
 
@@ -228,8 +231,10 @@ type Config struct {
 	VerifyAggregate bool
 }
 
-// Engine executes one algorithm against one adversary. An Engine is
-// single-use: create a fresh one per run.
+// Engine executes one algorithm against one adversary. A fresh Engine (or
+// a Reset one) runs exactly once; sweep workers call Reset between runs to
+// reuse the engine's slices and provenance bitsets instead of reallocating
+// them per cell.
 type Engine struct {
 	cfg  Config
 	env  *Env
@@ -237,58 +242,106 @@ type Engine struct {
 	data []agg.Value
 	nOwn int
 	used bool
+
+	// Recycled storage, sized for the largest N seen so far. origins[i]
+	// is node i's provenance set: MergeInto unions sets in place, so the
+	// n sets allocated here are the only ones the engine ever creates.
+	origins     []*bitset.Set
+	stateBuf    []any
+	defPayloads []float64
+	emptyKnow   *knowledge.Bundle
 }
 
 var _ ExecView = (*Engine)(nil)
 
 // NewEngine validates cfg and prepares an execution.
 func NewEngine(cfg Config) (*Engine, error) {
+	e := &Engine{}
+	if err := e.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset re-arms the engine for a new run under cfg, reusing the previous
+// run's slices, per-node provenance bitsets, and default payloads whenever
+// the node count allows, so steady-state sweep loops allocate nothing.
+//
+// Reset recycles the provenance sets a previous run handed out through
+// Result.SinkValue: callers that keep a Result across a Reset must read
+// (or clone) its Origins before resetting.
+func (e *Engine) Reset(cfg Config) error {
 	if cfg.N < 2 {
-		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", cfg.N)
+		return fmt.Errorf("core: need at least 2 nodes, got %d", cfg.N)
 	}
 	if cfg.Sink < 0 || int(cfg.Sink) >= cfg.N {
-		return nil, fmt.Errorf("core: sink %d out of range [0,%d)", cfg.Sink, cfg.N)
+		return fmt.Errorf("core: sink %d out of range [0,%d)", cfg.Sink, cfg.N)
 	}
 	if cfg.MaxInteractions <= 0 {
-		return nil, fmt.Errorf("core: MaxInteractions must be positive, got %d", cfg.MaxInteractions)
+		return fmt.Errorf("core: MaxInteractions must be positive, got %d", cfg.MaxInteractions)
 	}
 	if cfg.Agg == nil {
 		cfg.Agg = agg.Min
 	}
 	if cfg.Payloads == nil {
-		cfg.Payloads = make([]float64, cfg.N)
-		for i := range cfg.Payloads {
-			cfg.Payloads[i] = float64(i)
+		if len(e.defPayloads) != cfg.N {
+			e.defPayloads = make([]float64, cfg.N)
+			for i := range e.defPayloads {
+				e.defPayloads[i] = float64(i)
+			}
 		}
+		cfg.Payloads = e.defPayloads
 	}
 	if len(cfg.Payloads) != cfg.N {
-		return nil, fmt.Errorf("core: %d payloads for %d nodes", len(cfg.Payloads), cfg.N)
+		return fmt.Errorf("core: %d payloads for %d nodes", len(cfg.Payloads), cfg.N)
 	}
 	know := cfg.Know
 	if know == nil {
-		var err error
-		know, err = knowledge.NewBundle()
-		if err != nil {
-			return nil, err
+		if e.emptyKnow == nil {
+			var err error
+			e.emptyKnow, err = knowledge.NewBundle()
+			if err != nil {
+				return err
+			}
 		}
+		know = e.emptyKnow
 	}
-	e := &Engine{
-		cfg: cfg,
-		env: &Env{
-			N:     cfg.N,
-			Sink:  cfg.Sink,
-			Know:  know,
-			State: make([]any, cfg.N),
-		},
-		owns: make([]bool, cfg.N),
-		data: make([]agg.Value, cfg.N),
-		nOwn: cfg.N,
+
+	if cap(e.owns) < cfg.N {
+		e.owns = make([]bool, cfg.N)
+		e.data = make([]agg.Value, cfg.N)
+		e.origins = make([]*bitset.Set, cfg.N)
+		e.stateBuf = make([]any, cfg.N)
 	}
+	e.owns = e.owns[:cfg.N]
+	e.data = e.data[:cfg.N]
+	e.origins = e.origins[:cfg.N]
+	e.stateBuf = e.stateBuf[:cfg.N]
+	if e.env == nil {
+		e.env = &Env{}
+	}
+	e.env.N = cfg.N
+	e.env.Sink = cfg.Sink
+	e.env.Know = know
+	e.env.State = e.stateBuf
+
 	for u := 0; u < cfg.N; u++ {
+		set := e.origins[u]
+		if set == nil || set.Cap() != cfg.N {
+			set = bitset.New(cfg.N)
+			e.origins[u] = set
+		} else {
+			set.Clear()
+		}
+		set.Add(u)
 		e.owns[u] = true
-		e.data[u] = agg.Initial(graph.NodeID(u), cfg.Payloads[u], cfg.N)
+		e.data[u] = agg.Value{Num: cfg.Payloads[u], Count: 1, Origins: set}
+		e.stateBuf[u] = nil
 	}
-	return e, nil
+	e.cfg = cfg
+	e.nOwn = cfg.N
+	e.used = false
+	return nil
 }
 
 // N returns the node count.
@@ -321,7 +374,7 @@ func (e *Engine) Run(alg Algorithm, adv Adversary) (Result, error) {
 		return Result{}, fmt.Errorf("core: nil algorithm or adversary")
 	}
 	if e.used {
-		return Result{}, fmt.Errorf("core: engine is single-use; create a new one")
+		return Result{}, fmt.Errorf("core: engine already ran; Reset it (or create a new one) first")
 	}
 	e.used = true
 
@@ -368,11 +421,9 @@ func (e *Engine) Run(alg Algorithm, adv Adversary) (Result, error) {
 			ev.Decision = d
 			if receiver, transfer := d.Receiver(canon); transfer {
 				sender, _ := d.Sender(canon)
-				merged, err := agg.Merge(e.cfg.Agg, e.data[receiver], e.data[sender])
-				if err != nil {
+				if err := agg.MergeInto(e.cfg.Agg, &e.data[receiver], e.data[sender]); err != nil {
 					return res, fmt.Errorf("core: t=%d transfer %d->%d: %w", t, sender, receiver, err)
 				}
-				e.data[receiver] = merged
 				e.data[sender] = agg.Value{}
 				e.owns[sender] = false
 				e.nOwn--

@@ -1,0 +1,179 @@
+package core
+
+// Tests for the zero-allocation hot path: Engine.Reset reuse must be
+// observationally identical to building fresh engines, and the
+// steady-state interaction loop must not allocate.
+
+import (
+	"testing"
+
+	"doda/internal/agg"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+// genAdv feeds a generator's interactions straight to the engine — the
+// allocation-free adversary shape the sweep engine uses (the adversary
+// package's Generated type; duplicated minimally here because core cannot
+// import adversary).
+type genAdv struct {
+	gen func(t int) seq.Interaction
+}
+
+func (genAdv) Name() string { return "uniform-gen" }
+func (a genAdv) Next(t int, _ ExecView) (seq.Interaction, bool) {
+	return a.gen(t), true
+}
+
+// gatherAlg is a minimal Gathering: transfer to the sink when present,
+// else to the first endpoint. Allocation-free Decide.
+type gatherAlg struct{}
+
+func (gatherAlg) Name() string     { return "gather" }
+func (gatherAlg) Oblivious() bool  { return true }
+func (gatherAlg) Setup(*Env) error { return nil }
+func (gatherAlg) Decide(env *Env, it seq.Interaction, _ int) Decision {
+	switch env.Sink {
+	case it.U:
+		return FirstReceives
+	case it.V:
+		return SecondReceives
+	default:
+		return FirstReceives
+	}
+}
+
+// TestResetReuseIdenticalResults replays the same seeded workloads on a
+// fresh engine and on one engine reused (Reset) across all of them — with
+// node counts going up and down to force and then bypass reallocation —
+// and demands byte-identical Results, provenance included.
+func TestResetReuseIdenticalResults(t *testing.T) {
+	cases := []struct {
+		n    int
+		agg  agg.Func
+		seed uint64
+	}{
+		{n: 16, agg: agg.Min, seed: 1},
+		{n: 65, agg: agg.Sum, seed: 2}, // crosses a bitset word boundary
+		{n: 8, agg: agg.Max, seed: 3},  // shrink: reuse larger slices
+		{n: 16, agg: agg.Sum, seed: 4}, // grow again within capacity
+	}
+	reused := &Engine{}
+	for _, tc := range cases {
+		cfg := Config{N: tc.n, Agg: tc.agg, MaxInteractions: 400*tc.n*tc.n + 4000, VerifyAggregate: true}
+		run := func(e *Engine) Result {
+			t.Helper()
+			res, err := e.Run(gatherAlg{}, genAdv{gen: seq.UniformGen(tc.n, rng.New(tc.seed))})
+			if err != nil {
+				t.Fatalf("n=%d: %v", tc.n, err)
+			}
+			if !res.Terminated {
+				t.Fatalf("n=%d: did not terminate", tc.n)
+			}
+			return res
+		}
+		fresh, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run(fresh)
+		if err := reused.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		got := run(reused)
+
+		// Compare every field; SinkValue needs structural comparison
+		// because the provenance sets are distinct objects.
+		if got.Algorithm != want.Algorithm || got.Adversary != want.Adversary ||
+			got.Terminated != want.Terminated || got.Failed != want.Failed ||
+			got.Duration != want.Duration || got.Interactions != want.Interactions ||
+			got.Transmissions != want.Transmissions || got.Declined != want.Declined ||
+			got.LastGap != want.LastGap {
+			t.Errorf("n=%d: reused engine result %+v != fresh %+v", tc.n, got, want)
+		}
+		if got.SinkValue.Num != want.SinkValue.Num || got.SinkValue.Count != want.SinkValue.Count {
+			t.Errorf("n=%d: sink value (%v,%d) != (%v,%d)", tc.n,
+				got.SinkValue.Num, got.SinkValue.Count, want.SinkValue.Num, want.SinkValue.Count)
+		}
+		if !got.SinkValue.Origins.Equal(want.SinkValue.Origins) || !got.SinkValue.Origins.Full() {
+			t.Errorf("n=%d: provenance %v != %v", tc.n, got.SinkValue.Origins, want.SinkValue.Origins)
+		}
+	}
+}
+
+// TestEngineSteadyStateZeroAllocs is the acceptance gate for the
+// zero-allocation hot path: after the first Reset warms the engine's
+// recycled storage, a whole Reset+Run cycle — and therefore every
+// steady-state interaction — must report 0 allocs for min, max and sum
+// under the uniform adversary.
+func TestEngineSteadyStateZeroAllocs(t *testing.T) {
+	const n = 32
+	for _, fu := range []agg.Func{agg.Min, agg.Max, agg.Sum} {
+		t.Run(fu.Name(), func(t *testing.T) {
+			cfg := Config{N: n, Agg: fu, MaxInteractions: 400*n*n + 4000, VerifyAggregate: true}
+			eng, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adv := genAdv{gen: seq.UniformGen(n, rng.New(7))}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := eng.Reset(cfg); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := eng.Run(gatherAlg{}, adv); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: steady-state run allocates %v objects, want 0", fu.Name(), allocs)
+			}
+		})
+	}
+}
+
+// TestEngineRequiresResetBetweenRuns pins the one-run-per-arm contract.
+func TestEngineRequiresResetBetweenRuns(t *testing.T) {
+	cfg := Config{N: 4, MaxInteractions: 100}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := genAdv{gen: seq.UniformGen(4, rng.New(1))}
+	if _, err := eng.Run(gatherAlg{}, adv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(gatherAlg{}, adv); err == nil {
+		t.Error("second Run without Reset should fail")
+	}
+	if err := eng.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(gatherAlg{}, adv); err != nil {
+		t.Errorf("Run after Reset: %v", err)
+	}
+}
+
+// TestResetRejectsBadConfigAndSurvives checks that a failed Reset leaves
+// the engine re-armable.
+func TestResetRejectsBadConfigAndSurvives(t *testing.T) {
+	eng, err := NewEngine(Config{N: 4, MaxInteractions: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{N: 1, MaxInteractions: 10},
+		{N: 4, MaxInteractions: 0},
+		{N: 4, Sink: 9, MaxInteractions: 10},
+		{N: 4, MaxInteractions: 10, Payloads: []float64{1}},
+	} {
+		if err := eng.Reset(bad); err == nil {
+			t.Errorf("Reset(%+v) should fail", bad)
+		}
+	}
+	if err := eng.Reset(Config{N: 4, MaxInteractions: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(gatherAlg{}, genAdv{gen: seq.UniformGen(4, rng.New(2))}); err != nil {
+		t.Errorf("Run after recovered Reset: %v", err)
+	}
+}

@@ -15,15 +15,16 @@ package experiments
 //
 //   S2 sweeps the community model's mixing parameter: the scarcer the
 //   cross-community contacts, the longer Gathering takes, monotonically.
+//
+// Both experiments delegate their grids to internal/sweep's sharded
+// engine instead of hand-rolling per-adversary loops: cells run across
+// all cores with per-cell deterministic seeds, so the reports stay
+// reproducible for any worker count.
 
 import (
 	"fmt"
 
-	"doda/internal/algorithms"
-	"doda/internal/core"
-	"doda/internal/rng"
-	"doda/internal/scenario"
-	"doda/internal/stats"
+	"doda/internal/sweep"
 )
 
 func s1() Experiment {
@@ -35,13 +36,30 @@ func s1() Experiment {
 	}
 }
 
-// s1Workload builds one seeded workload for a registry scenario.
-func s1Workload(name string, n int, seed uint64, params map[string]string) (*scenario.Workload, error) {
-	spec, ok := scenario.Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("experiments: scenario %q not registered", name)
+// runSweep shards a grid across the cores (sweep.Run's default) and
+// indexes the cell results by (scenario name, algorithm), failing on any
+// unterminated replica — the invariant both scenario experiments demand.
+func runSweep(grid sweep.Grid) (map[string]map[string]sweep.CellResult, error) {
+	results, _, err := sweep.Run(grid, sweep.Options{})
+	if err != nil {
+		return nil, err
 	}
-	return spec.Build(n, seed, params)
+	byCell := make(map[string]map[string]sweep.CellResult)
+	for _, res := range results {
+		if res.Terminated != res.Replicas {
+			return nil, fmt.Errorf("experiments: %s/%s terminated only %d/%d replicas",
+				res.Scenario, res.Algorithm, res.Terminated, res.Replicas)
+		}
+		if res.Transmissions != res.Replicas*(res.N-1) {
+			return nil, fmt.Errorf("experiments: %s/%s lost data (%d transmissions)",
+				res.Scenario, res.Algorithm, res.Transmissions)
+		}
+		if byCell[res.Scenario.Name] == nil {
+			byCell[res.Scenario.Name] = make(map[string]sweep.CellResult)
+		}
+		byCell[res.Scenario.Name][res.Algorithm] = res
+	}
+	return byCell, nil
 }
 
 func runS1(cfg Config) (*Report, error) {
@@ -52,55 +70,40 @@ func runS1(cfg Config) (*Report, error) {
 		n = 64
 	}
 	rep := reps(cfg, 20, 80)
-	src := rng.New(cfg.Seed ^ 0x53)
 
-	sweep := []struct {
-		name   string
-		params map[string]string
-	}{
-		{name: "uniform"},
-		{name: "zipf", params: map[string]string{"alpha": "1"}},
-		{name: "edge-markovian", params: map[string]string{"p-up": "0.05", "p-down": "0.2"}},
-		{name: "community", params: map[string]string{"communities": "4", "p-intra": "0.9"}},
-		{name: "churn", params: map[string]string{"p-fail": "0.1", "p-recover": "0.1"}},
+	scenarios := []sweep.ScenarioRef{
+		{Name: "uniform"},
+		{Name: "zipf", Params: map[string]string{"alpha": "1"}},
+		{Name: "edge-markovian", Params: map[string]string{"p-up": "0.05", "p-down": "0.2"}},
+		{Name: "community", Params: map[string]string{"communities": "4", "p-intra": "0.9"}},
+		{Name: "churn", Params: map[string]string{"p-fail": "0.1", "p-recover": "0.1"}},
 	}
+	byCell, err := runSweep(sweep.Grid{
+		Scenarios:       scenarios,
+		Algorithms:      []string{"waiting", "gathering"},
+		Sizes:           []int{n},
+		Replicas:        rep,
+		Seed:            cfg.Seed ^ 0x53,
+		MaxInteractions: 400*n*n + 40*waitingCap(n),
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tb := &Table{
 		Title:   fmt.Sprintf("Mean interactions to aggregate at n=%d (%d runs per cell)", n, rep),
 		Columns: []string{"scenario", "waiting mean", "gathering mean", "gathering vs uniform"},
 	}
-	cap := 400*n*n + 40*waitingCap(n)
-	gatherMeans := make(map[string]float64, len(sweep))
-	for _, sc := range sweep {
-		var wWait, wGather stats.Welford
-		for i := 0; i < rep; i++ {
-			for _, alg := range []core.Algorithm{algorithms.Waiting{}, algorithms.NewGathering()} {
-				w, err := s1Workload(sc.name, n, src.Uint64(), sc.params)
-				if err != nil {
-					return nil, err
-				}
-				res, err := core.RunOnce(core.Config{N: w.N, MaxInteractions: cap}, alg, w.Adversary)
-				if err != nil {
-					return nil, err
-				}
-				if !res.Terminated {
-					return nil, fmt.Errorf("experiments: S1 %s/%s did not terminate", sc.name, alg.Name())
-				}
-				if alg.Oblivious() && res.Transmissions != w.N-1 {
-					return nil, fmt.Errorf("experiments: S1 %s lost data (%d transmissions)", sc.name, res.Transmissions)
-				}
-				if _, isWaiting := alg.(algorithms.Waiting); isWaiting {
-					wWait.Add(float64(res.Duration + 1))
-				} else {
-					wGather.Add(float64(res.Duration + 1))
-				}
-			}
-		}
-		gatherMeans[sc.name] = wGather.Mean()
-		tb.AddRow(sc.name, wWait.Mean(), wGather.Mean(), "-")
-		cfg.progressf("S1 %s waiting=%.0f gathering=%.0f\n", sc.name, wWait.Mean(), wGather.Mean())
+	gatherMeans := make(map[string]float64, len(scenarios))
+	for _, sc := range scenarios {
+		wait := byCell[sc.Name]["waiting"].Duration.Mean
+		gather := byCell[sc.Name]["gathering"].Duration.Mean
+		gatherMeans[sc.Name] = gather
+		tb.AddRow(sc.Name, wait, gather, "-")
+		cfg.progressf("S1 %s waiting=%.0f gathering=%.0f\n", sc.Name, wait, gather)
 	}
-	for i, sc := range sweep {
-		tb.Rows[i][3] = formatFloat(gatherMeans[sc.name] / gatherMeans["uniform"])
+	for i, sc := range scenarios {
+		tb.Rows[i][3] = formatFloat(gatherMeans[sc.Name] / gatherMeans["uniform"])
 	}
 	r.Tables = append(r.Tables, tb)
 
@@ -135,35 +138,39 @@ func runS2(cfg Config) (*Report, error) {
 		n = 64
 	}
 	rep := reps(cfg, 20, 80)
-	src := rng.New(cfg.Seed ^ 0x54)
 	pIntras := []string{"0.5", "0.9", "0.99"}
+	scenarios := make([]sweep.ScenarioRef, len(pIntras))
+	for i, p := range pIntras {
+		scenarios[i] = sweep.ScenarioRef{
+			Name:   "community",
+			Params: map[string]string{"communities": "4", "p-intra": p},
+		}
+	}
+	results, _, err := sweep.Run(sweep.Grid{
+		Scenarios:       scenarios,
+		Algorithms:      []string{"gathering"},
+		Sizes:           []int{n},
+		Replicas:        rep,
+		Seed:            cfg.Seed ^ 0x54,
+		MaxInteractions: 4000*n*n + 40000,
+	}, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
+
 	tb := &Table{
 		Title:   fmt.Sprintf("Gathering at n=%d, 4 communities (%d runs per point)", n, rep),
 		Columns: []string{"p-intra", "gathering mean", "vs uniform (n-1)²"},
 	}
-	cap := 4000*n*n + 40000
 	means := make([]float64, 0, len(pIntras))
-	for _, p := range pIntras {
-		var w stats.Welford
-		for i := 0; i < rep; i++ {
-			wl, err := s1Workload("community", n, src.Uint64(),
-				map[string]string{"communities": "4", "p-intra": p})
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.RunOnce(core.Config{N: n, MaxInteractions: cap},
-				algorithms.NewGathering(), wl.Adversary)
-			if err != nil {
-				return nil, err
-			}
-			if !res.Terminated {
-				return nil, fmt.Errorf("experiments: S2 p-intra=%s did not terminate", p)
-			}
-			w.Add(float64(res.Duration + 1))
+	for i, res := range results {
+		if res.Terminated != res.Replicas {
+			return nil, fmt.Errorf("experiments: S2 p-intra=%s terminated only %d/%d replicas",
+				pIntras[i], res.Terminated, res.Replicas)
 		}
-		means = append(means, w.Mean())
-		tb.AddRow(p, w.Mean(), w.Mean()/expectedGathering(n))
-		cfg.progressf("S2 p-intra=%s gathering=%.0f\n", p, w.Mean())
+		means = append(means, res.Duration.Mean)
+		tb.AddRow(pIntras[i], res.Duration.Mean, res.Duration.Mean/expectedGathering(n))
+		cfg.progressf("S2 p-intra=%s gathering=%.0f\n", pIntras[i], res.Duration.Mean)
 	}
 	r.Tables = append(r.Tables, tb)
 	for i := 1; i < len(means); i++ {

@@ -15,6 +15,14 @@ import (
 // returned alongside the partial results; panics in f are converted to
 // errors rather than crashing the process.
 func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(n, workers, func(_, i int) (T, error) { return f(i) })
+}
+
+// MapWorkers is Map with the worker index (0 <= worker < workers) passed
+// to f alongside the item index. Each worker is one goroutine processing
+// items sequentially, so f may keep per-worker scratch state — reusable
+// engines, buffers, accumulators — indexed by worker without locking.
+func MapWorkers[T any](n, workers int, f func(worker, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("parallel: negative item count %d", n)
 	}
@@ -34,12 +42,12 @@ func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range work {
-				results[i], errs[i] = safeCall(f, i)
+				results[i], errs[i] = safeCall(f, w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		work <- i
@@ -55,13 +63,13 @@ func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	return results, nil
 }
 
-// safeCall invokes f(i), converting panics into errors so one faulty item
-// cannot take down the pool.
-func safeCall[T any](f func(i int) (T, error), i int) (result T, err error) {
+// safeCall invokes f(w, i), converting panics into errors so one faulty
+// item cannot take down the pool.
+func safeCall[T any](f func(worker, i int) (T, error), w, i int) (result T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return f(i)
+	return f(w, i)
 }

@@ -117,3 +117,46 @@ func TestQuickMapIdentity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMapWorkersIndexInRange(t *testing.T) {
+	const n, workers = 100, 7
+	seen := make([]int32, n)
+	_, err := MapWorkers(n, workers, func(w, i int) (int, error) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of [0,%d)", w, workers)
+		}
+		atomic.AddInt32(&seen[i], 1)
+		return w, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("item %d processed %d times", i, c)
+		}
+	}
+}
+
+// TestMapWorkersScratchIsSingleThreaded pins the property sweep relies
+// on: each worker index is one goroutine, so per-worker scratch needs no
+// locking. Unsynchronised per-worker counters must add up exactly (the
+// race detector additionally proves the absence of sharing).
+func TestMapWorkersScratchIsSingleThreaded(t *testing.T) {
+	const n, workers = 500, 5
+	counters := make([]int, workers) // deliberately not atomic
+	_, err := MapWorkers(n, workers, func(w, _ int) (int, error) {
+		counters[w]++
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != n {
+		t.Errorf("per-worker counters sum to %d, want %d", total, n)
+	}
+}

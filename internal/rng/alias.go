@@ -1,0 +1,92 @@
+package rng
+
+// Walker/Vose alias-method sampling: draw from an arbitrary discrete
+// distribution in O(1) time and zero allocations per draw, after an O(n)
+// construction. The weighted adversary uses it to replace its linear CDF
+// scan, turning skewed-contact workload generation from O(n) to O(1) per
+// interaction.
+//
+// Reference: M. D. Vose, "A Linear Algorithm For Generating Random
+// Numbers With a Given Distribution", IEEE Trans. Software Eng. 17(9),
+// 1991.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alias is an immutable alias table for a discrete distribution over
+// [0, n). It is safe for concurrent Draw calls because draws only read
+// the table; all randomness comes from the caller's Source.
+type Alias struct {
+	prob  []float64 // acceptance probability of each column
+	alias []int     // fallback outcome of each column
+}
+
+// NewAlias builds the alias table for the given weights. Weights must be
+// positive and finite, and there must be at least one.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: alias table needs at least one weight")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rng: weight[%d] = %v must be positive and finite", i, w)
+		}
+		total += w
+	}
+
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	// Scale weights to mean 1 and split into under- and over-full
+	// columns; each under-full column is topped up by exactly one
+	// over-full one (its alias).
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Float round-off leaves stragglers in one of the lists; they are
+	// (numerically) exactly full columns.
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Draw samples one outcome using src: one bounded integer and one float
+// per draw, no allocation.
+func (a *Alias) Draw(src *Source) int {
+	i := src.Intn(len(a.prob))
+	if src.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

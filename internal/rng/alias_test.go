@@ -1,0 +1,101 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAliasValidation(t *testing.T) {
+	for _, ws := range [][]float64{
+		nil,
+		{},
+		{1, 0},
+		{1, -2},
+		{1, math.NaN()},
+		{math.Inf(1), 1},
+	} {
+		if _, err := NewAlias(ws); err == nil {
+			t.Errorf("NewAlias(%v) should fail", ws)
+		}
+	}
+}
+
+// TestAliasMatchesDistribution draws heavily from a skewed table and
+// compares empirical frequencies to the exact probabilities.
+func TestAliasMatchesDistribution(t *testing.T) {
+	ws := []float64{1, 2, 3, 10, 0.5}
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	a, err := NewAlias(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != len(ws) {
+		t.Fatalf("N = %d", a.N())
+	}
+	const draws = 200000
+	src := New(42)
+	counts := make([]int, len(ws))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(src)]++
+	}
+	for i, w := range ws {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+// TestAliasSingleOutcome pins the degenerate one-column table.
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := New(1)
+	for i := 0; i < 100; i++ {
+		if got := a.Draw(src); got != 0 {
+			t.Fatalf("draw = %d", got)
+		}
+	}
+}
+
+func TestAliasDeterministic(t *testing.T) {
+	ws := []float64{0.1, 5, 2, 2, 9, 0.01}
+	a, err := NewAlias(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := New(9), New(9)
+	for i := 0; i < 1000; i++ {
+		if a.Draw(s1) != a.Draw(s2) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// TestAliasDrawAllocationFree is the sampler's allocation regression
+// gate: O(1) time and zero allocations per draw.
+func TestAliasDrawAllocationFree(t *testing.T) {
+	ws := make([]float64, 512)
+	for i := range ws {
+		ws[i] = 1 / float64(i+1)
+	}
+	a, err := NewAlias(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := New(3)
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += a.Draw(src)
+	})
+	if allocs != 0 {
+		t.Errorf("Draw allocates %v objects per call, want 0", allocs)
+	}
+	_ = sink
+}

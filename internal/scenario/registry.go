@@ -13,9 +13,7 @@ import (
 	"strconv"
 	"strings"
 
-	"doda/internal/adversary"
 	"doda/internal/core"
-	"doda/internal/rng"
 	"doda/internal/seq"
 )
 
@@ -53,6 +51,12 @@ type Spec struct {
 	// params may override the documented defaults; unknown keys are
 	// rejected.
 	Build func(n int, seed uint64, params map[string]string) (*Workload, error)
+	// Model instantiates the bare generative model, when the scenario is
+	// generative (nil for trace replay, whose sequence comes from a
+	// file). Sweep hot loops prefer it over Build: a Model's generator
+	// can feed the engine directly, without the O(T) stream caching that
+	// Build's knowledge-oracle-ready Workload carries.
+	Model func(n int, params map[string]string) (Model, error)
 }
 
 // All returns every registered scenario in display order.
@@ -205,22 +209,31 @@ func modelWorkload(m Model, seed uint64) (*Workload, error) {
 	return &Workload{Adversary: adv, View: st, N: m.N()}, nil
 }
 
+// buildFromModel derives a Spec's Build from its Model constructor, so the
+// two instantiation paths cannot disagree about parameters.
+func buildFromModel(s *Spec) {
+	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+		m, err := s.Model(n, params)
+		if err != nil {
+			return nil, err
+		}
+		return modelWorkload(m, seed)
+	}
+}
+
 func uniformSpec() Spec {
 	s := Spec{
 		Name:        "uniform",
 		Description: "every interaction drawn uniformly over the n(n-1)/2 pairs (the paper's randomized adversary)",
 		Citation:    "Bramas, Masuzawa, Tixeuil: Distributed Online Data Aggregation in Dynamic Graphs (ICDCS 2016), §4",
 	}
-	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+	s.Model = func(n int, params map[string]string) (Model, error) {
 		if err := checkKnown(params, s.Params); err != nil {
 			return nil, err
 		}
-		m, err := NewUniform(n)
-		if err != nil {
-			return nil, err
-		}
-		return modelWorkload(m, seed)
+		return NewUniform(n)
 	}
+	buildFromModel(&s)
 	return s
 }
 
@@ -233,7 +246,7 @@ func zipfSpec() Spec {
 			{Name: "alpha", Default: fv(defZipfAlpha), Doc: "skew exponent; 0 recovers the uniform model"},
 		},
 	}
-	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+	s.Model = func(n int, params map[string]string) (Model, error) {
 		if err := checkKnown(params, s.Params); err != nil {
 			return nil, err
 		}
@@ -241,24 +254,9 @@ func zipfSpec() Spec {
 		if err != nil {
 			return nil, err
 		}
-		ws, err := adversary.ZipfWeights(n, alpha)
-		if err != nil {
-			return nil, err
-		}
-		gen, err := adversary.WeightedGen(ws, rng.New(seed))
-		if err != nil {
-			return nil, err
-		}
-		st, err := seq.NewStream(n, gen)
-		if err != nil {
-			return nil, err
-		}
-		adv, err := adversary.NewOblivious("zipf", st)
-		if err != nil {
-			return nil, err
-		}
-		return &Workload{Adversary: adv, View: st, N: n}, nil
+		return NewZipf(n, alpha)
 	}
+	buildFromModel(&s)
 	return s
 }
 
@@ -272,7 +270,7 @@ func edgeMarkovianSpec() Spec {
 			{Name: "p-down", Default: fv(defEMDeath), Doc: "per-step death probability of a present edge, in [0, 1]"},
 		},
 	}
-	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+	s.Model = func(n int, params map[string]string) (Model, error) {
 		if err := checkKnown(params, s.Params); err != nil {
 			return nil, err
 		}
@@ -284,12 +282,9 @@ func edgeMarkovianSpec() Spec {
 		if err != nil {
 			return nil, err
 		}
-		m, err := NewEdgeMarkovian(n, pUp, pDown)
-		if err != nil {
-			return nil, err
-		}
-		return modelWorkload(m, seed)
+		return NewEdgeMarkovian(n, pUp, pDown)
 	}
+	buildFromModel(&s)
 	return s
 }
 
@@ -303,7 +298,7 @@ func communitySpec() Spec {
 			{Name: "p-intra", Default: fv(defCommIntra), Doc: "probability an interaction stays within a community"},
 		},
 	}
-	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+	s.Model = func(n int, params map[string]string) (Model, error) {
 		if err := checkKnown(params, s.Params); err != nil {
 			return nil, err
 		}
@@ -319,12 +314,9 @@ func communitySpec() Spec {
 		if err != nil {
 			return nil, err
 		}
-		m, err := NewCommunity(sizes, pIntra)
-		if err != nil {
-			return nil, err
-		}
-		return modelWorkload(m, seed)
+		return NewCommunity(sizes, pIntra)
 	}
+	buildFromModel(&s)
 	return s
 }
 
@@ -339,7 +331,7 @@ func churnSpec() Spec {
 			{Name: "inner", Default: "uniform", Doc: "inner contact model: uniform | edge-markovian | community (with default parameters)"},
 		},
 	}
-	s.Build = func(n int, seed uint64, params map[string]string) (*Workload, error) {
+	s.Model = func(n int, params map[string]string) (Model, error) {
 		if err := checkKnown(params, s.Params); err != nil {
 			return nil, err
 		}
@@ -359,12 +351,9 @@ func churnSpec() Spec {
 		if err != nil {
 			return nil, err
 		}
-		m, err := NewChurn(inner, pFail, pRecover)
-		if err != nil {
-			return nil, err
-		}
-		return modelWorkload(m, seed)
+		return NewChurn(inner, pFail, pRecover)
 	}
+	buildFromModel(&s)
 	return s
 }
 

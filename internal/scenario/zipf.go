@@ -1,0 +1,50 @@
+package scenario
+
+// Zipf packages the weighted randomized adversary with Zipf(alpha)
+// per-node weights as a Model, so skewed contact patterns sit in the same
+// registry (and the same fast sweep path) as the other generative
+// workloads. Node 0 — the conventional sink — is the heaviest node.
+
+import (
+	"fmt"
+
+	"doda/internal/adversary"
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+// Zipf draws both interaction endpoints with probability proportional to
+// w_i = 1/(i+1)^alpha, without replacement.
+type Zipf struct {
+	n     int
+	alpha float64
+	ws    []float64
+}
+
+var _ Model = (*Zipf)(nil)
+
+// NewZipf validates n >= 2 and alpha >= 0 (alpha = 0 recovers the
+// uniform-weight model).
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	ws, err := adversary.ZipfWeights(n, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &Zipf{n: n, alpha: alpha, ws: ws}, nil
+}
+
+// Name implements Model.
+func (m *Zipf) Name() string { return "zipf" }
+
+// N implements Model.
+func (m *Zipf) N() int { return m.n }
+
+// Generator implements Model.
+func (m *Zipf) Generator(src *rng.Source) func(t int) seq.Interaction {
+	gen, err := adversary.WeightedGen(m.ws, src)
+	if err != nil {
+		// Unreachable: NewZipf validated the weights.
+		panic(err)
+	}
+	return gen
+}

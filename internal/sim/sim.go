@@ -30,7 +30,10 @@ import (
 	"doda/internal/seq"
 )
 
-// meetMsg tells a node it is interacting at time t.
+// meetMsg tells a node it is interacting at time t. The three rendezvous
+// channels are allocated once per run and reused for every interaction:
+// the ack discipline below guarantees each is drained before the
+// scheduler emits the next interaction, so reuse cannot cross-talk.
 type meetMsg struct {
 	t  int
 	it seq.Interaction
@@ -40,7 +43,10 @@ type meetMsg struct {
 	lead    bool
 	info    chan controlInfo
 	outcome chan outcomeMsg
-	// ack returns the node's post-interaction ownership to the scheduler.
+	// ack returns both endpoints' post-interaction ownership to the
+	// scheduler. The FOLLOWER sends it, after applying the outcome —
+	// which proves the outcome channel is drained and makes channel
+	// reuse race-free.
 	ack chan ackMsg
 }
 
@@ -53,7 +59,8 @@ type controlInfo struct {
 
 // outcomeMsg closes the rendezvous: whether the follower's datum moved to
 // the leader, or the leader's datum is attached for the follower to
-// merge.
+// merge. It also carries everything the follower needs to acknowledge the
+// interaction on behalf of both endpoints.
 type outcomeMsg struct {
 	// takeMine: the follower must aggregate value (the leader
 	// transmitted).
@@ -62,6 +69,10 @@ type outcomeMsg struct {
 	// transmitted and no longer owns data).
 	gaveYours bool
 	value     agg.Value
+	// leaderOwns is the leader's ownership after applying its side.
+	leaderOwns bool
+	decision   core.Decision
+	bothOwned  bool
 }
 
 // ackMsg reports both endpoints' ownership after the interaction, plus
@@ -226,7 +237,13 @@ func (rt *Runtime) Run(alg core.Algorithm, adv core.Adversary) (core.Result, err
 		Adversary: adv.Name(),
 		Duration:  -1,
 	}
+	// One set of rendezvous channels for the whole run: the follower's
+	// ack proves info and outcome are drained before the next
+	// interaction reuses them, so the per-interaction channel pair the
+	// runtime used to allocate is unnecessary.
 	ack := make(chan ackMsg)
+	info := make(chan controlInfo, 1)
+	outcome := make(chan outcomeMsg, 1)
 
 	for t := 0; t < rt.cfg.MaxInteractions; t++ {
 		it, ok := adv.Next(t, rt)
@@ -242,22 +259,22 @@ func (rt *Runtime) Run(alg core.Algorithm, adv core.Adversary) (core.Result, err
 		}
 		res.Interactions++
 
-		info := make(chan controlInfo, 1)
-		outcome := make(chan outcomeMsg, 1)
 		lead := meetMsg{t: t, it: canon, lead: true, info: info, outcome: outcome, ack: ack}
 		follow := meetMsg{t: t, it: canon, lead: false, info: info, outcome: outcome, ack: ack}
 		rt.nodes[canon.U].inbox <- lead
 		rt.nodes[canon.V].inbox <- follow
 
-		// Only the leader acknowledges, with both ownerships.
+		// The follower acknowledges for both endpoints; ownership flags
+		// maintain the owner count incrementally (a transfer clears at
+		// most one flag, so the old O(n) rescan was pure overhead).
 		a := <-ack
-		rt.owns[a.u] = a.uOwns
-		rt.owns[a.v] = a.vOwns
-		rt.nOwn = 0
-		for _, o := range rt.owns {
-			if o {
-				rt.nOwn++
-			}
+		if rt.owns[a.u] != a.uOwns {
+			rt.owns[a.u] = a.uOwns
+			rt.nOwn--
+		}
+		if rt.owns[a.v] != a.vOwns {
+			rt.owns[a.v] = a.vOwns
+			rt.nOwn--
 		}
 		ev := core.Event{T: t, It: canon, BothOwned: a.bothOwned, Decision: a.decision}
 		if a.bothOwned {
@@ -318,7 +335,8 @@ func (nd *node) loop(rt *Runtime, alg core.Algorithm, stop <-chan struct{}) {
 
 // leadInteraction runs on the canonical first endpoint: collect the
 // peer's control info, run Observe/Decide exactly once, apply the
-// transfer, inform the peer, acknowledge the scheduler.
+// transfer, and inform the peer — which acknowledges the scheduler once
+// it has applied the outcome.
 func (nd *node) leadInteraction(rt *Runtime, alg core.Algorithm, m meetMsg) {
 	peer := <-m.info // follower's control information
 
@@ -326,20 +344,21 @@ func (nd *node) leadInteraction(rt *Runtime, alg core.Algorithm, m meetMsg) {
 		obs.Observe(rt.env, m.it, m.t)
 	}
 
-	a := ackMsg{u: m.it.U, v: m.it.V}
 	var out outcomeMsg
 	if nd.owns && peer.owns {
-		a.bothOwned = true
+		out.bothOwned = true
 		d := alg.Decide(rt.env, m.it, m.t)
-		a.decision = d
+		out.decision = d
 		switch d {
 		case core.FirstReceives: // leader receives the follower's datum
-			merged, err := agg.Merge(rt.cfg.Agg, nd.value, peer.value)
-			if err == nil {
-				nd.value = merged
+			// In-place union into the leader's own provenance set; the
+			// follower retires its datum on gaveYours, and it is blocked
+			// on the outcome until we finish, so nothing else can read
+			// the set being folded in.
+			if err := agg.MergeInto(rt.cfg.Agg, &nd.value, peer.value); err == nil {
 				out.gaveYours = true
 			} else {
-				a.decision = core.NoTransfer // refuse instead of corrupting
+				out.decision = core.NoTransfer // refuse instead of corrupting
 			}
 		case core.SecondReceives: // leader transmits to the follower
 			out.takeMine = true
@@ -348,28 +367,35 @@ func (nd *node) leadInteraction(rt *Runtime, alg core.Algorithm, m meetMsg) {
 			nd.owns = false
 		}
 	}
+	out.leaderOwns = nd.owns
 	m.outcome <- out
-
-	a.uOwns = nd.owns
-	a.vOwns = peer.owns && !out.gaveYours
-	m.ack <- a
 }
 
 // followInteraction runs on the second endpoint: reveal control info,
-// then apply the leader's outcome.
+// apply the leader's outcome, then acknowledge the scheduler for both
+// endpoints (the ack doubles as the proof that every rendezvous channel
+// is drained, which is what lets the scheduler reuse them).
 func (nd *node) followInteraction(rt *Runtime, m meetMsg) {
 	m.info <- controlInfo{owns: nd.owns, value: nd.value}
 	out := <-m.outcome
 	switch {
 	case out.takeMine:
-		// The leader transmitted its datum to us; merge mirrors the
-		// engine's receiver-side merge (aggregation functions are
-		// commutative, provenance is a union, so order is irrelevant).
-		if merged, err := agg.Merge(rt.cfg.Agg, nd.value, out.value); err == nil {
-			nd.value = merged
-		}
+		// The leader transmitted its datum to us; the in-place merge
+		// mirrors the engine's receiver-side merge (aggregation
+		// functions are commutative, provenance is a union, so order is
+		// irrelevant). The leader already dropped its reference to the
+		// attached value's provenance set.
+		// An overlap error leaves nd.value unchanged (refuse rather than
+		// corrupt), matching the engine's behaviour on the same fault.
+		_ = agg.MergeInto(rt.cfg.Agg, &nd.value, out.value)
 	case out.gaveYours:
 		nd.value = agg.Value{}
 		nd.owns = false
+	}
+	m.ack <- ackMsg{
+		u: m.it.U, v: m.it.V,
+		uOwns: out.leaderOwns, vOwns: nd.owns,
+		decision:  out.decision,
+		bothOwned: out.bothOwned,
 	}
 }

@@ -183,6 +183,31 @@ func (w *Welford) Add(x float64) {
 	w.m2 += delta * (x - w.mean)
 }
 
+// Merge folds the observations accumulated in o into w, as if every
+// observation added to o had been added to w directly (Chan et al.'s
+// parallel variance update). It lets sharded sweep workers keep private
+// accumulators and combine them at the end without a lock on every Add.
+func (w *Welford) Merge(o *Welford) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.n = n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
 // N returns the number of observations added.
 func (w *Welford) N() int { return w.n }
 

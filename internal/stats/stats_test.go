@@ -364,3 +364,53 @@ func TestQuickWelfordMeanBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWelfordMergeMatchesSequential pins the parallel-merge identity the
+// sweep totals rely on: merging shard accumulators must equal adding all
+// observations to a single accumulator.
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	src := rng.New(11)
+	var whole Welford
+	shards := make([]Welford, 4)
+	for i := 0; i < 1000; i++ {
+		x := src.Float64()*200 - 100
+		whole.Add(x)
+		shards[i%len(shards)].Add(x)
+	}
+	var merged Welford
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("N = %d, want %d", merged.N(), whole.N())
+	}
+	if !almostEqual(merged.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("mean %v, want %v", merged.Mean(), whole.Mean())
+	}
+	if !almostEqual(merged.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("variance %v, want %v", merged.Variance(), whole.Variance())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Errorf("min/max (%v,%v), want (%v,%v)", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var a, b Welford
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 {
+		t.Fatalf("N = %d", a.N())
+	}
+	b.Add(3)
+	b.Add(5)
+	a.Merge(&b) // into empty
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatalf("a = (%d, %v)", a.N(), a.Mean())
+	}
+	var c Welford
+	a.Merge(&c) // empty into non-empty
+	a.Merge(nil)
+	if a.N() != 2 || a.Mean() != 4 || a.Min() != 3 || a.Max() != 5 {
+		t.Fatalf("a = (%d, %v, %v, %v)", a.N(), a.Mean(), a.Min(), a.Max())
+	}
+}

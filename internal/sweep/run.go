@@ -1,0 +1,244 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"doda/internal/adversary"
+	"doda/internal/algorithms"
+	"doda/internal/core"
+	"doda/internal/knowledge"
+	"doda/internal/parallel"
+	"doda/internal/rng"
+	"doda/internal/scenario"
+	"doda/internal/seq"
+)
+
+// AlgorithmNames lists the algorithms a sweep can run.
+func AlgorithmNames() []string {
+	return []string{"waiting", "gathering", "waiting-greedy", "full-knowledge"}
+}
+
+func knownAlgorithm(name string) bool {
+	for _, a := range AlgorithmNames() {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// needsKnowledge reports whether the algorithm consults a knowledge
+// oracle and therefore needs a stream-backed (caching) workload; the
+// others run on the allocation-free generator fast path.
+func needsKnowledge(name string) bool {
+	return name == "waiting-greedy" || name == "full-knowledge"
+}
+
+// newAlgorithm builds the named algorithm for an n-node run capped at cap
+// interactions, plus the knowledge bundle it requires (nil for the
+// knowledge-free algorithms; view must be non-nil for the others).
+func newAlgorithm(name string, n, cap int, view seq.View) (core.Algorithm, *knowledge.Bundle, error) {
+	switch name {
+	case "waiting":
+		return algorithms.Waiting{}, nil, nil
+	case "gathering":
+		return algorithms.NewGathering(), nil, nil
+	case "waiting-greedy":
+		know, err := knowledge.NewBundle(knowledge.WithMeetTime(view, 0, cap))
+		if err != nil {
+			return nil, nil, err
+		}
+		return algorithms.WaitingGreedy{Tau: algorithms.TauStar(n)}, know, nil
+	case "full-knowledge":
+		know, err := knowledge.NewBundle(knowledge.WithFullSequence(view))
+		if err != nil {
+			return nil, nil, err
+		}
+		return algorithms.NewFullKnowledge(cap), know, nil
+	default:
+		return nil, nil, fmt.Errorf("sweep: unknown algorithm %q", name)
+	}
+}
+
+// Options tunes one sweep execution.
+type Options struct {
+	// Workers is the shard count (< 1 = GOMAXPROCS).
+	Workers int
+	// OnResult, when non-nil, receives every cell result in cell-index
+	// order as soon as it and all its predecessors have completed — the
+	// streaming hook cmd/dodasweep uses to emit JSON lines while later
+	// cells are still running. Called from worker goroutines under a
+	// lock; keep it cheap.
+	OnResult func(CellResult)
+}
+
+// Run executes the grid and returns the per-cell results in cell order
+// plus the fleet totals. Results are bit-for-bit independent of
+// opt.Workers.
+func Run(grid Grid, opt Options) ([]CellResult, Totals, error) {
+	cells, err := grid.Cells()
+	if err != nil {
+		return nil, Totals{}, err
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	// One runner per worker: a reusable engine plus sample buffers, so
+	// steady-state cells allocate only what the workload model needs.
+	runners := make([]*runner, workers)
+	for w := range runners {
+		runners[w] = &runner{}
+	}
+	em := &emitter{fn: opt.OnResult, pending: map[int]CellResult{}}
+
+	results, err := parallel.MapWorkers(len(cells), workers, func(w, i int) (CellResult, error) {
+		res, err := runners[w].runCell(grid, cells[i])
+		if err != nil {
+			return CellResult{}, err
+		}
+		em.emit(i, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, Totals{}, err
+	}
+	return results, totalsOf(results), nil
+}
+
+// emitter delivers cell results to a callback in index order, buffering
+// out-of-order completions from the shards.
+type emitter struct {
+	mu      sync.Mutex
+	next    int
+	pending map[int]CellResult
+	fn      func(CellResult)
+}
+
+func (e *emitter) emit(i int, r CellResult) {
+	if e.fn == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending[i] = r
+	for {
+		r, ok := e.pending[e.next]
+		if !ok {
+			return
+		}
+		delete(e.pending, e.next)
+		e.next++
+		e.fn(r)
+	}
+}
+
+// runner is one worker's scratch state.
+type runner struct {
+	eng  *core.Engine
+	durs []float64
+	ints []float64
+}
+
+// runCell executes every replica of one cell.
+func (r *runner) runCell(grid Grid, cell Cell) (CellResult, error) {
+	spec, ok := scenario.Lookup(cell.Scenario.Name)
+	if !ok {
+		return CellResult{}, fmt.Errorf("sweep: scenario %q not registered", cell.Scenario.Name)
+	}
+	res := CellResult{Cell: cell, Replicas: grid.Replicas}
+	r.durs = r.durs[:0]
+	r.ints = r.ints[:0]
+
+	// Replica seeds derive from the cell seed alone.
+	src := rng.New(cell.Seed)
+
+	fast := spec.Model != nil && !needsKnowledge(cell.Algorithm)
+	var model scenario.Model
+	var alg core.Algorithm
+	if fast {
+		var err error
+		model, err = spec.Model(cell.N, cell.Scenario.Params)
+		if err != nil {
+			return CellResult{}, err
+		}
+		// The knowledge-free algorithms are stateless across runs, so
+		// one instance serves every replica.
+		if alg, _, err = newAlgorithm(cell.Algorithm, model.N(), 1, nil); err != nil {
+			return CellResult{}, err
+		}
+	}
+
+	for rep := 0; rep < grid.Replicas; rep++ {
+		repSeed := src.Uint64()
+		var (
+			adv  core.Adversary
+			know *knowledge.Bundle
+			n    int
+			cap  int
+		)
+		if fast {
+			// Generator fast path: no stream caching, no per-replica
+			// workload allocations beyond the model's own state.
+			n = model.N()
+			cap = grid.MaxInteractions
+			if cap == 0 {
+				cap = scenario.DefaultCap(n)
+			}
+			gen, err := adversary.NewGenerated(spec.Name, n, model.Generator(rng.New(repSeed)))
+			if err != nil {
+				return CellResult{}, err
+			}
+			adv = gen
+		} else {
+			w, err := spec.Build(cell.N, repSeed, cell.Scenario.Params)
+			if err != nil {
+				return CellResult{}, err
+			}
+			n = w.N
+			cap = grid.MaxInteractions
+			if cap == 0 {
+				cap = scenario.DefaultCap(n)
+			}
+			if b, finite := w.View.Bound(); finite && cap > b {
+				cap = b
+			}
+			if alg, know, err = newAlgorithm(cell.Algorithm, n, cap, w.View); err != nil {
+				return CellResult{}, err
+			}
+			adv = w.Adversary
+		}
+
+		cfg := core.Config{N: n, MaxInteractions: cap, Know: know, VerifyAggregate: true}
+		if r.eng == nil {
+			var err error
+			if r.eng, err = core.NewEngine(cfg); err != nil {
+				return CellResult{}, err
+			}
+		} else if err := r.eng.Reset(cfg); err != nil {
+			return CellResult{}, err
+		}
+		out, err := r.eng.Run(alg, adv)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("sweep: cell %d (%s/%s/n=%d) replica %d: %w",
+				cell.Index, cell.Scenario, cell.Algorithm, cell.N, rep, err)
+		}
+		res.Transmissions += out.Transmissions
+		r.ints = append(r.ints, float64(out.Interactions))
+		if out.Terminated {
+			res.Terminated++
+			d := float64(out.Duration + 1)
+			r.durs = append(r.durs, d)
+			res.durW.Add(d)
+		}
+	}
+	res.Duration = metricOf(r.durs)
+	res.Interactions = metricOf(r.ints)
+	return res, nil
+}

@@ -1,0 +1,279 @@
+// Package sweep is the sharded parameter-sweep engine: it expands a grid
+// of (scenario × algorithm × node count × seed replicas) over the
+// scenario registry into cells, shards the cells across a bounded worker
+// pool, and aggregates per-cell statistics — replacing the hand-rolled
+// per-adversary loops the experiments and CLIs used to carry.
+//
+// Determinism is the load-bearing property: every cell derives its seed
+// from the grid seed and the cell's index alone, and every replica's seed
+// from the cell seed alone, so the results are bit-for-bit identical no
+// matter how many workers run the sweep or which worker picks up which
+// cell. Workers reuse one core.Engine each (via Engine.Reset) plus
+// per-worker sample buffers, so the steady-state measurement loop does
+// not allocate.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"doda/internal/scenario"
+	"doda/internal/stats"
+)
+
+// ScenarioRef names one registry scenario with its parameter overrides.
+type ScenarioRef struct {
+	Name   string            `json:"name"`
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// String renders the reference canonically (parameters sorted by key), in
+// the same syntax ParseScenarios accepts: name or name:k=v,k2=v2.
+func (r ScenarioRef) String() string {
+	if len(r.Params) == 0 {
+		return r.Name
+	}
+	keys := make([]string, 0, len(r.Params))
+	for k := range r.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + r.Params[k]
+	}
+	return r.Name + ":" + strings.Join(parts, ",")
+}
+
+// ParseScenarios parses a semicolon-separated scenario list, each entry
+// being a registry name optionally followed by ":" and the comma-separated
+// k=v parameters scenario.ParseParams accepts:
+//
+//	uniform;zipf:alpha=1;community:communities=4,p-intra=0.9
+//
+// The one parser cmd/dodasweep and tests share, mirroring how the other
+// CLIs share scenario.ParseParams.
+func ParseScenarios(raw string) ([]ScenarioRef, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("sweep: empty scenario list")
+	}
+	var refs []ScenarioRef
+	for _, entry := range strings.Split(raw, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rawParams, _ := strings.Cut(entry, ":")
+		name = strings.TrimSpace(name)
+		params, err := scenario.ParseParams(rawParams)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %q: %w", name, err)
+		}
+		refs = append(refs, ScenarioRef{Name: name, Params: params})
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("sweep: empty scenario list")
+	}
+	return refs, nil
+}
+
+// Grid is a sweep specification: the cross product of scenarios,
+// algorithms and sizes, each run Replicas times under per-cell seeds.
+type Grid struct {
+	// Scenarios are the registry scenarios to sweep.
+	Scenarios []ScenarioRef
+	// Algorithms are algorithm names (see AlgorithmNames).
+	Algorithms []string
+	// Sizes are the node counts to sweep.
+	Sizes []int
+	// Replicas is the number of seeded runs per cell (>= 1).
+	Replicas int
+	// Seed derives every cell's seed; same grid, same seed, same
+	// results — regardless of worker count.
+	Seed uint64
+	// MaxInteractions caps each run (0 = scenario.DefaultCap for the
+	// cell's node count).
+	MaxInteractions int
+}
+
+// Cell is one grid point: a scenario, an algorithm and a node count, with
+// the deterministic seed all its replicas derive from.
+type Cell struct {
+	Index     int         `json:"index"`
+	Scenario  ScenarioRef `json:"scenario"`
+	Algorithm string      `json:"algorithm"`
+	N         int         `json:"n"`
+	Seed      uint64      `json:"seed"`
+}
+
+// Cells expands and validates the grid in deterministic order
+// (scenario-major, then algorithm, then size).
+func (g Grid) Cells() ([]Cell, error) {
+	if len(g.Scenarios) == 0 {
+		return nil, fmt.Errorf("sweep: no scenarios")
+	}
+	if len(g.Algorithms) == 0 {
+		return nil, fmt.Errorf("sweep: no algorithms")
+	}
+	if len(g.Sizes) == 0 {
+		return nil, fmt.Errorf("sweep: no sizes")
+	}
+	if g.Replicas < 1 {
+		return nil, fmt.Errorf("sweep: replicas must be >= 1, got %d", g.Replicas)
+	}
+	if g.MaxInteractions < 0 {
+		return nil, fmt.Errorf("sweep: negative interaction cap %d", g.MaxInteractions)
+	}
+	for _, n := range g.Sizes {
+		if n < 2 {
+			return nil, fmt.Errorf("sweep: need at least 2 nodes, got %d", n)
+		}
+	}
+	for _, ref := range g.Scenarios {
+		spec, ok := scenario.Lookup(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown scenario %q (known: %s)",
+				ref.Name, strings.Join(scenario.Names(), ", "))
+		}
+		// Validate parameters up front: a bad key or value must fail the
+		// whole grid before any cell runs (and streams output), not
+		// mid-sweep. Generative scenarios are probed by building the
+		// model once; build-only scenarios (trace) get a key check.
+		if spec.Model != nil {
+			if _, err := spec.Model(g.Sizes[0], ref.Params); err != nil {
+				return nil, fmt.Errorf("sweep: scenario %s: %w", ref, err)
+			}
+		} else {
+			for k := range ref.Params {
+				known := false
+				for _, p := range spec.Params {
+					if p.Name == k {
+						known = true
+						break
+					}
+				}
+				if !known {
+					return nil, fmt.Errorf("sweep: scenario %s: unknown parameter %q", ref, k)
+				}
+			}
+		}
+	}
+	for _, alg := range g.Algorithms {
+		if !knownAlgorithm(alg) {
+			return nil, fmt.Errorf("sweep: unknown algorithm %q (known: %s)",
+				alg, strings.Join(AlgorithmNames(), ", "))
+		}
+	}
+	cells := make([]Cell, 0, len(g.Scenarios)*len(g.Algorithms)*len(g.Sizes))
+	for _, ref := range g.Scenarios {
+		for _, alg := range g.Algorithms {
+			for _, n := range g.Sizes {
+				i := len(cells)
+				cells = append(cells, Cell{
+					Index:     i,
+					Scenario:  ref,
+					Algorithm: alg,
+					N:         n,
+					Seed:      cellSeed(g.Seed, i),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// cellSeed derives a cell's seed from the grid seed and the cell index
+// with one splitmix64 step, so seeds depend only on (grid seed, index) —
+// never on which worker runs the cell or in which order.
+func cellSeed(base uint64, index int) uint64 {
+	z := base + (uint64(index)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Metric is a JSON-friendly summary of a per-replica measurement. StdDev
+// is 0 (not NaN, which JSON cannot carry) when fewer than two samples
+// exist.
+type Metric struct {
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// metricOf summarises xs, mapping the NaNs of degenerate samples to 0 so
+// the result always marshals.
+func metricOf(xs []float64) Metric {
+	if len(xs) == 0 {
+		return Metric{}
+	}
+	s := stats.Summarize(xs)
+	m := Metric{
+		Count:  s.N,
+		Mean:   s.Mean,
+		StdDev: s.StdDev,
+		Min:    s.Min,
+		Max:    s.Max,
+		Median: s.Median,
+		P90:    s.P90,
+		P99:    s.P99,
+	}
+	if m.StdDev != m.StdDev { // NaN for single-sample cells
+		m.StdDev = 0
+	}
+	return m
+}
+
+// CellResult is one completed cell: how many replicas terminated and the
+// distribution of their costs. Duration counts interactions up to and
+// including the last transmission (the paper's duration + 1) over the
+// terminated replicas only; Interactions counts consumed interactions
+// over all replicas.
+type CellResult struct {
+	Cell
+	Replicas      int    `json:"replicas"`
+	Terminated    int    `json:"terminated"`
+	Transmissions int    `json:"transmissions"`
+	Duration      Metric `json:"duration"`
+	Interactions  Metric `json:"interactions"`
+
+	// durW carries the cell's duration accumulator to the fleet totals
+	// without re-deriving it from the lossy Metric.
+	durW stats.Welford
+}
+
+// Totals summarises a whole sweep, computed by merging the per-cell
+// accumulators in cell order (so it, too, is worker-count independent).
+type Totals struct {
+	Cells        int     `json:"cells"`
+	Runs         int     `json:"runs"`
+	Terminated   int     `json:"terminated"`
+	Interactions float64 `json:"interactions"`
+	Duration     Metric  `json:"duration"`
+}
+
+// totalsOf folds the cell results in index order.
+func totalsOf(results []CellResult) Totals {
+	t := Totals{Cells: len(results)}
+	var w stats.Welford
+	for i := range results {
+		r := &results[i]
+		t.Runs += r.Replicas
+		t.Terminated += r.Terminated
+		t.Interactions += r.Interactions.Mean * float64(r.Interactions.Count)
+		w.Merge(&r.durW)
+	}
+	if w.N() > 0 {
+		t.Duration = Metric{Count: w.N(), Mean: w.Mean(), StdDev: w.StdDev(), Min: w.Min(), Max: w.Max()}
+		if t.Duration.StdDev != t.Duration.StdDev {
+			t.Duration.StdDev = 0
+		}
+	}
+	return t
+}

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Scenarios: []ScenarioRef{
+			{Name: "uniform"},
+			{Name: "zipf", Params: map[string]string{"alpha": "1"}},
+			{Name: "community", Params: map[string]string{"communities": "2", "p-intra": "0.8"}},
+		},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      []int{6, 10},
+		Replicas:   3,
+		Seed:       21,
+	}
+}
+
+func TestGridCellsExpansionAndSeeds(t *testing.T) {
+	g := testGrid()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3*2*2 {
+		t.Fatalf("%d cells, want 12", len(cells))
+	}
+	seen := map[uint64]bool{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+		if c.Seed != cellSeed(g.Seed, i) {
+			t.Errorf("cell %d seed not derived from index", i)
+		}
+		if seen[c.Seed] {
+			t.Errorf("cell %d seed collides", i)
+		}
+		seen[c.Seed] = true
+	}
+	// Expansion order is scenario-major, then algorithm, then size.
+	if cells[0].Scenario.Name != "uniform" || cells[0].Algorithm != "waiting" || cells[0].N != 6 {
+		t.Errorf("cell 0 = %+v", cells[0])
+	}
+	if cells[1].N != 10 || cells[2].Algorithm != "gathering" || cells[4].Scenario.Name != "zipf" {
+		t.Errorf("unexpected expansion order: %+v", cells[:5])
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	base := testGrid()
+	for name, mutate := range map[string]func(*Grid){
+		"no scenarios":      func(g *Grid) { g.Scenarios = nil },
+		"no algorithms":     func(g *Grid) { g.Algorithms = nil },
+		"no sizes":          func(g *Grid) { g.Sizes = nil },
+		"zero replicas":     func(g *Grid) { g.Replicas = 0 },
+		"negative cap":      func(g *Grid) { g.MaxInteractions = -1 },
+		"unknown scenario":  func(g *Grid) { g.Scenarios = []ScenarioRef{{Name: "bogus"}} },
+		"unknown algorithm": func(g *Grid) { g.Algorithms = []string{"bogus"} },
+		"tiny size":         func(g *Grid) { g.Sizes = []int{1} },
+	} {
+		g := base
+		mutate(&g)
+		if _, err := g.Cells(); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+// TestRunWorkerCountInvariant is the library-level half of the sharding
+// acceptance test: identical results for 1, 3 and 8 workers, compared
+// structurally (including the unexported accumulator) and after JSON
+// round-tripping.
+func TestRunWorkerCountInvariant(t *testing.T) {
+	g := testGrid()
+	var base []CellResult
+	var baseTotals Totals
+	for _, workers := range []int{1, 3, 8} {
+		results, totals, err := Run(g, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			base, baseTotals = results, totals
+			continue
+		}
+		if !reflect.DeepEqual(results, base) {
+			t.Errorf("workers=%d results differ from sequential", workers)
+		}
+		if !reflect.DeepEqual(totals, baseTotals) {
+			t.Errorf("workers=%d totals differ from sequential", workers)
+		}
+	}
+	if baseTotals.Cells != 12 || baseTotals.Runs != 36 {
+		t.Errorf("totals = %+v", baseTotals)
+	}
+	if baseTotals.Terminated != baseTotals.Runs {
+		t.Errorf("only %d/%d runs terminated", baseTotals.Terminated, baseTotals.Runs)
+	}
+}
+
+// TestRunStreamsInCellOrder checks the OnResult reorder buffer.
+func TestRunStreamsInCellOrder(t *testing.T) {
+	var streamed []int
+	results, _, err := Run(testGrid(), Options{
+		Workers:  4,
+		OnResult: func(r CellResult) { streamed = append(streamed, r.Index) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(results) {
+		t.Fatalf("streamed %d of %d cells", len(streamed), len(results))
+	}
+	for i, idx := range streamed {
+		if idx != i {
+			t.Fatalf("streamed order %v", streamed)
+		}
+	}
+}
+
+// TestRunKnowledgeAlgorithmFallback exercises the stream-backed slow path
+// (waiting-greedy needs the meetTime oracle, so cells cannot use the
+// generator fast path).
+func TestRunKnowledgeAlgorithmFallback(t *testing.T) {
+	results, totals, err := Run(Grid{
+		Scenarios:  []ScenarioRef{{Name: "uniform"}},
+		Algorithms: []string{"waiting-greedy"},
+		Sizes:      []int{8},
+		Replicas:   2,
+		Seed:       5,
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || totals.Terminated != 2 {
+		t.Fatalf("results = %+v, totals = %+v", results, totals)
+	}
+}
+
+func TestCellResultMarshalsCleanly(t *testing.T) {
+	results, _, err := Run(Grid{
+		Scenarios:  []ScenarioRef{{Name: "uniform"}},
+		Algorithms: []string{"gathering"},
+		Sizes:      []int{6},
+		Replicas:   1, // single replica: StdDev would be NaN if unsanitised
+		Seed:       2,
+	}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(results[0])
+	if err != nil {
+		t.Fatalf("cell result does not marshal: %v", err)
+	}
+	if !strings.Contains(string(raw), `"stddev":0`) {
+		t.Errorf("single-replica stddev not sanitised: %s", raw)
+	}
+}
+
+func TestParseScenarios(t *testing.T) {
+	refs, err := ParseScenarios(" uniform; zipf:alpha=2 ;community:communities=4,p-intra=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 3 || refs[1].Params["alpha"] != "2" || refs[2].Params["p-intra"] != "0.9" {
+		t.Fatalf("refs = %+v", refs)
+	}
+	if refs[1].String() != "zipf:alpha=2" {
+		t.Errorf("String() = %q", refs[1].String())
+	}
+	if got := refs[2].String(); got != "community:communities=4,p-intra=0.9" {
+		t.Errorf("String() = %q (params must sort)", got)
+	}
+	for _, bad := range []string{"", " ; ", "zipf:novalue"} {
+		if _, err := ParseScenarios(bad); err == nil {
+			t.Errorf("ParseScenarios(%q) should fail", bad)
+		}
+	}
+}

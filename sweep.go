@@ -1,0 +1,51 @@
+package doda
+
+// Sweep subsystem re-exports: library users drive sharded parameter
+// grids through the root package and never import internal/.
+
+import (
+	"doda/internal/adversary"
+	"doda/internal/sweep"
+)
+
+// Sweep types.
+type (
+	// SweepGrid specifies a scenario × algorithm × size × replicas grid.
+	SweepGrid = sweep.Grid
+	// SweepScenario names one registry scenario with parameter overrides.
+	SweepScenario = sweep.ScenarioRef
+	// SweepCell is one grid point with its deterministic seed.
+	SweepCell = sweep.Cell
+	// SweepCellResult is one completed cell's statistics.
+	SweepCellResult = sweep.CellResult
+	// SweepTotals summarises a whole sweep.
+	SweepTotals = sweep.Totals
+	// SweepOptions tunes one sweep execution (workers, streaming hook).
+	SweepOptions = sweep.Options
+	// SweepMetric is a JSON-friendly summary of one measurement.
+	SweepMetric = sweep.Metric
+)
+
+// RunSweep shards the grid's cells across workers and returns the
+// per-cell results in cell order plus fleet totals; results are
+// bit-for-bit independent of the worker count.
+func RunSweep(grid SweepGrid, opt SweepOptions) ([]SweepCellResult, SweepTotals, error) {
+	return sweep.Run(grid, opt)
+}
+
+// ParseSweepScenarios parses the semicolon-separated scenario-list
+// syntax cmd/dodasweep accepts (name[:k=v,k2=v2];...).
+func ParseSweepScenarios(raw string) ([]SweepScenario, error) {
+	return sweep.ParseScenarios(raw)
+}
+
+// SweepAlgorithms lists the algorithm names a sweep grid accepts.
+func SweepAlgorithms() []string { return sweep.AlgorithmNames() }
+
+// NewGeneratedAdversary exposes the Generated adversary the sweep fast
+// path uses: it feeds gen's interactions straight to the engine with no
+// stream caching — the right workload feed for measurement loops that
+// grant no look-ahead knowledge.
+func NewGeneratedAdversary(name string, n int, gen func(t int) Interaction) (Adversary, error) {
+	return adversary.NewGenerated(name, n, gen)
+}
