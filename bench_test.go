@@ -742,3 +742,68 @@ func BenchmarkS2ScenarioGathering(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkHotPathEngineBatched: the batched measurement loop — identical
+// workload to BenchmarkHotPathEngine but drained through NextBatch;
+// allocs/op must stay 0 in steady state.
+func BenchmarkHotPathEngineBatched(b *testing.B) {
+	const n = 64
+	cfg := core.Config{N: n, MaxInteractions: 400*n*n + 4000, VerifyAggregate: true}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := algorithms.NewGathering()
+	var total float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Run(alg, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += float64(res.Interactions)
+	}
+	b.ReportMetric(total/float64(b.N), "interactions/op")
+}
+
+// BenchmarkLargeNEngine: capped large-n throughput of the batched engine
+// under count-only provenance — the configuration the big sweep grids run.
+func BenchmarkLargeNEngine(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 17} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			const cap = 1 << 20
+			cfg := core.Config{N: n, MaxInteractions: cap, VerifyAggregate: true, Provenance: core.ProvenanceCount}
+			eng, err := core.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alg := algorithms.NewGathering()
+			var total float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Reset(cfg); err != nil {
+					b.Fatal(err)
+				}
+				adv, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(uint64(i))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Run(alg, adv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += float64(res.Interactions)
+			}
+			b.ReportMetric(total/float64(b.N), "interactions/op")
+		})
+	}
+}

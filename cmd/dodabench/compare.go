@@ -1,0 +1,83 @@
+package main
+
+// The benchmark-regression guard behind -baseline: compare a fresh
+// hot-path report against the committed BENCH_hotpath.json and fail when
+// any tracked ns metric regresses beyond the tolerance. Only per-unit ns
+// figures are tracked — whole-fleet throughput (cells/sec, elapsed ms)
+// varies too much with machine load to gate on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// trackedMetrics extracts the regression-guarded ns metrics of a report.
+// A zero value means the metric is absent (e.g. an older baseline that
+// predates the section) and is skipped by the comparison.
+func trackedMetrics(rep *hotpathReport) map[string]float64 {
+	return map[string]float64{
+		"engine.ns_per_interaction":                rep.Engine.NsPerInteraction,
+		"engine_batched.ns_per_interaction":        rep.EngineBatched.NsPerInteraction,
+		"sim.ns_per_interaction":                   rep.Sim.NsPerInteraction,
+		"alias_sampler.ns_per_draw":                rep.AliasSampler.NsPerDraw,
+		"weighted_gen.ns_per_draw":                 rep.WeightedGen.NsPerDraw,
+		"large_n.batched_count_ns_per_interaction": rep.LargeN.BatchedCountNs,
+	}
+}
+
+// compareBaseline prints a metric-by-metric diff of rep against the
+// baseline report at path and returns an error when any tracked metric
+// regressed by more than tolerance (a fraction: 0.25 = 25% slower).
+//
+// When both reports carry a calibration figure, every fresh metric is
+// rescaled by baseline_calibration / fresh_calibration first, so a
+// baseline committed from one machine still gates code changes — not raw
+// hardware speed — when CI re-measures on different silicon.
+func compareBaseline(rep *hotpathReport, path string, tolerance float64, w io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base hotpathReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	scale := 1.0
+	if base.CalibrationNs > 0 && rep.CalibrationNs > 0 {
+		scale = base.CalibrationNs / rep.CalibrationNs
+	}
+	baseM, newM := trackedMetrics(&base), trackedMetrics(rep)
+	names := make([]string, 0, len(baseM))
+	for name := range baseM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "benchmark regression guard vs %s (tolerance %+.0f%%, machine scale ×%.3f):\n",
+		path, tolerance*100, scale)
+	var regressions []string
+	for _, name := range names {
+		bv, nv := baseM[name], newM[name]
+		if bv <= 0 || nv <= 0 {
+			fmt.Fprintf(w, "  %-44s (skipped: metric missing)\n", name)
+			continue
+		}
+		nv *= scale
+		delta := nv/bv - 1
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s %+.1f%%", name, delta*100))
+		}
+		fmt.Fprintf(w, "  %-44s %9.2f -> %9.2f ns  (%+6.1f%%)  %s\n", name, bv, nv, delta*100, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d tracked metric(s) regressed more than %.0f%%: %s",
+			len(regressions), tolerance*100, strings.Join(regressions, "; "))
+	}
+	return nil
+}

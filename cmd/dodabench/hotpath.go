@@ -2,9 +2,10 @@ package main
 
 // Hot-path micro-benchmarks behind the -json flag: the perf trajectory
 // file BENCH_hotpath.json records ns/op and allocs/op for the engine's
-// steady-state interaction loop, the concurrent runtime, the alias
-// sampler, and the sweep engine's whole-fleet throughput, so future
-// changes have a baseline to compare against.
+// steady-state interaction loop (scalar and batched), the concurrent
+// runtime, the alias sampler, the large-n engine configurations, and the
+// sweep engine's whole-fleet throughput, so future changes have a
+// baseline to compare against (see compare.go for the regression guard).
 
 import (
 	"encoding/json"
@@ -49,20 +50,54 @@ type sweepThroughput struct {
 	CellsPerSec float64 `json:"cells_per_sec"`
 }
 
-// hotpathReport is the BENCH_hotpath.json document.
+// largeNReport compares the scalar full-provenance engine against the
+// batched count-only configuration on one identical large-n workload
+// (same seed, same interaction sequence, run to termination).
+type largeNReport struct {
+	N                  int     `json:"n"`
+	Interactions       int64   `json:"interactions"`
+	ScalarFullNs       float64 `json:"scalar_full_ns_per_interaction"`
+	BatchedCountNs     float64 `json:"batched_count_ns_per_interaction"`
+	Speedup            float64 `json:"speedup_x"`
+	BatchedCountPerSec float64 `json:"batched_count_interactions_per_sec"`
+}
+
+// sweepLargeNReport is one capped very-large-n run through the sweep
+// engine (count-only provenance under the auto default).
+type sweepLargeNReport struct {
+	N               int     `json:"n"`
+	MaxInteractions int     `json:"max_interactions"`
+	Provenance      string  `json:"provenance"`
+	Interactions    float64 `json:"interactions"`
+	Transmissions   int     `json:"transmissions"`
+	ElapsedMs       float64 `json:"elapsed_ms"`
+	PerSec          float64 `json:"interactions_per_sec"`
+}
+
+// hotpathReport is the BENCH_hotpath.json document. CalibrationNs is a
+// fixed pure-CPU reference loop (rng.Uint64) measured alongside the
+// tracked metrics: the regression guard divides out the ratio of the two
+// reports' calibrations, so comparing a laptop baseline against a CI
+// runner gates on code changes rather than on hardware identity.
 type hotpathReport struct {
-	GoMaxProcs   int             `json:"gomaxprocs"`
-	Engine       perInteraction  `json:"engine"`
-	Sim          perInteraction  `json:"sim"`
-	AliasSampler perDraw         `json:"alias_sampler"`
-	WeightedGen  perDraw         `json:"weighted_gen"`
-	Sweep        sweepThroughput `json:"sweep"`
+	GoMaxProcs    int               `json:"gomaxprocs"`
+	CalibrationNs float64           `json:"calibration_ns"`
+	Engine        perInteraction    `json:"engine"`
+	EngineBatched perInteraction    `json:"engine_batched"`
+	Sim           perInteraction    `json:"sim"`
+	AliasSampler  perDraw           `json:"alias_sampler"`
+	WeightedGen   perDraw           `json:"weighted_gen"`
+	LargeN        largeNReport      `json:"large_n"`
+	Sweep         sweepThroughput   `json:"sweep"`
+	SweepLargeN   sweepLargeNReport `json:"sweep_large_n"`
 }
 
 // benchEngine measures the sequential engine's steady-state interaction
 // cost: engine reuse via Reset, generated uniform adversary, Gathering.
-func benchEngine(n int) (perInteraction, error) {
-	cfg := core.Config{N: n, MaxInteractions: 400*n*n + 4000, VerifyAggregate: true}
+// batched selects the BatchAdversary drain path; scalar runs force the
+// per-interaction Next path the engine used before batching existed.
+func benchEngine(n int, batched bool) (perInteraction, error) {
+	cfg := core.Config{N: n, MaxInteractions: 400*n*n + 4000, VerifyAggregate: true, DisableBatch: !batched}
 	eng, err := core.NewEngine(cfg)
 	if err != nil {
 		return perInteraction{}, err
@@ -194,6 +229,99 @@ func benchWeightedGen(n int) (perDraw, error) {
 	}, nil
 }
 
+// largeNRun plays one uniform Gathering run to termination and times it.
+func largeNRun(n int, seed uint64, prov core.ProvenanceMode, disableBatch bool) (int64, time.Duration, error) {
+	cfg := core.Config{
+		N: n, MaxInteractions: 400*n*n + 4000, VerifyAggregate: true,
+		Provenance: prov, DisableBatch: disableBatch,
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	adv, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(seed)))
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	out, err := eng.Run(algorithms.NewGathering(), adv)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !out.Terminated {
+		return 0, 0, fmt.Errorf("large-n run (n=%d) did not terminate", n)
+	}
+	return int64(out.Interactions), elapsed, nil
+}
+
+// benchLargeN is the uniform-adversary min sweep at large n: the same
+// seeded interaction sequence played once through the scalar engine with
+// full provenance (the pre-batching configuration) and once through the
+// batched engine with count-only provenance. Same seed means both runs
+// consume the identical interaction sequence, so the ratio is a clean
+// apples-to-apples speedup.
+func benchLargeN(n int) (largeNReport, error) {
+	const seed = 5
+	scalarIts, scalarT, err := largeNRun(n, seed, core.ProvenanceFull, true)
+	if err != nil {
+		return largeNReport{}, err
+	}
+	batchIts, batchT, err := largeNRun(n, seed, core.ProvenanceCount, false)
+	if err != nil {
+		return largeNReport{}, err
+	}
+	if scalarIts != batchIts {
+		return largeNReport{}, fmt.Errorf("large-n paths diverged: %d vs %d interactions", scalarIts, batchIts)
+	}
+	rep := largeNReport{
+		N:              n,
+		Interactions:   batchIts,
+		ScalarFullNs:   float64(scalarT.Nanoseconds()) / float64(scalarIts),
+		BatchedCountNs: float64(batchT.Nanoseconds()) / float64(batchIts),
+	}
+	if rep.BatchedCountNs > 0 {
+		rep.Speedup = rep.ScalarFullNs / rep.BatchedCountNs
+		rep.BatchedCountPerSec = 1e9 / rep.BatchedCountNs
+	}
+	return rep, nil
+}
+
+// benchSweepLargeN pushes one n = 131072 cell through the sweep engine:
+// capped (a full Gathering termination at that size needs ~10¹⁰
+// interactions), with the auto provenance default resolving to
+// count-only — full bitsets would need ~2 GB at this size.
+func benchSweepLargeN() (sweepLargeNReport, error) {
+	const n = 128 * 1024
+	const cap = 2 << 20
+	grid := sweep.Grid{
+		Scenarios:       []sweep.ScenarioRef{{Name: "uniform"}},
+		Algorithms:      []string{"gathering"},
+		Sizes:           []int{n},
+		Replicas:        1,
+		Seed:            6,
+		MaxInteractions: cap,
+	}
+	start := time.Now()
+	results, totals, err := sweep.Run(grid, sweep.Options{Workers: 1})
+	if err != nil {
+		return sweepLargeNReport{}, err
+	}
+	elapsed := time.Since(start)
+	rep := sweepLargeNReport{
+		N:               n,
+		MaxInteractions: cap,
+		Provenance:      results[0].Provenance,
+		Interactions:    totals.Interactions,
+		Transmissions:   results[0].Transmissions,
+		ElapsedMs:       float64(elapsed.Microseconds()) / 1000,
+	}
+	if elapsed > 0 {
+		rep.PerSec = totals.Interactions / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
 // benchSweep times one sharded fleet over all cores.
 func benchSweep() (sweepThroughput, error) {
 	grid := sweep.Grid{
@@ -225,27 +353,58 @@ func benchSweep() (sweepThroughput, error) {
 	}, nil
 }
 
-// writeHotpathJSON runs the hot-path suite and writes the report to path.
-func writeHotpathJSON(path string) error {
+// benchCalibration times the reference loop: one xoshiro draw, a hot
+// pure-CPU operation no perf PR is likely to touch.
+func benchCalibration() float64 {
+	src := rng.New(1)
+	var sink uint64
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += src.Uint64()
+		}
+	})
+	_ = sink
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// collectHotpath runs the whole hot-path suite.
+func collectHotpath() (*hotpathReport, error) {
 	var rep hotpathReport
 	var err error
 	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
-	if rep.Engine, err = benchEngine(64); err != nil {
-		return fmt.Errorf("engine benchmark: %w", err)
+	rep.CalibrationNs = benchCalibration()
+	if rep.Engine, err = benchEngine(64, false); err != nil {
+		return nil, fmt.Errorf("engine benchmark: %w", err)
+	}
+	if rep.EngineBatched, err = benchEngine(64, true); err != nil {
+		return nil, fmt.Errorf("batched engine benchmark: %w", err)
 	}
 	if rep.Sim, err = benchSim(32); err != nil {
-		return fmt.Errorf("sim benchmark: %w", err)
+		return nil, fmt.Errorf("sim benchmark: %w", err)
 	}
 	if rep.AliasSampler, err = benchAlias(1024); err != nil {
-		return fmt.Errorf("alias benchmark: %w", err)
+		return nil, fmt.Errorf("alias benchmark: %w", err)
 	}
 	if rep.WeightedGen, err = benchWeightedGen(1024); err != nil {
-		return fmt.Errorf("weighted-gen benchmark: %w", err)
+		return nil, fmt.Errorf("weighted-gen benchmark: %w", err)
+	}
+	if rep.LargeN, err = benchLargeN(4096); err != nil {
+		return nil, fmt.Errorf("large-n benchmark: %w", err)
 	}
 	if rep.Sweep, err = benchSweep(); err != nil {
-		return fmt.Errorf("sweep benchmark: %w", err)
+		return nil, fmt.Errorf("sweep benchmark: %w", err)
 	}
-	f, err := os.Create(path)
+	if rep.SweepLargeN, err = benchSweepLargeN(); err != nil {
+		return nil, fmt.Errorf("large-n sweep benchmark: %w", err)
+	}
+	return &rep, nil
+}
+
+// writeReportJSON writes rep to path atomically (temp file + rename), so
+// an interrupted run can never leave a truncated trajectory file behind.
+func writeReportJSON(rep *hotpathReport, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -253,7 +412,28 @@ func writeHotpathJSON(path string) error {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// writeHotpathJSON runs the hot-path suite and writes the report to path.
+func writeHotpathJSON(path string) (*hotpathReport, error) {
+	rep, err := collectHotpath()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeReportJSON(rep, path); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }

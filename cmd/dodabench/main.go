@@ -11,6 +11,7 @@
 //	dodabench -list            # list experiment ids
 //	dodabench -csv out/        # also write each table as CSV
 //	dodabench -json BENCH_hotpath.json  # hot-path perf baseline instead
+//	dodabench -json new.json -baseline BENCH_hotpath.json  # + regression guard
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,17 +46,53 @@ func run(args []string) error {
 		progress  = fs.Bool("progress", false, "print sweep progress")
 		workers   = fs.Int("parallel", 1, "run experiments concurrently on this many workers (numbers are unchanged: every experiment derives its own seed)")
 		jsonPath  = fs.String("json", "", "run the hot-path micro-benchmarks and write ns/op and allocs/op to this file (e.g. BENCH_hotpath.json), skipping the experiments")
+		baseline  = fs.String("baseline", "", "with -json: compare the fresh report against this committed baseline and fail on regressions")
+		tolerance = fs.Float64("tolerance", 0.25, "with -baseline: fail when a tracked ns metric regresses by more than this fraction")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dodabench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dodabench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *jsonPath != "" {
-		if err := writeHotpathJSON(*jsonPath); err != nil {
+		rep, err := writeHotpathJSON(*jsonPath)
+		if err != nil {
 			return err
 		}
 		fmt.Printf("hot-path benchmark report written to %s\n", *jsonPath)
+		if *baseline != "" {
+			return compareBaseline(rep, *baseline, *tolerance, os.Stdout)
+		}
 		return nil
+	}
+	if *baseline != "" {
+		return fmt.Errorf("-baseline requires -json")
 	}
 
 	if *list {

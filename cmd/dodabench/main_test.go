@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -99,5 +100,134 @@ func TestHotpathJSON(t *testing.T) {
 	}
 	if rep.Sweep.Cells == 0 || rep.Sweep.CellsPerSec <= 0 {
 		t.Errorf("sweep section empty: %+v", rep.Sweep)
+	}
+	if rep.EngineBatched.NsPerInteraction <= 0 || rep.EngineBatched.AllocsPerRun >= 1 {
+		t.Errorf("batched engine section bad: %+v", rep.EngineBatched)
+	}
+	if rep.LargeN.N != 4096 || rep.LargeN.BatchedCountNs <= 0 || rep.LargeN.BatchedCountPerSec <= 0 {
+		t.Errorf("large-n section bad: %+v", rep.LargeN)
+	}
+	if rep.SweepLargeN.N != 128*1024 || rep.SweepLargeN.Provenance != "count" ||
+		rep.SweepLargeN.Interactions <= 0 || rep.SweepLargeN.PerSec <= 0 {
+		t.Errorf("large-n sweep section bad: %+v", rep.SweepLargeN)
+	}
+}
+
+// TestCompareBaseline unit-tests the regression guard against synthetic
+// reports: an improvement passes, a >tolerance regression fails, and a
+// missing metric is skipped rather than failing.
+func TestCompareBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := hotpathReport{}
+	base.Engine.NsPerInteraction = 100
+	base.EngineBatched.NsPerInteraction = 80
+	base.Sim.NsPerInteraction = 1000
+	base.AliasSampler.NsPerDraw = 10
+	base.WeightedGen.NsPerDraw = 20
+	// LargeN left zero: the baseline predates the section → skipped.
+	basePath := filepath.Join(dir, "base.json")
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := base
+	fresh.Engine.NsPerInteraction = 110 // +10%: inside tolerance
+	fresh.LargeN.BatchedCountNs = 15
+	var out strings.Builder
+	if err := compareBaseline(&fresh, basePath, 0.25, &out); err != nil {
+		t.Errorf("within-tolerance report failed: %v\n%s", err, out.String())
+	}
+
+	slow := base
+	slow.Sim.NsPerInteraction = 1500 // +50%: regression
+	out.Reset()
+	err = compareBaseline(&slow, basePath, 0.25, &out)
+	if err == nil {
+		t.Fatalf("regression not detected:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "sim.ns_per_interaction") {
+		t.Errorf("error %q does not name the regressed metric", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("diff output missing REGRESSION marker:\n%s", out.String())
+	}
+
+	if err := compareBaseline(&fresh, filepath.Join(dir, "missing.json"), 0.25, &out); err == nil {
+		t.Error("missing baseline file must fail")
+	}
+}
+
+// TestCompareBaselineCalibration checks the cross-machine rescaling: a
+// uniformly slower machine (every metric and the calibration loop 2×
+// slower) is not a regression, while a metric that lags its machine is.
+func TestCompareBaselineCalibration(t *testing.T) {
+	dir := t.TempDir()
+	base := hotpathReport{CalibrationNs: 10}
+	base.Engine.NsPerInteraction = 100
+	base.Sim.NsPerInteraction = 1000
+	basePath := filepath.Join(dir, "base.json")
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	slowMachine := hotpathReport{CalibrationNs: 20}
+	slowMachine.Engine.NsPerInteraction = 200
+	slowMachine.Sim.NsPerInteraction = 2000
+	var out strings.Builder
+	if err := compareBaseline(&slowMachine, basePath, 0.25, &out); err != nil {
+		t.Errorf("uniformly slower machine flagged as regression: %v\n%s", err, out.String())
+	}
+
+	realRegression := slowMachine
+	realRegression.Engine.NsPerInteraction = 300 // 1.5× its own machine
+	out.Reset()
+	if err := compareBaseline(&realRegression, basePath, 0.25, &out); err == nil {
+		t.Errorf("machine-relative regression not detected:\n%s", out.String())
+	}
+}
+
+// TestBaselineRequiresJSON pins the flag contract.
+func TestBaselineRequiresJSON(t *testing.T) {
+	if err := run([]string{"-baseline", "BENCH_hotpath.json"}); err == nil {
+		t.Error("-baseline without -json should fail")
+	}
+}
+
+// TestReportAtomicWrite checks that a pre-existing report is replaced via
+// rename, no .tmp file survives, and a write failure leaves the old file
+// untouched.
+func TestReportAtomicWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := &hotpathReport{GoMaxProcs: 3}
+	if err := writeReportJSON(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got hotpathReport
+	if err := json.Unmarshal(raw, &got); err != nil || got.GoMaxProcs != 3 {
+		t.Fatalf("rewritten report bad: %v\n%s", err, raw)
+	}
+
+	// A path whose temp file cannot be created must not touch the report.
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "report.json")
+	if err := writeReportJSON(rep, bad); err == nil {
+		t.Error("unwritable path should fail")
 	}
 }

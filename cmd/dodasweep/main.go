@@ -10,6 +10,8 @@
 //	dodasweep -scenarios "uniform;zipf:alpha=1" -algs waiting,gathering -n 16,32 -reps 10
 //	dodasweep -scenarios "community:communities=4,p-intra=0.9" -algs gathering -n 64 -reps 50 -workers 4
 //	dodasweep -scenarios uniform -algs waiting-greedy -n 32 -reps 5 -seed 7 -summary
+//	dodasweep -scenarios uniform -algs gathering -n 131072 -reps 1 -max 2000000   # large n: auto count-only provenance
+//	dodasweep -scenarios uniform -algs gathering -n 64 -reps 200 -cpuprofile cpu.out
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -45,9 +48,37 @@ func run(args []string, out, errw io.Writer) error {
 		max       = fs.Int("max", 0, "interaction cap per run (0 = a generous scenario default)")
 		workers   = fs.Int("workers", 0, "worker shards (0 = all cores)")
 		summary   = fs.Bool("summary", false, "also print the fleet totals as a final JSON line on stdout")
+		prov      = fs.String("provenance", "auto", "engine provenance mode: auto | full | count | off (auto = full below n="+strconv.Itoa(sweep.AutoProvenanceThreshold)+", count-only above)")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(errw, "dodasweep: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(errw, "dodasweep: memprofile:", err)
+			}
+		}()
 	}
 
 	refs, err := sweep.ParseScenarios(*scenarios)
@@ -65,6 +96,7 @@ func run(args []string, out, errw io.Writer) error {
 		Replicas:        *reps,
 		Seed:            *seed,
 		MaxInteractions: *max,
+		Provenance:      *prov,
 	}
 	cells, err := grid.Cells()
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -94,5 +96,64 @@ func TestSweepErrors(t *testing.T) {
 				t.Error("want error")
 			}
 		})
+	}
+}
+
+// TestSweepProvenanceFlag drives the -provenance flag end to end: the
+// resolved mode must land in every JSON line and bad values must fail.
+func TestSweepProvenanceFlag(t *testing.T) {
+	for _, tt := range []struct {
+		flag string
+		want string
+	}{
+		{flag: "auto", want: `"provenance":"full"`}, // n=8 is below the auto threshold
+		{flag: "count", want: `"provenance":"count"`},
+		{flag: "off", want: `"provenance":"off"`},
+	} {
+		out := sweepOut(t, []string{
+			"-scenarios", "uniform", "-algs", "gathering", "-n", "8",
+			"-reps", "2", "-seed", "3", "-provenance", tt.flag,
+		})
+		if !strings.Contains(out, tt.want) {
+			t.Errorf("-provenance %s: output missing %s:\n%s", tt.flag, tt.want, out)
+		}
+	}
+	if err := run([]string{"-provenance", "bogus"}, io.Discard, io.Discard); err == nil {
+		t.Error("bad provenance flag should fail")
+	}
+}
+
+// TestSweepProvenanceModesAgreeOnStatistics checks, at the CLI level,
+// that full and count-only provenance change nothing but the mode label
+// in the streamed JSONL (the batched-vs-scalar differential gate lives
+// in internal/sweep, where ForceScalar is reachable).
+func TestSweepProvenanceModesAgreeOnStatistics(t *testing.T) {
+	base := []string{"-scenarios", "uniform;zipf:alpha=1", "-algs", "waiting,gathering",
+		"-n", "8,12", "-reps", "2", "-seed", "3"}
+	full := sweepOut(t, append([]string{"-provenance", "full"}, base...))
+	count := sweepOut(t, append([]string{"-provenance", "count"}, base...))
+	norm := func(s string) string {
+		s = strings.ReplaceAll(s, `"provenance":"full"`, `"provenance":"X"`)
+		return strings.ReplaceAll(s, `"provenance":"count"`, `"provenance":"X"`)
+	}
+	if norm(full) != norm(count) {
+		t.Errorf("full and count sweeps disagree beyond the mode label:\n--- full ---\n%s\n--- count ---\n%s", full, count)
+	}
+}
+
+// TestSweepProfiles smoke-tests the pprof flags.
+func TestSweepProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	sweepOut(t, []string{
+		"-scenarios", "uniform", "-algs", "gathering", "-n", "8", "-reps", "2",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	})
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty: %v", p, err)
+		}
 	}
 }

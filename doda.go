@@ -75,6 +75,13 @@ type (
 	Algorithm = core.Algorithm
 	// Adversary produces the interaction sequence.
 	Adversary = core.Adversary
+	// BatchAdversary is the optional batched extension every oblivious
+	// adversary implements: the engine drains whole interaction buffers
+	// instead of making one Next call per interaction.
+	BatchAdversary = core.BatchAdversary
+	// ProvenanceMode selects how much per-datum provenance a run
+	// maintains (full bitsets, counts only, or nothing).
+	ProvenanceMode = core.ProvenanceMode
 	// Decision is an algorithm's per-interaction output.
 	Decision = core.Decision
 	// Config parameterises an execution.
@@ -130,6 +137,22 @@ const (
 	// ScaleFull runs the EXPERIMENTS.md sweeps (minutes).
 	ScaleFull = experiments.ScaleFull
 )
+
+// Provenance modes (see core.ProvenanceMode for the exact semantics).
+const (
+	// ProvenanceFull tracks and verifies per-datum origin bitsets.
+	ProvenanceFull = core.ProvenanceFull
+	// ProvenanceCount keeps only fold counts (no bitsets, no overlap
+	// detection) — the large-n measurement mode.
+	ProvenanceCount = core.ProvenanceCount
+	// ProvenanceOff skips end-of-run sink verification entirely.
+	ProvenanceOff = core.ProvenanceOff
+)
+
+// ParseProvenanceMode parses "full", "count" or "off".
+func ParseProvenanceMode(s string) (ProvenanceMode, error) {
+	return core.ParseProvenanceMode(s)
+}
 
 // Aggregation functions.
 var (

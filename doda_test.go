@@ -151,3 +151,28 @@ func TestRuntimeFacade(t *testing.T) {
 		t.Fatalf("res = %+v", res)
 	}
 }
+
+// TestProvenanceFacade exercises the provenance-mode and batched-path
+// re-exports through the root package.
+func TestProvenanceFacade(t *testing.T) {
+	mode, err := ParseProvenanceMode("count")
+	if err != nil || mode != ProvenanceCount {
+		t.Fatalf("ParseProvenanceMode = %v, %v", mode, err)
+	}
+	adv, err := NewGeneratedAdversary("star", 16, func(t int) Interaction {
+		return Interaction{U: 0, V: NodeID(1 + t%15)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := adv.(BatchAdversary); !ok {
+		t.Fatal("generated adversaries must support batching")
+	}
+	res, err := Run(Config{N: 16, MaxInteractions: 1 << 16, Provenance: ProvenanceCount}, NewGathering(), adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated || res.SinkValue.Origins != nil {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -30,7 +30,10 @@ type Oblivious struct {
 	view seq.View
 }
 
-var _ core.Adversary = (*Oblivious)(nil)
+var (
+	_ core.Adversary      = (*Oblivious)(nil)
+	_ core.BatchAdversary = (*Oblivious)(nil)
+)
 
 // NewOblivious wraps view under the given display name.
 func NewOblivious(name string, view seq.View) (*Oblivious, error) {
@@ -52,6 +55,27 @@ func (o *Oblivious) Next(t int, _ core.ExecView) (seq.Interaction, bool) {
 		return seq.Interaction{}, false
 	}
 	return o.view.At(t), true
+}
+
+// NextBatch implements core.BatchAdversary: the sequence is committed up
+// front, so a whole buffer of interactions can be handed to the engine at
+// once. Lazily materialised streams cache what they generate, so oracles
+// reading the same view stay consistent even when the engine stops
+// mid-batch.
+func (o *Oblivious) NextBatch(t int, _ core.ExecView, buf []seq.Interaction) int {
+	k := len(buf)
+	if b, finite := o.view.Bound(); finite {
+		if t >= b {
+			return 0
+		}
+		if rem := b - t; rem < k {
+			k = rem
+		}
+	}
+	for i := 0; i < k; i++ {
+		buf[i] = o.view.At(t + i)
+	}
+	return k
 }
 
 // View exposes the wrapped sequence, e.g. to grant knowledge oracles over

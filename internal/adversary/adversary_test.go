@@ -489,3 +489,73 @@ func TestGeneratedValidation(t *testing.T) {
 		t.Error("nil generator should fail")
 	}
 }
+
+// TestObliviousNextBatchMatchesNext checks the batched drain of a finite
+// sequence against the scalar path at every boundary offset.
+func TestObliviousNextBatchMatchesNext(t *testing.T) {
+	const n = 8
+	gen := seq.UniformGen(n, rng.New(5))
+	steps := make([]seq.Interaction, 20)
+	for i := range steps {
+		steps[i] = gen(i)
+	}
+	sq, err := seq.NewSequence(n, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bufLen := range []int{1, 7, 20, 33} {
+		adv, err := NewOblivious("finite", sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]seq.Interaction, bufLen)
+		var drained []seq.Interaction
+		t0 := 0
+		for {
+			k := adv.NextBatch(t0, nil, buf)
+			drained = append(drained, buf[:k]...)
+			t0 += k
+			if k < bufLen {
+				break
+			}
+		}
+		if len(drained) != len(steps) {
+			t.Fatalf("bufLen=%d: drained %d of %d", bufLen, len(drained), len(steps))
+		}
+		for i, it := range drained {
+			want, _ := adv.Next(i, nil)
+			if it != want {
+				t.Fatalf("bufLen=%d: batch[%d] = %v, Next gives %v", bufLen, i, it, want)
+			}
+		}
+		if k := adv.NextBatch(len(steps), nil, buf); k != 0 {
+			t.Fatalf("bufLen=%d: exhausted sequence yielded %d more", bufLen, k)
+		}
+	}
+}
+
+// TestGeneratedNextBatchMatchesNext checks that one generator drained in
+// batches replays the scalar stream of an identically seeded twin.
+func TestGeneratedNextBatchMatchesNext(t *testing.T) {
+	const n = 16
+	batched, err := NewGenerated("u", n, seq.UniformGen(n, rng.New(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := NewGenerated("u", n, seq.UniformGen(n, rng.New(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]seq.Interaction, 13)
+	for t0 := 0; t0 < 13*8; t0 += 13 {
+		if k := batched.NextBatch(t0, nil, buf); k != len(buf) {
+			t.Fatalf("unbounded generator returned %d < %d", k, len(buf))
+		}
+		for i, it := range buf {
+			want, ok := scalar.Next(t0+i, nil)
+			if !ok || it != want {
+				t.Fatalf("t=%d: batch %v, scalar %v", t0+i, it, want)
+			}
+		}
+	}
+}

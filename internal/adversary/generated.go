@@ -26,7 +26,10 @@ type Generated struct {
 	gen  func(t int) seq.Interaction
 }
 
-var _ core.Adversary = (*Generated)(nil)
+var (
+	_ core.Adversary      = (*Generated)(nil)
+	_ core.BatchAdversary = (*Generated)(nil)
+)
 
 // NewGenerated wraps gen, which must produce valid interactions over n
 // nodes for t = 0, 1, 2, ... exactly as seq.NewStream would consume them.
@@ -53,4 +56,20 @@ func (g *Generated) N() int { return g.n }
 // unbounded.
 func (g *Generated) Next(t int, _ core.ExecView) (seq.Interaction, bool) {
 	return g.gen(t), true
+}
+
+// NextBatch implements core.BatchAdversary: one buffer fill per engine
+// round trip instead of one interface call per interaction. The engine
+// may stop mid-batch (termination, failure, the interaction cap), so the
+// generator can be advanced past the last interaction actually played —
+// fine for the measurement loops this type serves, where every run wraps
+// a fresh seeded generator, but callers sharing one generator across runs
+// that must match the scalar path bit-for-bit should not reuse it after a
+// batched run.
+func (g *Generated) NextBatch(t int, _ core.ExecView, buf []seq.Interaction) int {
+	gen := g.gen
+	for i := range buf {
+		buf[i] = gen(t + i)
+	}
+	return len(buf)
 }

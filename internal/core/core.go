@@ -154,6 +154,75 @@ type Adversary interface {
 	Next(t int, view ExecView) (seq.Interaction, bool)
 }
 
+// BatchAdversary is an optional extension for adversaries whose future
+// does not depend on the execution (every oblivious source): the engine
+// drains whole buffers of interactions at once, amortising the
+// per-interaction interface dispatch and validation of the scalar path
+// across the batch. Adaptive adversaries must NOT implement it — they
+// need the post-interaction view — and simply keep the scalar Next path;
+// the engine falls back transparently.
+type BatchAdversary interface {
+	Adversary
+	// NextBatch fills buf with the interactions at times t, t+1, ...,
+	// t+k-1 and returns k. Returning k < len(buf) means the sequence is
+	// exhausted after those k interactions (k may be 0); the engine will
+	// not call NextBatch again. The engine may consume fewer than k
+	// interactions when the run ends mid-batch, so implementations must
+	// not assume every generated interaction is played.
+	NextBatch(t int, view ExecView, buf []seq.Interaction) int
+}
+
+// ProvenanceMode selects how much per-datum provenance an execution
+// maintains. Full provenance costs an O(n/64)-word bitset union per
+// transfer and O(n²/8) bytes of bitset memory per engine — negligible for
+// the paper-scale runs the tests use, but the dominant cost at n ≥ 10⁵.
+type ProvenanceMode int
+
+const (
+	// ProvenanceFull (the default) tracks the full origin bitset of
+	// every datum: the engine detects double aggregation at the moment
+	// of the offending transfer and verifies on termination that the
+	// sink's datum folds in all n origins exactly once.
+	ProvenanceFull ProvenanceMode = iota
+	// ProvenanceCount drops the origin bitsets: Result.SinkValue.Origins
+	// is nil and only the fold count is maintained. Termination still
+	// verifies count == n, transmissions == n-1 and (optionally) the
+	// aggregate value, but a double aggregation compensated by a missed
+	// one would go undetected.
+	ProvenanceCount
+	// ProvenanceOff additionally skips all end-of-run verification of
+	// the sink value; only the structural run statistics are reported.
+	ProvenanceOff
+)
+
+// String renders the mode the way CLI flags and sweep cells spell it.
+func (m ProvenanceMode) String() string {
+	switch m {
+	case ProvenanceFull:
+		return "full"
+	case ProvenanceCount:
+		return "count"
+	case ProvenanceOff:
+		return "off"
+	default:
+		return fmt.Sprintf("ProvenanceMode(%d)", int(m))
+	}
+}
+
+// ParseProvenanceMode parses "full", "count" or "off".
+func ParseProvenanceMode(s string) (ProvenanceMode, error) {
+	switch s {
+	case "full":
+		return ProvenanceFull, nil
+	case "count":
+		return ProvenanceCount, nil
+	case "off":
+		return ProvenanceOff, nil
+	default:
+		return 0, fmt.Errorf("core: unknown provenance mode %q (want full, count or off)", s)
+	}
+}
+
 // Event describes one executed interaction, for tracing.
 type Event struct {
 	T        int
@@ -203,7 +272,8 @@ type Result struct {
 	LastGap int
 	// SinkValue is the sink's datum at the end of the run. Its Origins
 	// set aliases engine-owned storage that Engine.Reset recycles: read
-	// or clone it before resetting the engine that produced it.
+	// or clone it before resetting the engine that produced it. Under
+	// ProvenanceCount and ProvenanceOff, Origins is nil.
 	SinkValue agg.Value
 }
 
@@ -227,8 +297,18 @@ type Config struct {
 	Events EventSink
 	// VerifyAggregate re-computes the expected sink payload on
 	// termination and fails the run on mismatch. Cheap; on by default in
-	// tests via NewEngine's callers.
+	// tests via NewEngine's callers. Ignored under ProvenanceOff.
 	VerifyAggregate bool
+	// Provenance selects how much per-datum provenance the run maintains
+	// (default ProvenanceFull). Large-n measurement runs use
+	// ProvenanceCount to shed the per-transfer bitset union and the
+	// O(n²) bitset memory; see ProvenanceMode for what each mode still
+	// verifies.
+	Provenance ProvenanceMode
+	// DisableBatch forces the scalar Adversary.Next path even when the
+	// adversary implements BatchAdversary. Differential tests use it to
+	// prove the batched and scalar paths equivalent.
+	DisableBatch bool
 }
 
 // Engine executes one algorithm against one adversary. A fresh Engine (or
@@ -246,10 +326,15 @@ type Engine struct {
 	// Recycled storage, sized for the largest N seen so far. origins[i]
 	// is node i's provenance set: MergeInto unions sets in place, so the
 	// n sets allocated here are the only ones the engine ever creates.
+	// Non-full provenance modes leave the sets untouched (and, until a
+	// full-mode run at that size happens, unallocated).
 	origins     []*bitset.Set
 	stateBuf    []any
 	defPayloads []float64
 	emptyKnow   *knowledge.Bundle
+	// batch is the reusable BatchAdversary drain buffer, allocated on
+	// the first batched run and recycled across Resets.
+	batch []seq.Interaction
 }
 
 var _ ExecView = (*Engine)(nil)
@@ -279,6 +364,11 @@ func (e *Engine) Reset(cfg Config) error {
 	}
 	if cfg.MaxInteractions <= 0 {
 		return fmt.Errorf("core: MaxInteractions must be positive, got %d", cfg.MaxInteractions)
+	}
+	switch cfg.Provenance {
+	case ProvenanceFull, ProvenanceCount, ProvenanceOff:
+	default:
+		return fmt.Errorf("core: invalid provenance mode %v", cfg.Provenance)
 	}
 	if cfg.Agg == nil {
 		cfg.Agg = agg.Min
@@ -325,15 +415,19 @@ func (e *Engine) Reset(cfg Config) error {
 	e.env.Know = know
 	e.env.State = e.stateBuf
 
+	full := cfg.Provenance == ProvenanceFull
 	for u := 0; u < cfg.N; u++ {
-		set := e.origins[u]
-		if set == nil || set.Cap() != cfg.N {
-			set = bitset.New(cfg.N)
-			e.origins[u] = set
-		} else {
-			set.Clear()
+		var set *bitset.Set
+		if full {
+			set = e.origins[u]
+			if set == nil || set.Cap() != cfg.N {
+				set = bitset.New(cfg.N)
+				e.origins[u] = set
+			} else {
+				set.Clear()
+			}
+			set.Add(u)
 		}
-		set.Add(u)
 		e.owns[u] = true
 		e.data[u] = agg.Value{Num: cfg.Payloads[u], Count: 1, Origins: set}
 		e.stateBuf[u] = nil
@@ -365,10 +459,19 @@ func (e *Engine) OwnerCount() int { return e.nOwn }
 // runtime, which shares algorithm state representation with the engine.
 func (e *Engine) Env() *Env { return e.env }
 
+// batchSize is the engine's drain-buffer length for BatchAdversary
+// sources: large enough to amortise the per-batch dispatch to noise,
+// small enough (8 KB) to stay resident in L1.
+const batchSize = 512
+
 // Run executes alg against adv until termination, sequence exhaustion,
 // failure, or the interaction cap. The returned error reports engine or
 // model violations (nil algorithm, transfers between non-owners, double
 // aggregation); normal non-termination is not an error.
+//
+// Adversaries implementing BatchAdversary are drained through a reusable
+// buffer instead of one Next call per interaction; the two paths produce
+// identical Results (differentially tested across the scenario registry).
 func (e *Engine) Run(alg Algorithm, adv Adversary) (Result, error) {
 	if alg == nil || adv == nil {
 		return Result{}, fmt.Errorf("core: nil algorithm or adversary")
@@ -394,60 +497,15 @@ func (e *Engine) Run(alg Algorithm, adv Adversary) (Result, error) {
 		Adversary: adv.Name(),
 		Duration:  -1,
 	}
-	observer, observes := alg.(Observer)
 
-	for t := 0; t < e.cfg.MaxInteractions; t++ {
-		it, ok := adv.Next(t, e)
-		if !ok {
-			break // adversary exhausted its (finite) sequence
-		}
-		canon, err := seq.NewInteraction(it.U, it.V)
-		if err != nil {
-			return res, fmt.Errorf("core: adversary %s at t=%d: %w", adv.Name(), t, err)
-		}
-		if canon.U < 0 || int(canon.V) >= e.cfg.N {
-			return res, fmt.Errorf("core: adversary %s at t=%d: interaction %v out of range", adv.Name(), t, canon)
-		}
-		res.Interactions++
-
-		if observes {
-			observer.Observe(e.env, canon, t)
-		}
-
-		ev := Event{T: t, It: canon}
-		if e.owns[canon.U] && e.owns[canon.V] {
-			ev.BothOwned = true
-			d := alg.Decide(e.env, canon, t)
-			ev.Decision = d
-			if receiver, transfer := d.Receiver(canon); transfer {
-				sender, _ := d.Sender(canon)
-				if err := agg.MergeInto(e.cfg.Agg, &e.data[receiver], e.data[sender]); err != nil {
-					return res, fmt.Errorf("core: t=%d transfer %d->%d: %w", t, sender, receiver, err)
-				}
-				e.data[sender] = agg.Value{}
-				e.owns[sender] = false
-				e.nOwn--
-				res.Transmissions++
-				res.LastGap = t - res.Duration - 1
-				res.Duration = t
-				ev.Sender, ev.Receiver = sender, receiver
-			} else {
-				res.Declined++
-			}
-		}
-		if e.cfg.Events != nil {
-			e.cfg.Events.OnEvent(ev)
-		}
-
-		if !e.owns[e.cfg.Sink] {
-			res.Failed = true
-			res.FailReason = fmt.Sprintf("sink %d transmitted its data at t=%d and can never terminate", e.cfg.Sink, t)
-			break
-		}
-		if e.nOwn == 1 {
-			res.Terminated = true
-			break
-		}
+	var err error
+	if ba, ok := adv.(BatchAdversary); ok && !e.cfg.DisableBatch {
+		err = e.runBatched(alg, ba, &res)
+	} else {
+		err = e.runScalar(alg, adv, &res)
+	}
+	if err != nil {
+		return res, err
 	}
 
 	if res.Terminated {
@@ -462,13 +520,134 @@ func (e *Engine) Run(alg Algorithm, adv Adversary) (Result, error) {
 	return res, nil
 }
 
-// verify checks the end-to-end aggregation invariants on termination.
+// runScalar is the one-Next-call-per-interaction loop, the only path
+// adaptive adversaries can use (they need the post-interaction view).
+func (e *Engine) runScalar(alg Algorithm, adv Adversary, res *Result) error {
+	observer, observes := alg.(Observer)
+	events := e.cfg.Events
+	for t := 0; t < e.cfg.MaxInteractions; t++ {
+		it, ok := adv.Next(t, e)
+		if !ok {
+			return nil // adversary exhausted its (finite) sequence
+		}
+		canon, err := seq.NewInteraction(it.U, it.V)
+		if err != nil {
+			return fmt.Errorf("core: adversary %s at t=%d: %w", adv.Name(), t, err)
+		}
+		if int(canon.V) >= e.cfg.N {
+			return fmt.Errorf("core: adversary %s at t=%d: interaction %v out of range", adv.Name(), t, canon)
+		}
+		res.Interactions++
+		done, err := e.step(alg, observer, observes, events, canon, t, res)
+		if err != nil || done {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBatched drains the adversary through e.batch: one NextBatch call and
+// one bounds-checked canonicalisation sweep per batchSize interactions,
+// instead of an interface dispatch plus a validating call per interaction.
+func (e *Engine) runBatched(alg Algorithm, adv BatchAdversary, res *Result) error {
+	observer, observes := alg.(Observer)
+	events := e.cfg.Events
+	if len(e.batch) == 0 {
+		e.batch = make([]seq.Interaction, batchSize)
+	}
+	n := e.cfg.N
+	for t := 0; t < e.cfg.MaxInteractions; {
+		want := len(e.batch)
+		if rem := e.cfg.MaxInteractions - t; rem < want {
+			want = rem
+		}
+		got := adv.NextBatch(t, e, e.batch[:want])
+		if got < 0 || got > want {
+			return fmt.Errorf("core: adversary %s returned %d interactions for a %d-slot batch", adv.Name(), got, want)
+		}
+		for i := 0; i < got; i++ {
+			canon := e.batch[i]
+			if canon.U > canon.V {
+				canon.U, canon.V = canon.V, canon.U
+			}
+			if canon.U < 0 || canon.U == canon.V || int(canon.V) >= n {
+				// Rare path: rebuild the exact error the scalar loop's
+				// seq.NewInteraction + range check would have produced.
+				if _, err := seq.NewInteraction(e.batch[i].U, e.batch[i].V); err != nil {
+					return fmt.Errorf("core: adversary %s at t=%d: %w", adv.Name(), t+i, err)
+				}
+				return fmt.Errorf("core: adversary %s at t=%d: interaction %v out of range", adv.Name(), t+i, canon)
+			}
+			res.Interactions++
+			done, err := e.step(alg, observer, observes, events, canon, t+i, res)
+			if err != nil || done {
+				return err
+			}
+		}
+		t += got
+		if got < want {
+			return nil // adversary exhausted its (finite) sequence
+		}
+	}
+	return nil
+}
+
+// step plays one canonical, range-checked interaction — the shared body
+// of the scalar and batched loops, so the two paths cannot drift. It
+// returns done = true when the run is over (termination or failure).
+func (e *Engine) step(alg Algorithm, observer Observer, observes bool, events EventSink, canon seq.Interaction, t int, res *Result) (bool, error) {
+	if observes {
+		observer.Observe(e.env, canon, t)
+	}
+
+	ev := Event{T: t, It: canon}
+	if e.owns[canon.U] && e.owns[canon.V] {
+		ev.BothOwned = true
+		d := alg.Decide(e.env, canon, t)
+		ev.Decision = d
+		if receiver, transfer := d.Receiver(canon); transfer {
+			sender, _ := d.Sender(canon)
+			if err := agg.MergeInto(e.cfg.Agg, &e.data[receiver], e.data[sender]); err != nil {
+				return false, fmt.Errorf("core: t=%d transfer %d->%d: %w", t, sender, receiver, err)
+			}
+			e.data[sender] = agg.Value{}
+			e.owns[sender] = false
+			e.nOwn--
+			res.Transmissions++
+			res.LastGap = t - res.Duration - 1
+			res.Duration = t
+			ev.Sender, ev.Receiver = sender, receiver
+		} else {
+			res.Declined++
+		}
+	}
+	if events != nil {
+		events.OnEvent(ev)
+	}
+
+	if !e.owns[e.cfg.Sink] {
+		res.Failed = true
+		res.FailReason = fmt.Sprintf("sink %d transmitted its data at t=%d and can never terminate", e.cfg.Sink, t)
+		return true, nil
+	}
+	if e.nOwn == 1 {
+		res.Terminated = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// verify checks the end-to-end aggregation invariants on termination, to
+// the depth the configured provenance mode still supports.
 func (e *Engine) verify(res Result) error {
+	if e.cfg.Provenance == ProvenanceOff {
+		return nil
+	}
 	v := res.SinkValue
 	if v.Count != e.cfg.N {
 		return fmt.Errorf("core: sink aggregated %d data, want %d", v.Count, e.cfg.N)
 	}
-	if v.Origins == nil || !v.Origins.Full() {
+	if e.cfg.Provenance == ProvenanceFull && (v.Origins == nil || !v.Origins.Full()) {
 		return fmt.Errorf("core: sink provenance %v incomplete", v.Origins)
 	}
 	if res.Transmissions != e.cfg.N-1 {

@@ -13,6 +13,7 @@ package rng
 
 import (
 	"errors"
+	"math"
 	"math/bits"
 )
 
@@ -144,19 +145,31 @@ func (s *Source) Pair(n int) (a, b int) {
 	if n < 2 {
 		panic(ErrEmptyRange)
 	}
-	// Index the pairs lexicographically and invert: faster than rejection
-	// for small n and exactly uniform for all n.
 	total := uint64(n) * uint64(n-1) / 2
-	k := s.boundedUint64(total)
-	// Find row a such that the pairs {a, a+1..n-1} contain index k.
-	a = 0
-	rowLen := uint64(n - 1)
-	for k >= rowLen {
-		k -= rowLen
-		a++
-		rowLen--
+	return pairAt(n, s.boundedUint64(total))
+}
+
+// pairAt returns the k-th unordered pair of [0, n) in lexicographic order
+// ({0,1}, {0,2}, ..., {n-2,n-1}), inverting the index in O(1). Counting
+// pairs from the END of the order, the reversed rows have lengths
+// 1, 2, ..., n-1, so the reversed row index is the triangular root of
+// j = total-1-k. The float estimate is corrected by an exact integer walk
+// of at most a step or two, so every k maps to the same (a, b) as a
+// linear row scan — Pair's deterministic output stream is that of the
+// old O(n) scan, bit for bit — while the draw stops costing O(n) at
+// large n (the scan dominated whole-run profiles beyond n ≈ 10³).
+func pairAt(n int, k uint64) (a, b int) {
+	j := uint64(n)*uint64(n-1)/2 - 1 - k
+	i := uint64((math.Sqrt(float64(8*j+1)) - 1) / 2)
+	for i*(i+1)/2 > j {
+		i--
 	}
-	b = a + 1 + int(k)
+	for (i+1)*(i+2)/2 <= j {
+		i++
+	}
+	a = n - 2 - int(i)
+	off := j - i*(i+1)/2 // position within the reversed row, in [0, i]
+	b = a + 1 + int(i-off)
 	return a, b
 }
 

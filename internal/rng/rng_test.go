@@ -300,3 +300,52 @@ func BenchmarkPair(b *testing.B) {
 		_, _ = s.Pair(1024)
 	}
 }
+
+// TestPairAtMatchesLinearScan pins the O(1) triangular-root inversion to
+// the linear row scan it replaced: every pair index of every tested n
+// must map to exactly the same (a, b), so the package's deterministic
+// output stream is unchanged by the speedup.
+func TestPairAtMatchesLinearScan(t *testing.T) {
+	scan := func(n int, k uint64) (int, int) {
+		a := 0
+		rowLen := uint64(n - 1)
+		for k >= rowLen {
+			k -= rowLen
+			a++
+			rowLen--
+		}
+		return a, a + 1 + int(k)
+	}
+	for _, n := range []int{2, 3, 4, 5, 7, 64, 101, 257} {
+		total := uint64(n) * uint64(n-1) / 2
+		for k := uint64(0); k < total; k++ {
+			ga, gb := pairAt(n, k)
+			wa, wb := scan(n, k)
+			if ga != wa || gb != wb {
+				t.Fatalf("pairAt(%d, %d) = (%d,%d), scan gives (%d,%d)", n, k, ga, gb, wa, wb)
+			}
+		}
+	}
+	// Spot-check huge n (the scan is too slow to sweep): boundary and
+	// random indexes, verified against the closed-form forward mapping
+	// k(a, b) = a·n - a(a+3)/2 + b - 1.
+	src := New(99)
+	for _, n := range []int{1 << 17, 1 << 20} {
+		total := uint64(n) * uint64(n-1) / 2
+		ks := []uint64{0, 1, uint64(n - 2), uint64(n - 1), total / 2, total - 2, total - 1}
+		for i := 0; i < 200; i++ {
+			ks = append(ks, src.boundedUint64(total))
+		}
+		for _, k := range ks {
+			a, b := pairAt(n, k)
+			if a < 0 || b >= n || a >= b {
+				t.Fatalf("pairAt(%d, %d) = (%d,%d) invalid", n, k, a, b)
+			}
+			au, bu := uint64(a), uint64(b)
+			back := au*uint64(n) - au*(au+3)/2 + bu - 1
+			if back != k {
+				t.Fatalf("pairAt(%d, %d) = (%d,%d) maps back to index %d", n, k, a, b, back)
+			}
+		}
+	}
+}

@@ -21,8 +21,12 @@ type Interaction struct {
 }
 
 // NewInteraction returns the canonical Interaction for {a, b}; it rejects
-// self-interactions.
+// self-interactions and negative identifiers, so a canonical Interaction
+// only ever needs an upper range check downstream.
 func NewInteraction(a, b graph.NodeID) (Interaction, error) {
+	if a < 0 || b < 0 {
+		return Interaction{}, fmt.Errorf("seq: negative node id in {%d,%d}", a, b)
+	}
 	if a == b {
 		return Interaction{}, fmt.Errorf("seq: node %d cannot interact with itself", a)
 	}
@@ -102,7 +106,7 @@ func NewSequence(n int, steps []Interaction) (*Sequence, error) {
 		if err != nil {
 			return nil, fmt.Errorf("seq: step %d: %w", t, err)
 		}
-		if canon.U < 0 || int(canon.V) >= n {
+		if int(canon.V) >= n {
 			return nil, fmt.Errorf("seq: step %d: interaction %v out of range [0,%d)", t, canon, n)
 		}
 		cp[t] = canon

@@ -103,7 +103,19 @@ type Config struct {
 	// Events receives trace events from the scheduler (nil = no
 	// tracing). Delivery order matches interaction order.
 	Events core.EventSink
+	// Provenance mirrors core.Config.Provenance: non-full modes skip
+	// the per-node origin bitsets and their per-transfer unions.
+	Provenance core.ProvenanceMode
+	// DisableBatch mirrors core.Config.DisableBatch: force one
+	// Adversary.Next call per interaction even for batchable sources.
+	DisableBatch bool
 }
+
+// schedulerBatch is the scheduler's BatchAdversary drain-buffer length.
+// Deliberately smaller than the engine's batch size: each interaction
+// here still costs a goroutine rendezvous (~µs), so the buffer only
+// needs to amortise the adversary dispatch, not dominate cache budgets.
+const schedulerBatch = 256
 
 // Runtime executes one algorithm against one adversary with one goroutine
 // per node. Single-use, like core.Engine.
@@ -128,6 +140,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	if cfg.MaxInteractions <= 0 {
 		return nil, fmt.Errorf("sim: MaxInteractions must be positive, got %d", cfg.MaxInteractions)
+	}
+	switch cfg.Provenance {
+	case core.ProvenanceFull, core.ProvenanceCount, core.ProvenanceOff:
+	default:
+		return nil, fmt.Errorf("sim: invalid provenance mode %v", cfg.Provenance)
 	}
 	if cfg.Agg == nil {
 		cfg.Agg = agg.Min
@@ -162,10 +179,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		nOwn:  cfg.N,
 	}
 	for u := 0; u < cfg.N; u++ {
+		val := agg.Value{Num: cfg.Payloads[u], Count: 1}
+		if cfg.Provenance == core.ProvenanceFull {
+			val = agg.Initial(graph.NodeID(u), cfg.Payloads[u], cfg.N)
+		}
 		rt.nodes[u] = &node{
 			id:    graph.NodeID(u),
 			owns:  true,
-			value: agg.Initial(graph.NodeID(u), cfg.Payloads[u], cfg.N),
+			value: val,
 			inbox: make(chan meetMsg),
 		}
 		rt.owns[u] = true
@@ -245,16 +266,53 @@ func (rt *Runtime) Run(alg core.Algorithm, adv core.Adversary) (core.Result, err
 	info := make(chan controlInfo, 1)
 	outcome := make(chan outcomeMsg, 1)
 
+	// Batchable adversaries are drained through a buffer, mirroring the
+	// engine: the node-local rendezvous protocol below is untouched, only
+	// the scheduler's per-interaction adversary dispatch is amortised.
+	ba, batched := adv.(core.BatchAdversary)
+	batched = batched && !rt.cfg.DisableBatch
+	var batch []seq.Interaction
+	if batched {
+		batch = make([]seq.Interaction, schedulerBatch)
+	}
+	bpos, blen := 0, 0
+	exhausted := false
+
 	for t := 0; t < rt.cfg.MaxInteractions; t++ {
-		it, ok := adv.Next(t, rt)
-		if !ok {
-			break
+		var it seq.Interaction
+		if batched {
+			if bpos == blen {
+				if exhausted {
+					break
+				}
+				want := len(batch)
+				if rem := rt.cfg.MaxInteractions - t; rem < want {
+					want = rem
+				}
+				blen = ba.NextBatch(t, rt, batch[:want])
+				if blen < 0 || blen > want {
+					return res, fmt.Errorf("sim: adversary %s returned %d interactions for a %d-slot batch", adv.Name(), blen, want)
+				}
+				exhausted = blen < want
+				bpos = 0
+				if blen == 0 {
+					break
+				}
+			}
+			it = batch[bpos]
+			bpos++
+		} else {
+			next, ok := adv.Next(t, rt)
+			if !ok {
+				break
+			}
+			it = next
 		}
 		canon, err := seq.NewInteraction(it.U, it.V)
 		if err != nil {
 			return res, fmt.Errorf("sim: adversary %s at t=%d: %w", adv.Name(), t, err)
 		}
-		if canon.U < 0 || int(canon.V) >= rt.cfg.N {
+		if int(canon.V) >= rt.cfg.N {
 			return res, fmt.Errorf("sim: adversary %s at t=%d: interaction %v out of range", adv.Name(), t, canon)
 		}
 		res.Interactions++
@@ -306,7 +364,7 @@ func (rt *Runtime) Run(alg core.Algorithm, adv core.Adversary) (core.Result, err
 	shutdown()
 	if res.Terminated {
 		res.SinkValue = rt.nodes[rt.cfg.Sink].value
-		if res.SinkValue.Count != rt.cfg.N {
+		if rt.cfg.Provenance != core.ProvenanceOff && res.SinkValue.Count != rt.cfg.N {
 			return res, fmt.Errorf("sim: sink aggregated %d data, want %d", res.SinkValue.Count, rt.cfg.N)
 		}
 	}

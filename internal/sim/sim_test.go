@@ -9,6 +9,7 @@ import (
 	"doda/internal/algorithms"
 	"doda/internal/core"
 	"doda/internal/knowledge"
+	"doda/internal/rng"
 	"doda/internal/seq"
 )
 
@@ -217,5 +218,71 @@ func TestRuntimeSequenceExhaustion(t *testing.T) {
 	}
 	if res.Terminated || res.Interactions != 1 {
 		t.Errorf("res = %+v", res)
+	}
+}
+
+// runtimeResult plays one seeded uniform Gathering workload through the
+// runtime under the given provenance/batch configuration.
+func runtimeResult(t *testing.T, n int, seed uint64, prov core.ProvenanceMode, disableBatch bool) core.Result {
+	t.Helper()
+	adv, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(Config{
+		N: n, MaxInteractions: 50 * n * n,
+		Provenance: prov, DisableBatch: disableBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(algorithms.NewGathering(), adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatalf("n=%d seed=%d: did not terminate", n, seed)
+	}
+	return res
+}
+
+// TestRuntimeBatchedMatchesScalar checks the scheduler's batch drain
+// against the per-interaction Next path across provenance modes.
+func TestRuntimeBatchedMatchesScalar(t *testing.T) {
+	const n = 12
+	for _, prov := range []core.ProvenanceMode{core.ProvenanceFull, core.ProvenanceCount, core.ProvenanceOff} {
+		for _, seed := range []uint64{1, 2, 3} {
+			batched := runtimeResult(t, n, seed, prov, false)
+			scalar := runtimeResult(t, n, seed, prov, true)
+			if batched.Duration != scalar.Duration || batched.Interactions != scalar.Interactions ||
+				batched.Transmissions != scalar.Transmissions || batched.Declined != scalar.Declined ||
+				batched.SinkValue.Num != scalar.SinkValue.Num || batched.SinkValue.Count != scalar.SinkValue.Count {
+				t.Errorf("prov=%v seed=%d: batched %+v != scalar %+v", prov, seed, batched, scalar)
+			}
+		}
+	}
+}
+
+// TestRuntimeProvenanceModes pins the mode semantics in the runtime: the
+// execution is identical across modes, full mode carries origins, the
+// others do not, and invalid modes are rejected.
+func TestRuntimeProvenanceModes(t *testing.T) {
+	const n = 10
+	full := runtimeResult(t, n, 7, core.ProvenanceFull, false)
+	if full.SinkValue.Origins == nil || !full.SinkValue.Origins.Full() {
+		t.Errorf("full mode origins = %v", full.SinkValue.Origins)
+	}
+	for _, prov := range []core.ProvenanceMode{core.ProvenanceCount, core.ProvenanceOff} {
+		res := runtimeResult(t, n, 7, prov, false)
+		if res.SinkValue.Origins != nil {
+			t.Errorf("%v mode leaked origins %v", prov, res.SinkValue.Origins)
+		}
+		if res.Duration != full.Duration || res.Interactions != full.Interactions ||
+			res.SinkValue.Num != full.SinkValue.Num {
+			t.Errorf("%v mode changed the execution: %+v vs %+v", prov, res, full)
+		}
+	}
+	if _, err := NewRuntime(Config{N: 4, MaxInteractions: 10, Provenance: core.ProvenanceMode(7)}); err == nil {
+		t.Error("invalid provenance mode must be rejected")
 	}
 }

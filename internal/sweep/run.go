@@ -72,6 +72,10 @@ type Options struct {
 	// cells are still running. Called from worker goroutines under a
 	// lock; keep it cheap.
 	OnResult func(CellResult)
+	// ForceScalar disables the engine's batched adversary fast path for
+	// every run. Differential tests flip it to prove batched and scalar
+	// sweeps produce byte-identical output.
+	ForceScalar bool
 }
 
 // Run executes the grid and returns the per-cell results in cell order
@@ -99,7 +103,7 @@ func Run(grid Grid, opt Options) ([]CellResult, Totals, error) {
 	em := &emitter{fn: opt.OnResult, pending: map[int]CellResult{}}
 
 	results, err := parallel.MapWorkers(len(cells), workers, func(w, i int) (CellResult, error) {
-		res, err := runners[w].runCell(grid, cells[i])
+		res, err := runners[w].runCell(grid, opt, cells[i])
 		if err != nil {
 			return CellResult{}, err
 		}
@@ -147,10 +151,14 @@ type runner struct {
 }
 
 // runCell executes every replica of one cell.
-func (r *runner) runCell(grid Grid, cell Cell) (CellResult, error) {
+func (r *runner) runCell(grid Grid, opt Options, cell Cell) (CellResult, error) {
 	spec, ok := scenario.Lookup(cell.Scenario.Name)
 	if !ok {
 		return CellResult{}, fmt.Errorf("sweep: scenario %q not registered", cell.Scenario.Name)
+	}
+	prov, err := core.ParseProvenanceMode(cell.Provenance)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
 	}
 	res := CellResult{Cell: cell, Replicas: grid.Replicas}
 	r.durs = r.durs[:0]
@@ -215,7 +223,10 @@ func (r *runner) runCell(grid Grid, cell Cell) (CellResult, error) {
 			adv = w.Adversary
 		}
 
-		cfg := core.Config{N: n, MaxInteractions: cap, Know: know, VerifyAggregate: true}
+		cfg := core.Config{
+			N: n, MaxInteractions: cap, Know: know, VerifyAggregate: true,
+			Provenance: prov, DisableBatch: opt.ForceScalar,
+		}
 		if r.eng == nil {
 			var err error
 			if r.eng, err = core.NewEngine(cfg); err != nil {

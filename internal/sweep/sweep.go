@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"doda/internal/core"
 	"doda/internal/scenario"
 	"doda/internal/stats"
 )
@@ -95,16 +96,51 @@ type Grid struct {
 	// MaxInteractions caps each run (0 = scenario.DefaultCap for the
 	// cell's node count).
 	MaxInteractions int
+	// Provenance selects the engine provenance mode for every cell:
+	// "full", "count", "off", or "auto" (the default when empty) —
+	// full bitset provenance below AutoProvenanceThreshold nodes,
+	// count-only at and above it, so large-n grids shed the O(n) bitset
+	// union per transfer and the O(n²) bitset memory. The resolved mode
+	// is recorded in each cell's output.
+	Provenance string
+}
+
+// AutoProvenanceThreshold is the node count at and above which the "auto"
+// provenance choice drops from full bitset provenance to count-only. At
+// 2048 nodes the bitsets cost 512 KB per engine and 32 words per transfer
+// union — the point where they start to show up in sweep profiles.
+const AutoProvenanceThreshold = 2048
+
+// resolveProvenance maps a grid-level provenance choice and a cell's node
+// count to the engine mode the cell runs under.
+func resolveProvenance(choice string, n int) (core.ProvenanceMode, error) {
+	switch choice {
+	case "", "auto":
+		if n >= AutoProvenanceThreshold {
+			return core.ProvenanceCount, nil
+		}
+		return core.ProvenanceFull, nil
+	default:
+		m, err := core.ParseProvenanceMode(choice)
+		if err != nil {
+			return 0, fmt.Errorf("sweep: provenance %q: want auto, full, count or off", choice)
+		}
+		return m, nil
+	}
 }
 
 // Cell is one grid point: a scenario, an algorithm and a node count, with
-// the deterministic seed all its replicas derive from.
+// the deterministic seed all its replicas derive from. Provenance is the
+// resolved engine provenance mode ("full", "count" or "off") the cell's
+// replicas run under, logged so downstream analysis knows how much was
+// verified.
 type Cell struct {
-	Index     int         `json:"index"`
-	Scenario  ScenarioRef `json:"scenario"`
-	Algorithm string      `json:"algorithm"`
-	N         int         `json:"n"`
-	Seed      uint64      `json:"seed"`
+	Index      int         `json:"index"`
+	Scenario   ScenarioRef `json:"scenario"`
+	Algorithm  string      `json:"algorithm"`
+	N          int         `json:"n"`
+	Seed       uint64      `json:"seed"`
+	Provenance string      `json:"provenance"`
 }
 
 // Cells expands and validates the grid in deterministic order
@@ -128,6 +164,9 @@ func (g Grid) Cells() ([]Cell, error) {
 	for _, n := range g.Sizes {
 		if n < 2 {
 			return nil, fmt.Errorf("sweep: need at least 2 nodes, got %d", n)
+		}
+		if _, err := resolveProvenance(g.Provenance, n); err != nil {
+			return nil, err
 		}
 	}
 	for _, ref := range g.Scenarios {
@@ -170,12 +209,17 @@ func (g Grid) Cells() ([]Cell, error) {
 		for _, alg := range g.Algorithms {
 			for _, n := range g.Sizes {
 				i := len(cells)
+				mode, err := resolveProvenance(g.Provenance, n)
+				if err != nil {
+					return nil, err // unreachable: sizes validated above
+				}
 				cells = append(cells, Cell{
-					Index:     i,
-					Scenario:  ref,
-					Algorithm: alg,
-					N:         n,
-					Seed:      cellSeed(g.Seed, i),
+					Index:      i,
+					Scenario:   ref,
+					Algorithm:  alg,
+					N:          n,
+					Seed:       cellSeed(g.Seed, i),
+					Provenance: mode.String(),
 				})
 			}
 		}

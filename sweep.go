@@ -42,6 +42,11 @@ func ParseSweepScenarios(raw string) ([]SweepScenario, error) {
 // SweepAlgorithms lists the algorithm names a sweep grid accepts.
 func SweepAlgorithms() []string { return sweep.AlgorithmNames() }
 
+// SweepAutoProvenanceThreshold is the node count at and above which the
+// grid's "auto" provenance choice drops from full bitset provenance to
+// count-only (see SweepGrid.Provenance).
+const SweepAutoProvenanceThreshold = sweep.AutoProvenanceThreshold
+
 // NewGeneratedAdversary exposes the Generated adversary the sweep fast
 // path uses: it feeds gen's interactions straight to the engine with no
 // stream caching — the right workload feed for measurement loops that
