@@ -44,6 +44,7 @@ func run(args []string) error {
 		list      = fs.Bool("list", false, "list experiments and exit")
 		csvDir    = fs.String("csv", "", "directory to write per-table CSV files")
 		progress  = fs.Bool("progress", false, "print sweep progress")
+		ckptDir   = fs.String("checkpoint", "", "journal the sweep-backed experiments' (S1/S2) grid cells under this directory and resume past them on restart — lets a killed full-scale suite pick up where it stopped")
 		workers   = fs.Int("parallel", 1, "run experiments concurrently on this many workers (numbers are unchanged: every experiment derives its own seed)")
 		jsonPath  = fs.String("json", "", "run the hot-path micro-benchmarks and write ns/op and allocs/op to this file (e.g. BENCH_hotpath.json), skipping the experiments")
 		baseline  = fs.String("baseline", "", "with -json: compare the fresh report against this committed baseline and fail on regressions")
@@ -125,7 +126,7 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := experiments.Config{Scale: scale, Seed: *seed}
+	cfg := experiments.Config{Scale: scale, Seed: *seed, CheckpointDir: *ckptDir}
 	if *progress {
 		cfg.Progress = os.Stderr
 	}

@@ -5,13 +5,24 @@
 // order, bit-for-bit identical for any worker count; a fleet summary goes
 // to stderr.
 //
+// Long grids survive restarts: -checkpoint journals every completed cell
+// to a crc-guarded JSONL checkpoint directory, -resume skips the
+// journaled cells and re-emits the full stream byte-identical to an
+// uninterrupted run, and -shard i/m partitions the cell index space
+// disjointly so m processes (or hosts) cover the grid exactly once; the
+// merge subcommand stitches the m checkpoints back into one ordered
+// stream plus fleet totals.
+//
 // Usage:
 //
 //	dodasweep -scenarios "uniform;zipf:alpha=1" -algs waiting,gathering -n 16,32 -reps 10
 //	dodasweep -scenarios "community:communities=4,p-intra=0.9" -algs gathering -n 64 -reps 50 -workers 4
 //	dodasweep -scenarios uniform -algs waiting-greedy -n 32 -reps 5 -seed 7 -summary
 //	dodasweep -scenarios uniform -algs gathering -n 131072 -reps 1 -max 2000000   # large n: auto count-only provenance
-//	dodasweep -scenarios uniform -algs gathering -n 64 -reps 200 -cpuprofile cpu.out
+//	dodasweep ... -checkpoint run1/                  # journal cells; survive a crash
+//	dodasweep ... -resume run1/                      # continue; output byte-identical
+//	dodasweep ... -shard 0/3 -checkpoint s0/         # one of three disjoint shard processes
+//	dodasweep merge -summary s0/ s1/ s2/             # stitch the shards back together
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"time"
 
 	"doda/internal/sweep"
+	"doda/internal/sweepd"
 )
 
 func main() {
@@ -37,22 +49,35 @@ func main() {
 }
 
 func run(args []string, out, errw io.Writer) error {
+	if len(args) > 0 && args[0] == "merge" {
+		return runMerge(args[1:], out, errw)
+	}
 	fs := flag.NewFlagSet("dodasweep", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		scenarios = fs.String("scenarios", "uniform", "semicolon-separated scenarios, each name[:k=v,k2=v2] (see `dodascen list`)")
-		algs      = fs.String("algs", "gathering", "comma-separated algorithms: "+strings.Join(sweep.AlgorithmNames(), " | "))
-		sizes     = fs.String("n", "32", "comma-separated node counts")
-		reps      = fs.Int("reps", 10, "seed replicas per cell")
-		seed      = fs.Uint64("seed", 1, "grid seed; every cell seed derives from it deterministically")
-		max       = fs.Int("max", 0, "interaction cap per run (0 = a generous scenario default)")
-		workers   = fs.Int("workers", 0, "worker shards (0 = all cores)")
-		summary   = fs.Bool("summary", false, "also print the fleet totals as a final JSON line on stdout")
-		prov      = fs.String("provenance", "auto", "engine provenance mode: auto | full | count | off (auto = full below n="+strconv.Itoa(sweep.AutoProvenanceThreshold)+", count-only above)")
-		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
-		memProf   = fs.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
+		scenarios  = fs.String("scenarios", "uniform", "semicolon-separated scenarios, each name[:k=v,k2=v2] (see `dodascen list`)")
+		algs       = fs.String("algs", "gathering", "comma-separated algorithms: "+strings.Join(sweep.AlgorithmNames(), " | "))
+		sizes      = fs.String("n", "32", "comma-separated node counts")
+		reps       = fs.Int("reps", 10, "seed replicas per cell")
+		seed       = fs.Uint64("seed", 1, "grid seed; every cell seed derives from it deterministically")
+		max        = fs.Int("max", 0, "interaction cap per run (0 = a generous scenario default)")
+		workers    = fs.Int("workers", 0, "worker shards (0 = all cores)")
+		summary    = fs.Bool("summary", false, "also print the fleet totals as a final JSON line on stdout")
+		prov       = fs.String("provenance", "auto", "engine provenance mode: auto | full | count | off (auto = full below n="+strconv.Itoa(sweep.AutoProvenanceThreshold)+", count-only above)")
+		checkpoint = fs.String("checkpoint", "", "journal every completed cell to this directory (crc-guarded JSONL segments); must not already hold a checkpoint")
+		resume     = fs.String("resume", "", "resume from the checkpoint in this directory: skip journaled cells, keep journaling, re-emit the full byte-identical stream (grid flags must match, or the stale checkpoint is rejected)")
+		shard      = fs.String("shard", "", "run only shard i of m disjoint cell shards, as i/m (e.g. 0/3); pair with -checkpoint and stitch with the merge subcommand")
+		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProf    = fs.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *checkpoint != "" && *resume != "" {
+		return fmt.Errorf("-checkpoint and -resume are mutually exclusive (resume keeps journaling into its directory)")
+	}
+	shardIndex, shardCount, err := parseShard(*shard)
+	if err != nil {
 		return err
 	}
 	if *cpuProf != "" {
@@ -102,6 +127,16 @@ func run(args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	inShard := sweep.ShardSelect(shardIndex, shardCount)
+	mine := len(cells)
+	if shardCount > 1 {
+		mine = 0
+		for _, c := range cells {
+			if inShard(c) {
+				mine++
+			}
+		}
+	}
 	// Mirror sweep.Run's effective worker count (default all cores,
 	// capped at the cell count) so the banner reports the real
 	// parallelism.
@@ -109,28 +144,52 @@ func run(args []string, out, errw io.Writer) error {
 	if w < 1 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > len(cells) {
-		w = len(cells)
+	if w > mine {
+		w = mine
 	}
-	fmt.Fprintf(errw, "dodasweep: %d cells (%d scenarios × %d algorithms × %d sizes), %d replicas each, %d workers\n",
+	fmt.Fprintf(errw, "dodasweep: %d cells (%d scenarios × %d algorithms × %d sizes), %d replicas each, %d workers",
 		len(cells), len(refs), len(grid.Algorithms), len(ns), grid.Replicas, w)
+	if shardCount > 1 {
+		fmt.Fprintf(errw, ", shard %d/%d (%d cells)", shardIndex, shardCount, mine)
+	}
+	fmt.Fprintln(errw)
 
+	// Emitter errors (short write, ENOSPC, dead pipe) abort the sweep and
+	// surface in the exit code: a cell nobody could record must never be
+	// silently lost.
 	enc := json.NewEncoder(out)
-	var encErr error
+	emit := func(r sweep.CellResult) error { return enc.Encode(r) }
+
+	var (
+		results []sweep.CellResult
+		totals  sweep.Totals
+	)
+	dir, resuming := *checkpoint, false
+	if *resume != "" {
+		dir, resuming = *resume, true
+	}
 	start := time.Now()
-	results, totals, err := sweep.Run(grid, sweep.Options{
-		Workers: *workers,
-		OnResult: func(r sweep.CellResult) {
-			if encErr == nil {
-				encErr = enc.Encode(r)
-			}
-		},
-	})
+	if dir != "" {
+		results, totals, err = sweepd.Run(grid, dir, sweepd.Options{
+			Workers:    *workers,
+			ShardIndex: shardIndex,
+			ShardCount: shardCount,
+			Resume:     resuming,
+			OnResult:   emit,
+		})
+	} else {
+		var sel func(sweep.Cell) bool
+		if shardCount > 1 {
+			sel = inShard
+		}
+		results, totals, err = sweep.Run(grid, sweep.Options{
+			Workers:  *workers,
+			OnResult: emit,
+			Select:   sel,
+		})
+	}
 	if err != nil {
 		return err
-	}
-	if encErr != nil {
-		return encErr
 	}
 	elapsed := time.Since(start)
 	cellsPerSec := float64(len(results)) / elapsed.Seconds()
@@ -140,6 +199,63 @@ func run(args []string, out, errw io.Writer) error {
 		return enc.Encode(totals)
 	}
 	return nil
+}
+
+// runMerge implements the merge subcommand: stitch the checkpoints of a
+// complete m-way sharded sweep into one ordered JSONL stream plus fleet
+// totals, byte-identical to an uninterrupted single-process run.
+func runMerge(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("dodasweep merge", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	summary := fs.Bool("summary", false, "also print the fleet totals as a final JSON line on stdout")
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: dodasweep merge [-summary] <checkpoint-dir>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		return fmt.Errorf("merge: no checkpoint directories given")
+	}
+	results, totals, err := sweepd.Merge(dirs)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(errw, "dodasweep merge: %d cells from %d shard(s), %d runs (%d terminated)\n",
+		totals.Cells, len(dirs), totals.Runs, totals.Terminated)
+	if *summary {
+		return enc.Encode(totals)
+	}
+	return nil
+}
+
+// parseShard parses the -shard i/m syntax; "" means the whole grid.
+func parseShard(raw string) (index, count int, err error) {
+	if raw == "" {
+		return 0, 1, nil
+	}
+	is, ms, ok := strings.Cut(raw, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad shard %q: want i/m (e.g. 0/3)", raw)
+	}
+	if index, err = strconv.Atoi(strings.TrimSpace(is)); err != nil {
+		return 0, 0, fmt.Errorf("bad shard index in %q", raw)
+	}
+	if count, err = strconv.Atoi(strings.TrimSpace(ms)); err != nil {
+		return 0, 0, fmt.Errorf("bad shard count in %q", raw)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad shard %q: need 0 <= i < m", raw)
+	}
+	return index, count, nil
 }
 
 // splitList splits a comma-separated list, trimming blanks.

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"doda/internal/sweep"
+)
+
+// TestRunGridCheckpointedMatchesPlain pins the S1/S2 driver contract:
+// with CheckpointDir set the grids run through the checkpointed sweep
+// service, and the results — first run, and a resumed re-run that
+// replays every cell from the journal — are identical to plain sweep.Run.
+func TestRunGridCheckpointedMatchesPlain(t *testing.T) {
+	grid := sweep.Grid{
+		Scenarios:  []sweep.ScenarioRef{{Name: "uniform"}, {Name: "zipf", Params: map[string]string{"alpha": "1"}}},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      []int{8},
+		Replicas:   3,
+		Seed:       77,
+	}
+	plain, err := runGrid(Config{}, "S1", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ck, err := runGrid(Config{CheckpointDir: dir}, "S1", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ck, plain) {
+		t.Error("checkpointed grid results differ from plain sweep.Run")
+	}
+	// The journal landed under the lower-cased experiment name.
+	if fi, err := os.Stat(filepath.Join(dir, "s1")); err != nil || !fi.IsDir() {
+		t.Fatalf("no checkpoint directory written: %v", err)
+	}
+	// A second run resumes: every cell replays from the journal, and the
+	// results are still identical.
+	again, err := runGrid(Config{CheckpointDir: dir}, "S1", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, plain) {
+		t.Error("resumed grid results differ from plain sweep.Run")
+	}
+}

@@ -49,6 +49,14 @@ type Config struct {
 	Seed uint64
 	// Progress, when non-nil, receives one line per sweep point.
 	Progress io.Writer
+	// CheckpointDir, when non-empty, makes the sweep-backed experiments
+	// (S1/S2) journal every completed grid cell under this directory and
+	// resume past already-journaled cells on the next run — so a killed
+	// full-scale suite run picks up where it stopped instead of
+	// re-sweeping from cell 0. Results are identical either way: the
+	// per-cell deterministic seed contract makes resumed and fresh cells
+	// indistinguishable.
+	CheckpointDir string
 }
 
 func (c Config) scale() Scale {

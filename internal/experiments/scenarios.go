@@ -23,8 +23,11 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
+	"strings"
 
 	"doda/internal/sweep"
+	"doda/internal/sweepd"
 )
 
 func s1() Experiment {
@@ -36,11 +39,27 @@ func s1() Experiment {
 	}
 }
 
-// runSweep shards a grid across the cores (sweep.Run's default) and
-// indexes the cell results by (scenario name, algorithm), failing on any
-// unterminated replica — the invariant both scenario experiments demand.
-func runSweep(grid sweep.Grid) (map[string]map[string]sweep.CellResult, error) {
-	results, _, err := sweep.Run(grid, sweep.Options{})
+// runGrid executes one experiment grid, sharded across the cores. With
+// cfg.CheckpointDir set it runs through the checkpointed sweep service —
+// cells journal to <dir>/<name> and a restarted suite resumes past them
+// (the directory keys on the experiment, the grid fingerprint rejects
+// stale journals if the grid itself changed) — otherwise through plain
+// sweep.Run. Results are identical either way.
+func runGrid(cfg Config, name string, grid sweep.Grid) ([]sweep.CellResult, error) {
+	if cfg.CheckpointDir == "" {
+		results, _, err := sweep.Run(grid, sweep.Options{})
+		return results, err
+	}
+	dir := filepath.Join(cfg.CheckpointDir, strings.ToLower(name))
+	results, _, err := sweepd.Run(grid, dir, sweepd.Options{Resume: true})
+	return results, err
+}
+
+// runSweep runs a grid via runGrid and indexes the cell results by
+// (scenario name, algorithm), failing on any unterminated replica — the
+// invariant both scenario experiments demand.
+func runSweep(cfg Config, name string, grid sweep.Grid) (map[string]map[string]sweep.CellResult, error) {
+	results, err := runGrid(cfg, name, grid)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +97,7 @@ func runS1(cfg Config) (*Report, error) {
 		{Name: "community", Params: map[string]string{"communities": "4", "p-intra": "0.9"}},
 		{Name: "churn", Params: map[string]string{"p-fail": "0.1", "p-recover": "0.1"}},
 	}
-	byCell, err := runSweep(sweep.Grid{
+	byCell, err := runSweep(cfg, "s1", sweep.Grid{
 		Scenarios:       scenarios,
 		Algorithms:      []string{"waiting", "gathering"},
 		Sizes:           []int{n},
@@ -146,14 +165,14 @@ func runS2(cfg Config) (*Report, error) {
 			Params: map[string]string{"communities": "4", "p-intra": p},
 		}
 	}
-	results, _, err := sweep.Run(sweep.Grid{
+	results, err := runGrid(cfg, "s2", sweep.Grid{
 		Scenarios:       scenarios,
 		Algorithms:      []string{"gathering"},
 		Sizes:           []int{n},
 		Replicas:        rep,
 		Seed:            cfg.Seed ^ 0x54,
 		MaxInteractions: 4000*n*n + 40000,
-	}, sweep.Options{})
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ package parallel
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Map runs f(i) for every i in [0, n) on at most workers goroutines and
@@ -22,6 +23,12 @@ func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 // to f alongside the item index. Each worker is one goroutine processing
 // items sequentially, so f may keep per-worker scratch state — reusable
 // engines, buffers, accumulators — indexed by worker without locking.
+//
+// An error aborts the tail: items with a larger index than the earliest
+// erroring item are skipped once the error lands (items with smaller
+// indexes always run, so the first-error-by-input-order contract is
+// unchanged). A dead output stream therefore stops a multi-hour sweep
+// within one in-flight item per worker instead of running it to the end.
 func MapWorkers[T any](n, workers int, f func(worker, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("parallel: negative item count %d", n)
@@ -38,6 +45,11 @@ func MapWorkers[T any](n, workers int, f func(worker, i int) (T, error)) ([]T, e
 		return results, nil
 	}
 
+	// abortAt holds the smallest item index that returned an error (n =
+	// none yet); items beyond it are skipped rather than executed.
+	var abortAt atomic.Int64
+	abortAt.Store(int64(n))
+
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -45,7 +57,18 @@ func MapWorkers[T any](n, workers int, f func(worker, i int) (T, error)) ([]T, e
 		go func(w int) {
 			defer wg.Done()
 			for i := range work {
+				if int64(i) > abortAt.Load() {
+					continue
+				}
 				results[i], errs[i] = safeCall(f, w, i)
+				if errs[i] != nil {
+					for {
+						cur := abortAt.Load()
+						if int64(i) >= cur || abortAt.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
 			}
 		}(w)
 	}

@@ -160,3 +160,28 @@ func TestMapWorkersScratchIsSingleThreaded(t *testing.T) {
 		t.Errorf("per-worker counters sum to %d, want %d", total, n)
 	}
 }
+
+// TestMapWorkersAbortsTailAfterError: once an item errors, items beyond
+// it are skipped (a sweep with a dead output stream must stop, not run
+// for hours), while items before it still run — preserving the
+// first-error-by-input-order contract.
+func TestMapWorkersAbortsTailAfterError(t *testing.T) {
+	const n = 10000
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_, err := MapWorkers(n, 2, func(_, i int) (int, error) {
+		ran.Add(1)
+		if i == 50 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Items 0..50 must run; with 2 workers only a handful of in-flight
+	// items past 50 may sneak in before the abort flag lands.
+	if got := ran.Load(); got < 51 || got > n/2 {
+		t.Errorf("ran %d of %d items; want all of 0..50 and an aborted tail", got, n)
+	}
+}

@@ -208,6 +208,30 @@ func (w *Welford) Merge(o *Welford) {
 	}
 }
 
+// WelfordState is the exported snapshot of a Welford accumulator — the
+// exact internal moments, so an accumulator can be journaled to JSON and
+// restored bit-for-bit. Go's JSON encoder emits float64s in the shortest
+// round-trippable form, so State → JSON → FromState is lossless; that is
+// what lets a resumed or merged sweep reproduce a Totals line
+// byte-identical to an uninterrupted run.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State snapshots the accumulator.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max}
+}
+
+// WelfordFromState rebuilds the accumulator a State call snapshotted.
+func WelfordFromState(s WelfordState) Welford {
+	return Welford{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
+
 // N returns the number of observations added.
 func (w *Welford) N() int { return w.n }
 

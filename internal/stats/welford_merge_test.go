@@ -1,0 +1,247 @@
+package stats
+
+// Property tests for Welford.Merge as the sweep fleet uses it: per-cell
+// accumulators journaled to checkpoints, then folded back into fleet
+// totals in cell-index order. The byte-identity the sweep service
+// guarantees rests on two facts pinned here — the fold is exact under any
+// shard grouping (grouping never enters the fold), and the State/JSON
+// round trip is bit-for-bit lossless — plus the analytic facts that Merge
+// commutes and associates exactly on counts and extrema and up to
+// floating-point rounding on the moments.
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randWelford builds an accumulator over 0–12 observations drawn from a
+// few scales (durations in a sweep are small positive integers, but the
+// property should not depend on that).
+func randWelford(rng *rand.Rand) Welford {
+	var w Welford
+	n := rng.Intn(13)
+	scale := math.Pow(10, float64(rng.Intn(7)-3))
+	for i := 0; i < n; i++ {
+		w.Add((rng.Float64()*2 - 1) * scale)
+	}
+	return w
+}
+
+// foldInOrder merges per-cell accumulators in index order — exactly what
+// sweep.TotalsOf does.
+func foldInOrder(cells []Welford) Welford {
+	var w Welford
+	for i := range cells {
+		w.Merge(&cells[i])
+	}
+	return w
+}
+
+// TestWelfordMergeShardGroupingIsExact pins the sweep-fleet contract:
+// however the cells are grouped into shards — and however the per-cell
+// states travel through checkpoint JSON — refolding them in cell-index
+// order reproduces the single-process accumulator bit for bit.
+func TestWelfordMergeShardGroupingIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nCells := 1 + rng.Intn(40)
+		cells := make([]Welford, nCells)
+		for i := range cells {
+			cells[i] = randWelford(rng)
+		}
+		ref := foldInOrder(cells)
+		for _, m := range []int{1, 3, 7} {
+			// Scatter cells across m shards, round-trip each shard's
+			// states through JSON (the checkpoint journey), regroup by
+			// index, refold.
+			type rec struct {
+				Idx   int          `json:"idx"`
+				State WelfordState `json:"state"`
+			}
+			shards := make([][]rec, m)
+			for i := range cells {
+				s := rng.Intn(m)
+				shards[s] = append(shards[s], rec{Idx: i, State: cells[i].State()})
+			}
+			regrouped := make([]Welford, nCells)
+			for _, shard := range shards {
+				for _, r := range shard {
+					b, err := json.Marshal(r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var back rec
+					if err := json.Unmarshal(b, &back); err != nil {
+						t.Fatal(err)
+					}
+					regrouped[back.Idx] = WelfordFromState(back.State)
+				}
+			}
+			got := foldInOrder(regrouped)
+			if got.State() != ref.State() {
+				t.Fatalf("trial %d, m=%d: shard grouping changed the fold:\n got %+v\nwant %+v",
+					trial, m, got.State(), ref.State())
+			}
+		}
+	}
+}
+
+// TestWelfordStateRoundTripIsExact: State → JSON → FromState is the
+// identity on every internal moment, including awkward float64s.
+func TestWelfordStateRoundTripIsExact(t *testing.T) {
+	f := func(n uint16, mean, m2, lo, hi float64) bool {
+		if mean != mean || m2 != m2 || lo != lo || hi != hi ||
+			math.IsInf(mean, 0) || math.IsInf(m2, 0) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return true // NaN/Inf never occur in real accumulators and cannot ride JSON
+		}
+		s := WelfordState{N: int(n), Mean: mean, M2: m2, Min: lo, Max: hi}
+		b, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		var back WelfordState
+		if err := json.Unmarshal(b, &back); err != nil {
+			return false
+		}
+		w := WelfordFromState(back)
+		return w.State() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWelfordMergeCommutes: A⊕B and B⊕A agree exactly on count, min and
+// max, and up to floating-point rounding on mean and variance (the two
+// orders round differently in the last ulps — which is exactly why the
+// fleet fixes one fold order rather than relying on commutativity).
+func TestWelfordMergeCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randWelford(rng), randWelford(rng)
+		ab, ba := a, b
+		ab.Merge(&b)
+		ba.Merge(&a)
+		if ab.N() != ba.N() {
+			t.Fatalf("trial %d: N differs: %d vs %d", trial, ab.N(), ba.N())
+		}
+		if ab.N() == 0 {
+			continue
+		}
+		if ab.Min() != ba.Min() || ab.Max() != ba.Max() {
+			t.Fatalf("trial %d: extrema differ: [%v,%v] vs [%v,%v]",
+				trial, ab.Min(), ab.Max(), ba.Min(), ba.Max())
+		}
+		if !closeEnough(ab.Mean(), ba.Mean()) {
+			t.Fatalf("trial %d: means differ beyond rounding: %v vs %v", trial, ab.Mean(), ba.Mean())
+		}
+		if ab.N() >= 2 && !closeEnough(ab.Variance(), ba.Variance()) {
+			t.Fatalf("trial %d: variances differ beyond rounding: %v vs %v", trial, ab.Variance(), ba.Variance())
+		}
+	}
+}
+
+// TestWelfordMergeAssociates: (A⊕B)⊕C vs A⊕(B⊕C), same contract as
+// commutativity — exact on counts and extrema, rounding-tight on moments.
+func TestWelfordMergeAssociates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randWelford(rng), randWelford(rng), randWelford(rng)
+		left := a // (a⊕b)⊕c
+		left.Merge(&b)
+		left.Merge(&c)
+		bc := b // a⊕(b⊕c)
+		bc.Merge(&c)
+		right := a
+		right.Merge(&bc)
+		if left.N() != right.N() {
+			t.Fatalf("trial %d: N differs: %d vs %d", trial, left.N(), right.N())
+		}
+		if left.N() == 0 {
+			continue
+		}
+		if left.Min() != right.Min() || left.Max() != right.Max() {
+			t.Fatalf("trial %d: extrema differ", trial)
+		}
+		if !closeEnough(left.Mean(), right.Mean()) {
+			t.Fatalf("trial %d: means differ beyond rounding: %v vs %v", trial, left.Mean(), right.Mean())
+		}
+		if left.N() >= 2 && !closeEnough(left.Variance(), right.Variance()) {
+			t.Fatalf("trial %d: variances differ beyond rounding: %v vs %v", trial, left.Variance(), right.Variance())
+		}
+	}
+}
+
+// TestWelfordMergeWithEmptyIsExactIdentity: merging an empty accumulator
+// in either direction changes nothing, bit for bit — the property that
+// lets empty shards and zero-replica cells ride the fold for free.
+func TestWelfordMergeWithEmptyIsExactIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		a := randWelford(rng)
+		var empty Welford
+		got := a
+		got.Merge(&empty)
+		if got.State() != a.State() {
+			t.Fatalf("trial %d: a⊕∅ changed bits", trial)
+		}
+		got = empty
+		got.Merge(&a)
+		if got.State() != a.State() {
+			t.Fatalf("trial %d: ∅⊕a changed bits", trial)
+		}
+		got = a
+		got.Merge(nil)
+		if got.State() != a.State() {
+			t.Fatalf("trial %d: a⊕nil changed bits", trial)
+		}
+	}
+}
+
+// TestWelfordMergeMatchesDirectAdd: merging chunk accumulators agrees
+// with adding every observation to one accumulator, up to rounding.
+func TestWelfordMergeMatchesDirectAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*50 + 100
+		}
+		var direct Welford
+		for _, x := range xs {
+			direct.Add(x)
+		}
+		var merged Welford
+		for lo := 0; lo < n; {
+			hi := lo + 1 + rng.Intn(n-lo)
+			var chunk Welford
+			for _, x := range xs[lo:hi] {
+				chunk.Add(x)
+			}
+			merged.Merge(&chunk)
+			lo = hi
+		}
+		if merged.N() != direct.N() || merged.Min() != direct.Min() || merged.Max() != direct.Max() {
+			t.Fatalf("trial %d: count/extrema differ", trial)
+		}
+		if !closeEnough(merged.Mean(), direct.Mean()) || !closeEnough(merged.Variance(), direct.Variance()) {
+			t.Fatalf("trial %d: moments differ beyond rounding: mean %v vs %v, var %v vs %v",
+				trial, merged.Mean(), direct.Mean(), merged.Variance(), direct.Variance())
+		}
+	}
+}
+
+// closeEnough compares within a tight relative tolerance — the few ulps
+// different merge orders may round differently by.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale || diff <= 1e-12
+}

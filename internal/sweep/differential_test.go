@@ -25,10 +25,8 @@ func sweepJSONL(t *testing.T, grid Grid, opt Options) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
-	opt.OnResult = func(r CellResult) {
-		if err := enc.Encode(r); err != nil {
-			t.Fatal(err)
-		}
+	opt.OnResult = func(r CellResult) error {
+		return enc.Encode(r)
 	}
 	_, totals, err := Run(grid, opt)
 	if err != nil {

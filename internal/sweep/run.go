@@ -70,12 +70,22 @@ type Options struct {
 	// order as soon as it and all its predecessors have completed — the
 	// streaming hook cmd/dodasweep uses to emit JSON lines while later
 	// cells are still running. Called from worker goroutines under a
-	// lock; keep it cheap.
-	OnResult func(CellResult)
+	// lock; keep it cheap. A non-nil error aborts the sweep: no further
+	// results are delivered and Run returns the error — an emitter that
+	// cannot write (short write, ENOSPC) must stop the sweep rather than
+	// silently lose cells.
+	OnResult func(CellResult) error
 	// ForceScalar disables the engine's batched adversary fast path for
 	// every run. Differential tests flip it to prove batched and scalar
 	// sweeps produce byte-identical output.
 	ForceScalar bool
+	// Select, when non-nil, restricts the sweep to the cells it returns
+	// true for. Cell identity (index, seed) is fixed by the full grid
+	// before selection, so a selected cell's result is byte-identical
+	// whether the rest of the grid runs in this process or another —
+	// the contract shard runs and checkpoint resumes are built on.
+	// Results, totals and OnResult cover only the selected cells.
+	Select func(Cell) bool
 }
 
 // Run executes the grid and returns the per-cell results in cell order
@@ -86,12 +96,24 @@ func Run(grid Grid, opt Options) ([]CellResult, Totals, error) {
 	if err != nil {
 		return nil, Totals{}, err
 	}
+	if opt.Select != nil {
+		selected := make([]Cell, 0, len(cells))
+		for _, c := range cells {
+			if opt.Select(c) {
+				selected = append(selected, c)
+			}
+		}
+		cells = selected
+	}
 	workers := opt.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(cells) {
 		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1 // empty selection: MapWorkers still wants a pool
 	}
 
 	// One runner per worker: a reusable engine plus sample buffers, so
@@ -107,39 +129,54 @@ func Run(grid Grid, opt Options) ([]CellResult, Totals, error) {
 		if err != nil {
 			return CellResult{}, err
 		}
-		em.emit(i, res)
+		if err := em.emit(i, res); err != nil {
+			return CellResult{}, err
+		}
 		return res, nil
 	})
 	if err != nil {
 		return nil, Totals{}, err
 	}
-	return results, totalsOf(results), nil
+	return results, TotalsOf(results), nil
 }
 
 // emitter delivers cell results to a callback in index order, buffering
-// out-of-order completions from the shards.
+// out-of-order completions from the shards. The first callback error
+// latches: no further results are delivered, and every later emit returns
+// the same error so the workers abort instead of sweeping cells nobody
+// can record.
 type emitter struct {
 	mu      sync.Mutex
 	next    int
 	pending map[int]CellResult
-	fn      func(CellResult)
+	fn      func(CellResult) error
+	err     error
 }
 
-func (e *emitter) emit(i int, r CellResult) {
+func (e *emitter) emit(i int, r CellResult) error {
 	if e.fn == nil {
-		return
+		return nil
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
 	e.pending[i] = r
 	for {
 		r, ok := e.pending[e.next]
 		if !ok {
-			return
+			return nil
 		}
 		delete(e.pending, e.next)
 		e.next++
-		e.fn(r)
+		if err := e.fn(r); err != nil {
+			// Name the cell actually being delivered: the caller that
+			// surfaced the error may have been draining another worker's
+			// buffered result.
+			e.err = fmt.Errorf("sweep: emit cell %d: %w", r.Index, err)
+			return e.err
+		}
 	}
 }
 

@@ -14,6 +14,9 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -227,6 +230,55 @@ func (g Grid) Cells() ([]Cell, error) {
 	return cells, nil
 }
 
+// fingerprintVersion salts the grid fingerprint: bump it whenever the
+// Grid schema or the cell-expansion order changes meaning, so checkpoints
+// written under the old semantics are rejected rather than silently
+// misread.
+const fingerprintVersion = "doda/sweep/grid/v1"
+
+// Fingerprint returns a stable hex digest of the grid configuration —
+// every field that shapes the cell list or any cell's result. Checkpoint
+// and resume use it as the cell-identity contract: a journal written for
+// one fingerprint is rejected by any grid with another, so stale
+// checkpoints can never smuggle results into a changed sweep. The digest
+// is deterministic (JSON marshals struct fields in declaration order and
+// map keys sorted).
+func (g Grid) Fingerprint() (string, error) {
+	b, err := json.Marshal(g)
+	if err != nil {
+		return "", fmt.Errorf("sweep: fingerprint: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ShardOf maps a cell index to one of m disjoint shards by hashing the
+// index with a fixed splitmix64 step (no dependence on the grid seed, the
+// worker count, or anything else), so m independent processes — or hosts
+// — each running their own shard cover the grid exactly once. Hashing
+// rather than striding spreads the expensive large-n cells evenly: grids
+// enumerate sizes contiguously, so contiguous ranges would load-skew.
+func ShardOf(index, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	z := (uint64(index) + 1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}
+
+// ShardSelect returns the cell predicate for shard index of count — the
+// one implementation of shard membership every shard-aware call site
+// (run selection, checkpoint service, CLI banner counting) shares.
+func ShardSelect(index, count int) func(Cell) bool {
+	return func(c Cell) bool { return ShardOf(c.Index, count) == index }
+}
+
 // cellSeed derives a cell's seed from the grid seed and the cell index
 // with one splitmix64 step, so seeds depend only on (grid seed, index) —
 // never on which worker runs the cell or in which order.
@@ -292,6 +344,16 @@ type CellResult struct {
 	durW stats.Welford
 }
 
+// DurationAcc returns the cell's exact duration accumulator — the state
+// TotalsOf folds, which the rounded Duration metric cannot reconstruct.
+// Checkpoints journal it alongside the result so a resumed or merged
+// sweep reproduces the fleet totals bit-for-bit.
+func (r *CellResult) DurationAcc() stats.Welford { return r.durW }
+
+// SetDurationAcc restores the accumulator DurationAcc snapshotted, when a
+// cell result is rebuilt from a checkpoint record.
+func (r *CellResult) SetDurationAcc(w stats.Welford) { r.durW = w }
+
 // Totals summarises a whole sweep, computed by merging the per-cell
 // accumulators in cell order (so it, too, is worker-count independent).
 type Totals struct {
@@ -302,8 +364,12 @@ type Totals struct {
 	Duration     Metric  `json:"duration"`
 }
 
-// totalsOf folds the cell results in index order.
-func totalsOf(results []CellResult) Totals {
+// TotalsOf folds cell results into fleet totals in slice order. Callers
+// wanting totals byte-identical to an uninterrupted run — the checkpoint
+// resume and shard merge paths — must pass the results sorted by cell
+// index: Welford merges are exact only when replayed in the same order,
+// and cell-index order is the one Run uses.
+func TotalsOf(results []CellResult) Totals {
 	t := Totals{Cells: len(results)}
 	var w stats.Welford
 	for i := range results {

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -109,7 +110,7 @@ func TestRunStreamsInCellOrder(t *testing.T) {
 	var streamed []int
 	results, _, err := Run(testGrid(), Options{
 		Workers:  4,
-		OnResult: func(r CellResult) { streamed = append(streamed, r.Index) },
+		OnResult: func(r CellResult) error { streamed = append(streamed, r.Index); return nil },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -183,3 +184,107 @@ func TestParseScenarios(t *testing.T) {
 		}
 	}
 }
+
+// TestFingerprintPinsEveryGridField: any field that shapes the cell list
+// or a cell's result must change the fingerprint, and equal grids must
+// fingerprint identically — the stale-checkpoint rejection contract.
+func TestFingerprintPinsEveryGridField(t *testing.T) {
+	base := testGrid()
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2, _ := testGrid().Fingerprint(); fp2 != fp {
+		t.Error("equal grids fingerprint differently")
+	}
+	for name, mutate := range map[string]func(*Grid){
+		"seed":            func(g *Grid) { g.Seed++ },
+		"replicas":        func(g *Grid) { g.Replicas++ },
+		"sizes":           func(g *Grid) { g.Sizes = append(g.Sizes, 14) },
+		"algorithms":      func(g *Grid) { g.Algorithms = g.Algorithms[:1] },
+		"scenario params": func(g *Grid) { g.Scenarios[1].Params = map[string]string{"alpha": "2"} },
+		"scenario list":   func(g *Grid) { g.Scenarios = g.Scenarios[:2] },
+		"cap":             func(g *Grid) { g.MaxInteractions = 99 },
+		"provenance":      func(g *Grid) { g.Provenance = "count" },
+	} {
+		g := testGrid()
+		mutate(&g)
+		got, err := g.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got == fp {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestShardOfDisjointCover: every cell index lands in exactly one shard,
+// and shard 0 of 1 is everything.
+func TestShardOfDisjointCover(t *testing.T) {
+	for idx := 0; idx < 1000; idx++ {
+		if ShardOf(idx, 1) != 0 {
+			t.Fatalf("ShardOf(%d, 1) = %d", idx, ShardOf(idx, 1))
+		}
+		for _, m := range []int{2, 3, 7, 64} {
+			s := ShardOf(idx, m)
+			if s < 0 || s >= m {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", idx, m, s)
+			}
+		}
+	}
+}
+
+// TestRunSelectRestrictsCells: a selected subset runs exactly those
+// cells, with results byte-identical to the same cells from a full run —
+// the cell-identity contract shard processes rely on.
+func TestRunSelectRestrictsCells(t *testing.T) {
+	g := testGrid()
+	full, _, err := Run(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := func(c Cell) bool { return c.Index%3 == 1 }
+	part, _, err := Run(g, Options{Workers: 2, Select: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []CellResult
+	for _, r := range full {
+		if r.Index%3 == 1 {
+			want = append(want, r)
+		}
+	}
+	if !reflect.DeepEqual(part, want) {
+		t.Errorf("selected results differ from the same cells of a full run")
+	}
+	// Empty selection is legal and returns nothing.
+	none, totals, err := Run(g, Options{Select: func(Cell) bool { return false }})
+	if err != nil || len(none) != 0 || totals.Cells != 0 {
+		t.Errorf("empty selection: %d results, %+v, %v", len(none), totals, err)
+	}
+}
+
+// TestRunOnResultErrorPropagates: an emitter failure must abort the sweep
+// and surface as Run's error — never silently drop cells.
+func TestRunOnResultErrorPropagates(t *testing.T) {
+	calls := 0
+	_, _, err := Run(testGrid(), Options{
+		Workers: 4,
+		OnResult: func(CellResult) error {
+			calls++
+			if calls == 3 {
+				return errBoom
+			}
+			return nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want the emitter error", err)
+	}
+	if calls > 3 {
+		t.Errorf("emitter called %d times after failing on call 3", calls)
+	}
+}
+
+var errBoom = fmt.Errorf("boom: short write")

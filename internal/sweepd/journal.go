@@ -1,0 +1,554 @@
+// Package sweepd is the checkpointed, resumable sweep service layered on
+// internal/sweep. It journals every completed cell to an append-only
+// JSONL checkpoint — one crc-guarded record per cell, grouped into
+// immutable segments written with tmp+rename so a crash can never leave a
+// half-written segment under its final name — and on resume skips the
+// journaled cells, re-emitting output byte-identical to an uninterrupted
+// run (the per-cell deterministic seed contract makes that provable: a
+// cell's result depends only on the grid and its index, never on which
+// process ran it or when).
+//
+// Sharding rides the same contract: ShardOf partitions the cell index
+// space disjointly with a stable hash, so m independent processes — or
+// hosts — each journaling their own shard cover the grid exactly once,
+// and Merge stitches the m checkpoints back into the single-process
+// byte stream plus fleet totals.
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"doda/internal/stats"
+	"doda/internal/sweep"
+)
+
+// Sentinel errors callers branch on.
+var (
+	// ErrNoCheckpoint reports a directory holding no checkpoint segments.
+	ErrNoCheckpoint = errors.New("sweepd: no checkpoint in directory")
+	// ErrStaleCheckpoint reports a checkpoint written for a different
+	// grid (fingerprint mismatch) or a different shard layout — resuming
+	// from it would smuggle another sweep's results into this one.
+	ErrStaleCheckpoint = errors.New("sweepd: stale checkpoint")
+	// ErrCheckpointExists reports a non-resume run pointed at a directory
+	// that already holds a checkpoint.
+	ErrCheckpointExists = errors.New("sweepd: checkpoint already exists (resume to continue it)")
+	// ErrCorrupt reports an unrecoverable checkpoint record: a crc or
+	// parse failure anywhere but the torn tail of the final segment.
+	ErrCorrupt = errors.New("sweepd: corrupt checkpoint")
+)
+
+// recordVersion is the checkpoint schema version; readers reject other
+// versions rather than guessing at their layout.
+const recordVersion = 1
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".jsonl"
+	tmpSuffix = ".tmp"
+)
+
+// castagnoli is the CRC-32C polynomial table guarding every record line.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the first record of every checkpoint segment: the identity a
+// resume or merge validates before trusting a single cell record.
+type Header struct {
+	Version     int        `json:"version"`
+	Fingerprint string     `json:"fingerprint"`
+	ShardIndex  int        `json:"shard_index"`
+	ShardCount  int        `json:"shard_count"`
+	Grid        sweep.Grid `json:"grid"`
+}
+
+// CellRecord journals one completed cell: the result exactly as the
+// streaming JSONL output encodes it, plus the cell's raw duration
+// accumulator (which the rounded Duration metric cannot reconstruct) so
+// resumed and merged totals fold bit-for-bit like an uninterrupted run.
+type CellRecord struct {
+	Index  int                `json:"index"`
+	Result sweep.CellResult   `json:"result"`
+	DurAcc stats.WelfordState `json:"dur_acc"`
+}
+
+// newCellRecord snapshots a completed cell for the journal.
+func newCellRecord(r sweep.CellResult) CellRecord {
+	w := r.DurationAcc()
+	return CellRecord{Index: r.Index, Result: r, DurAcc: w.State()}
+}
+
+// Restore rebuilds the in-memory cell result, re-attaching the duration
+// accumulator JSON could not carry inside Result.
+func (c CellRecord) Restore() sweep.CellResult {
+	r := c.Result
+	r.SetDurationAcc(stats.WelfordFromState(c.DurAcc))
+	return r
+}
+
+// encodeLine frames one record: 8 lowercase hex digits of the CRC-32C of
+// the JSON body, one space, the body, '\n'. The body is JSON, so it can
+// never contain a raw newline — the line is the record boundary.
+func encodeLine(body []byte) []byte {
+	line := make([]byte, 0, len(body)+10)
+	line = append(line, fmt.Sprintf("%08x ", crc32.Checksum(body, castagnoli))...)
+	line = append(line, body...)
+	return append(line, '\n')
+}
+
+// decodeLine verifies a record line's frame and crc and returns the JSON
+// body. All failures wrap ErrCorrupt; the caller decides whether the
+// position (torn tail of the final segment) makes them recoverable.
+func decodeLine(line []byte) ([]byte, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("%w: malformed record frame", ErrCorrupt)
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad crc field: %v", ErrCorrupt, err)
+	}
+	body := line[9:]
+	if got := crc32.Checksum(body, castagnoli); got != uint32(want) {
+		return nil, fmt.Errorf("%w: crc mismatch (want %08x, got %08x)", ErrCorrupt, want, got)
+	}
+	return body, nil
+}
+
+// headerFor builds the checkpoint identity of a (grid, shard) pair.
+func headerFor(grid sweep.Grid, shardIndex, shardCount int) (Header, error) {
+	fp, err := grid.Fingerprint()
+	if err != nil {
+		return Header{}, err
+	}
+	return Header{
+		Version:     recordVersion,
+		Fingerprint: fp,
+		ShardIndex:  shardIndex,
+		ShardCount:  shardCount,
+		Grid:        grid,
+	}, nil
+}
+
+// matches reports whether two headers name the same checkpoint stream.
+func (h Header) matches(o Header) bool {
+	return h.Version == o.Version && h.Fingerprint == o.Fingerprint &&
+		h.ShardIndex == o.ShardIndex && h.ShardCount == o.ShardCount
+}
+
+// Journal is an open checkpoint being written. Append buffers completed
+// cells; Checkpoint flushes the buffer as one new immutable segment.
+// Methods are not goroutine-safe: the sweep service calls them from the
+// ordered emit path, which is already serialised.
+//
+// The service checkpoints once per cell, so a C-cell shard writes C
+// small segments and pays a file+directory fsync per cell. That is the
+// deliberate durability granularity: the grids this exists for spend
+// far longer running a cell (replicas × up to millions of interactions)
+// than publishing a segment, and immutable rename-published segments
+// keep crash recovery trivial. Callers with very cheap cells can batch
+// several Appends per Checkpoint to amortise the cost.
+type Journal struct {
+	dir     string
+	header  Header
+	nextSeg int
+	buf     []CellRecord
+}
+
+// segName renders the n-th segment's final file name; zero-padding keeps
+// lexicographic order equal to numeric order.
+func segName(n int) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix)
+}
+
+// segNumber parses a segment file name, reporting whether it is one.
+func segNumber(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// writeSegment atomically publishes one segment: write a tmp file, sync
+// it, rename it to its final name, then sync the directory so the rename
+// survives a power cut. A crash mid-write leaves only a tmp file, which
+// readers ignore and the next writer cleans up. The tmp file is created
+// with O_EXCL: a checkpoint has exactly one live writer (crashed writers'
+// leftovers are cleaned by Create/Open first), so an existing tmp means a
+// concurrent process is journaling into the same directory — fail loudly
+// rather than let two writers corrupt each other's segments.
+func writeSegment(dir, name string, lines [][]byte) error {
+	tmp := filepath.Join(dir, name+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("sweepd: %s already exists — another live process is writing this checkpoint (it has exactly one writer; shard to separate directories instead)", tmp)
+		}
+		return err
+	}
+	for _, line := range lines {
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed segment's directory entry
+// is durable. Filesystems that refuse directory fsync outright (EINVAL /
+// ENOTSUP) are tolerated — the rename is still atomic there — but a real
+// I/O failure must surface: swallowing it would let Checkpoint report
+// durability it does not have.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// Create starts a fresh checkpoint in dir for one shard of the grid. The
+// directory is created if needed; it must not already hold a checkpoint
+// (ErrCheckpointExists — resume instead). Leftover tmp files from a
+// crashed writer are removed. Segment 0, carrying only the header, is
+// written immediately so even a run killed before its first cell leaves a
+// resumable, identity-checked checkpoint behind.
+func Create(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, error) {
+	h, err := headerFor(grid, shardIndex, shardCount)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names, err := segmentNames(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) > 0 {
+		return nil, fmt.Errorf("%w: %s has %d segment(s)", ErrCheckpointExists, dir, len(names))
+	}
+	j := &Journal{dir: dir, header: h, nextSeg: 0}
+	if err := j.writeRecords(nil); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Open resumes an existing checkpoint in dir, validating its identity
+// against the (grid, shard) pair the caller is about to run: a
+// fingerprint or shard-layout mismatch is ErrStaleCheckpoint. A directory
+// with no checkpoint at all is treated as fresh (a run killed before its
+// first checkpoint resumes from zero). If the final segment has a torn
+// tail, the valid prefix is kept and the segment is atomically rewritten
+// without the tail, so the repair is durable and the next reader never
+// sees mid-stream corruption.
+func Open(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, []CellRecord, error) {
+	h, err := headerFor(grid, shardIndex, shardCount)
+	if err != nil {
+		return nil, nil, err
+	}
+	cp, err := readCheckpoint(dir)
+	if errors.Is(err, ErrNoCheckpoint) {
+		j, err := Create(dir, grid, shardIndex, shardCount)
+		return j, nil, err
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	// Sweep away tmp files a crashed writer left behind; only final
+	// (renamed) segments count.
+	if _, err := segmentNames(dir, true); err != nil {
+		return nil, nil, err
+	}
+	if !cp.header.matches(h) {
+		return nil, nil, fmt.Errorf("%w: checkpoint is for fingerprint %.12s shard %d/%d, want %.12s shard %d/%d",
+			ErrStaleCheckpoint, cp.header.Fingerprint, cp.header.ShardIndex, cp.header.ShardCount,
+			h.Fingerprint, shardIndex, shardCount)
+	}
+	if err := cp.repair(dir); err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{dir: dir, header: cp.header, nextSeg: cp.nextSeg}
+	return j, cp.records, nil
+}
+
+// Append buffers one completed cell for the next Checkpoint.
+func (j *Journal) Append(r sweep.CellResult) {
+	j.buf = append(j.buf, newCellRecord(r))
+}
+
+// Checkpoint flushes the buffered records as one new segment. A no-op
+// when nothing is buffered. After it returns, the flushed cells are
+// durable: a crash at any later instant resumes past them.
+func (j *Journal) Checkpoint() error {
+	if len(j.buf) == 0 {
+		return nil
+	}
+	recs := j.buf
+	if err := j.writeRecords(recs); err != nil {
+		return err
+	}
+	j.buf = j.buf[:0]
+	return nil
+}
+
+// writeRecords publishes one segment holding the header plus recs.
+func (j *Journal) writeRecords(recs []CellRecord) error {
+	lines := make([][]byte, 0, len(recs)+1)
+	hb, err := json.Marshal(j.header)
+	if err != nil {
+		return err
+	}
+	lines = append(lines, encodeLine(hb))
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		lines = append(lines, encodeLine(b))
+	}
+	if err := writeSegment(j.dir, segName(j.nextSeg), lines); err != nil {
+		return err
+	}
+	j.nextSeg++
+	return nil
+}
+
+// Dir returns the checkpoint directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// checkpoint is the parsed state of a checkpoint directory.
+type checkpoint struct {
+	header  Header
+	records []CellRecord
+	nextSeg int
+	// torn tail of the final segment, if any: the segment's name and the
+	// valid raw lines to rewrite it with (possibly none — then the file
+	// is removed outright).
+	tornSeg   string
+	tornLines [][]byte
+}
+
+// repair rewrites (or removes) a torn final segment so the checkpoint
+// reads clean from now on. No-op for clean checkpoints.
+func (cp *checkpoint) repair(dir string) error {
+	if cp.tornSeg == "" {
+		return nil
+	}
+	if len(cp.tornLines) == 0 {
+		if err := os.Remove(filepath.Join(dir, cp.tornSeg)); err != nil {
+			return err
+		}
+		return syncDir(dir)
+	}
+	return writeSegment(dir, cp.tornSeg, cp.tornLines)
+}
+
+// segmentNames lists the final (non-tmp) segment file names in dir in
+// segment order; cleanTmp additionally deletes leftover tmp files from a
+// crashed writer. A missing directory reads as empty.
+func segmentNames(dir string, cleanTmp bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if cleanTmp && strings.HasSuffix(name, tmpSuffix) {
+			if _, ok := segNumber(strings.TrimSuffix(name, tmpSuffix)); ok {
+				os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		if _, ok := segNumber(name); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, k int) bool {
+		a, _ := segNumber(names[i])
+		b, _ := segNumber(names[k])
+		return a < b
+	})
+	return names, nil
+}
+
+// readCheckpoint parses every segment of dir. Corruption policy: a crc or
+// parse failure on the last line(s) of the final segment is a torn tail —
+// the valid prefix is kept and the truncation recorded for repair;
+// corruption anywhere else is ErrCorrupt. Every segment's header must
+// match segment 0's.
+func readCheckpoint(dir string) (*checkpoint, error) {
+	names, err := segmentNames(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, dir)
+	}
+	cp := &checkpoint{}
+	seen := make(map[int]string)
+	for si, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		last := si == len(names)-1
+		lines, torn := splitLines(raw)
+		if torn && !last {
+			return nil, fmt.Errorf("%w: segment %s has a torn tail but is not the final segment", ErrCorrupt, name)
+		}
+		var valid [][]byte
+		for li, line := range lines {
+			body, err := decodeLine(line)
+			if err != nil {
+				// A frame/crc failure is how a torn write looks:
+				// recoverable, but only as the tail of the final segment.
+				// Anything after it is part of the same torn write and is
+				// dropped too.
+				if !last {
+					return nil, fmt.Errorf("segment %s record %d: %w", name, li, err)
+				}
+				torn = true
+				break
+			}
+			// A line whose crc verifies was written intact — a semantic
+			// failure on it (header mismatch, duplicate cell, version
+			// skew) is never truncation, so it is fatal even in the final
+			// segment: repairing it away would silently destroy journaled
+			// records and the evidence of how they got mixed.
+			var perr error
+			if li == 0 {
+				perr = cp.readHeader(si, name, body)
+			} else {
+				perr = cp.readCell(name, li, body, seen)
+			}
+			if perr != nil {
+				return nil, fmt.Errorf("segment %s record %d: %w", name, li, perr)
+			}
+			// Keep raw line copies only where they can be needed: as the
+			// rewrite content when this (final) segment turns out torn.
+			if last {
+				keep := make([]byte, 0, len(line)+1)
+				keep = append(append(keep, line...), '\n')
+				valid = append(valid, keep)
+			}
+		}
+		if torn {
+			cp.tornSeg = name
+			cp.tornLines = valid
+		}
+		n, _ := segNumber(name)
+		if n >= cp.nextSeg {
+			cp.nextSeg = n + 1
+		}
+	}
+	if cp.header.Version == 0 {
+		return nil, fmt.Errorf("%w: no readable header", ErrCorrupt)
+	}
+	return cp, nil
+}
+
+// readHeader parses and validates one segment's header record.
+func (cp *checkpoint) readHeader(si int, name string, body []byte) error {
+	var h Header
+	if err := json.Unmarshal(body, &h); err != nil {
+		return fmt.Errorf("%w: segment %s header: %v", ErrCorrupt, name, err)
+	}
+	if h.Version != recordVersion {
+		return fmt.Errorf("%w: segment %s has version %d, this reader speaks %d",
+			ErrStaleCheckpoint, name, h.Version, recordVersion)
+	}
+	if si == 0 {
+		cp.header = h
+		return nil
+	}
+	if !cp.header.matches(h) {
+		return fmt.Errorf("%w: segment %s header disagrees with segment 0", ErrStaleCheckpoint, name)
+	}
+	return nil
+}
+
+// readCell parses one cell record, rejecting duplicate cell indexes (no
+// legitimate writer produces them; a duplicate means mixed checkpoints).
+func (cp *checkpoint) readCell(name string, li int, body []byte, seen map[int]string) error {
+	var rec CellRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return fmt.Errorf("%w: segment %s record %d: %v", ErrCorrupt, name, li, err)
+	}
+	if rec.Index != rec.Result.Index {
+		return fmt.Errorf("%w: segment %s record %d: index %d disagrees with result index %d",
+			ErrCorrupt, name, li, rec.Index, rec.Result.Index)
+	}
+	if prev, dup := seen[rec.Index]; dup {
+		return fmt.Errorf("%w: cell %d journaled in both %s and %s", ErrCorrupt, rec.Index, prev, name)
+	}
+	seen[rec.Index] = name
+	cp.records = append(cp.records, rec)
+	return nil
+}
+
+// splitLines splits raw segment bytes into newline-terminated records,
+// reporting whether a torn (unterminated) tail was dropped.
+func splitLines(raw []byte) (lines [][]byte, torn bool) {
+	for len(raw) > 0 {
+		nl := bytes.IndexByte(raw, '\n')
+		if nl < 0 {
+			return lines, true // no terminator: torn tail
+		}
+		lines = append(lines, raw[:nl])
+		raw = raw[nl+1:]
+	}
+	return lines, false
+}
+
+// ReadCheckpoint reads a checkpoint directory without opening it for
+// writing: the header and every journaled cell, tolerating (but not
+// repairing) a torn tail on the final segment. Merge and inspection
+// tooling build on it.
+func ReadCheckpoint(dir string) (Header, []CellRecord, error) {
+	cp, err := readCheckpoint(dir)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return cp.header, cp.records, nil
+}

@@ -1,0 +1,299 @@
+package sweepd
+
+import (
+	"fmt"
+	"math"
+
+	"doda/internal/sweep"
+)
+
+// Options tunes one checkpointed sweep execution.
+type Options struct {
+	// Workers is the in-process worker count (< 1 = GOMAXPROCS), passed
+	// through to sweep.Run.
+	Workers int
+	// ForceScalar disables the engine's batched fast path (differential
+	// tests only), passed through to sweep.Run.
+	ForceScalar bool
+	// ShardIndex/ShardCount select which slice of the cell index space
+	// this process covers: the cells with sweep.ShardOf(index,
+	// ShardCount) == ShardIndex. ShardCount < 2 means the whole grid.
+	// m processes running shards 0..m-1 (any mix of hosts) cover the
+	// grid exactly once; Merge stitches their checkpoints back together.
+	ShardIndex int
+	ShardCount int
+	// Resume loads an existing checkpoint from the directory and skips
+	// its journaled cells; the directory may also be empty (a run killed
+	// before its first checkpoint). Without Resume the directory must
+	// not already hold a checkpoint.
+	Resume bool
+	// OnResult, when non-nil, receives every one of this shard's cell
+	// results — journaled ones replayed from the checkpoint and fresh
+	// ones alike — in cell-index order, so a resumed run's output stream
+	// is byte-identical to an uninterrupted one. A non-nil error aborts
+	// the sweep (the checkpoint keeps everything journaled so far).
+	OnResult func(sweep.CellResult) error
+	// AfterCheckpoint, when non-nil, runs after each fresh cell is
+	// journaled and emitted, with the number of this shard's cells done
+	// so far (including restored ones) and the shard's total. A non-nil
+	// error aborts the sweep at that cell boundary — the hook the
+	// crash-resume tests use to kill a sweep deterministically.
+	AfterCheckpoint func(done, total int) error
+}
+
+// Run executes one shard of the grid with per-cell checkpointing in dir.
+// It returns the shard's cell results in cell-index order plus the
+// shard's totals. Resumed runs return results byte-identical (through
+// JSON) to an uninterrupted run of the same shard: restored cells
+// round-trip exactly, fresh cells are deterministic by the cell-seed
+// contract, and totals fold the exact per-cell accumulators in the same
+// index order either way.
+func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.Totals, error) {
+	shards := opt.ShardCount
+	if shards < 1 {
+		shards = 1
+	}
+	if opt.ShardIndex < 0 || opt.ShardIndex >= shards {
+		return nil, sweep.Totals{}, fmt.Errorf("sweepd: shard index %d outside [0,%d)", opt.ShardIndex, shards)
+	}
+	if dir == "" {
+		return nil, sweep.Totals{}, fmt.Errorf("sweepd: empty checkpoint directory")
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		return nil, sweep.Totals{}, err
+	}
+	inShard := sweep.ShardSelect(opt.ShardIndex, shards)
+	mine := make([]sweep.Cell, 0, len(cells)/shards+1)
+	for _, c := range cells {
+		if inShard(c) {
+			mine = append(mine, c)
+		}
+	}
+
+	var (
+		j    *Journal
+		recs []CellRecord
+	)
+	if opt.Resume {
+		j, recs, err = Open(dir, grid, opt.ShardIndex, shards)
+	} else {
+		j, err = Create(dir, grid, opt.ShardIndex, shards)
+	}
+	if err != nil {
+		return nil, sweep.Totals{}, err
+	}
+
+	restored := make(map[int]sweep.CellResult, len(recs))
+	for _, rec := range recs {
+		if rec.Index < 0 || rec.Index >= len(cells) {
+			return nil, sweep.Totals{}, fmt.Errorf("%w: cell index %d outside grid of %d cells",
+				ErrStaleCheckpoint, rec.Index, len(cells))
+		}
+		if sweep.ShardOf(rec.Index, shards) != opt.ShardIndex {
+			return nil, sweep.Totals{}, fmt.Errorf("%w: cell %d belongs to shard %d, not %d",
+				ErrStaleCheckpoint, rec.Index, sweep.ShardOf(rec.Index, shards), opt.ShardIndex)
+		}
+		if err := cellMatches(cells[rec.Index], rec.Result.Cell); err != nil {
+			return nil, sweep.Totals{}, err
+		}
+		restored[rec.Index] = rec.Restore()
+	}
+
+	// The emit path: fresh results arrive in increasing cell-index order
+	// among the cells actually run (sweep.Run's ordered-streaming
+	// contract), and the restored cells fill the gaps between them — so a
+	// single cursor over this shard's cell list merges the two streams in
+	// full index order. All of this runs inside sweep.Run's emitter lock,
+	// so no extra synchronisation is needed.
+	fresh := make(map[int]sweep.CellResult, len(mine)-len(restored))
+	pos := 0
+	done := len(restored)
+	flushThrough := func(limit int) error {
+		for pos < len(mine) && mine[pos].Index < limit {
+			r, ok := restored[mine[pos].Index]
+			if !ok {
+				return fmt.Errorf("sweepd: internal error: cell %d neither restored nor run", mine[pos].Index)
+			}
+			if opt.OnResult != nil {
+				if err := opt.OnResult(r); err != nil {
+					return err
+				}
+			}
+			pos++
+		}
+		return nil
+	}
+
+	_, _, err = sweep.Run(grid, sweep.Options{
+		Workers:     opt.Workers,
+		ForceScalar: opt.ForceScalar,
+		Select: func(c sweep.Cell) bool {
+			if !inShard(c) {
+				return false
+			}
+			_, skip := restored[c.Index]
+			return !skip
+		},
+		OnResult: func(r sweep.CellResult) error {
+			if err := flushThrough(r.Index); err != nil {
+				return err
+			}
+			if pos >= len(mine) || mine[pos].Index != r.Index {
+				return fmt.Errorf("sweepd: internal error: fresh cell %d out of order", r.Index)
+			}
+			// Journal before emitting: a crash between the two re-runs
+			// nothing (the resumed run re-emits the whole stream anyway),
+			// while the opposite order could emit a cell that was never
+			// made durable.
+			j.Append(r)
+			if err := j.Checkpoint(); err != nil {
+				return err
+			}
+			fresh[r.Index] = r
+			if opt.OnResult != nil {
+				if err := opt.OnResult(r); err != nil {
+					return err
+				}
+			}
+			pos++
+			done++
+			if opt.AfterCheckpoint != nil {
+				if err := opt.AfterCheckpoint(done, len(mine)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, sweep.Totals{}, err
+	}
+	if err := flushThrough(math.MaxInt); err != nil {
+		return nil, sweep.Totals{}, err
+	}
+
+	out := make([]sweep.CellResult, len(mine))
+	for i, c := range mine {
+		r, ok := fresh[c.Index]
+		if !ok {
+			r = restored[c.Index]
+		}
+		out[i] = r
+	}
+	return out, sweep.TotalsOf(out), nil
+}
+
+// cellMatches verifies a journaled cell's identity against the grid's
+// cell at the same index — a belt-and-braces check behind the fingerprint
+// (which already pins the whole grid).
+func cellMatches(want, got sweep.Cell) error {
+	if want.Index != got.Index || want.Seed != got.Seed || want.N != got.N ||
+		want.Algorithm != got.Algorithm || want.Provenance != got.Provenance ||
+		want.Scenario.String() != got.Scenario.String() {
+		return fmt.Errorf("%w: journaled cell %d is %s/%s/n=%d seed=%d, grid expects %s/%s/n=%d seed=%d",
+			ErrStaleCheckpoint, got.Index, got.Scenario, got.Algorithm, got.N, got.Seed,
+			want.Scenario, want.Algorithm, want.N, want.Seed)
+	}
+	return nil
+}
+
+// Merge stitches the checkpoints of a complete m-way sharded sweep back
+// into the single-process result stream: every dir must hold one finished
+// shard of the same grid (same fingerprint, same shard count, each shard
+// index exactly once, every shard cell journaled). It returns all cell
+// results in cell-index order plus the fleet totals, both byte-identical
+// (through JSON) to an uninterrupted unsharded run — the totals because
+// they fold the exact journaled per-cell accumulators in cell-index
+// order, exactly as sweep.Run does.
+func Merge(dirs []string) ([]sweep.CellResult, sweep.Totals, error) {
+	if len(dirs) == 0 {
+		return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge needs at least one checkpoint directory")
+	}
+	var (
+		base     Header
+		results  []sweep.CellResult
+		haveCell []bool
+		cells    []sweep.Cell
+		seenDir  []string
+	)
+	for di, dir := range dirs {
+		h, recs, err := ReadCheckpoint(dir)
+		if err != nil {
+			return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge %s: %w", dir, err)
+		}
+		if di == 0 {
+			base = h
+			// Re-derive the cell list from the journaled grid and verify
+			// the fingerprint actually matches it, so a hand-edited
+			// header cannot relabel foreign results.
+			fp, err := h.Grid.Fingerprint()
+			if err != nil {
+				return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge %s: %w", dir, err)
+			}
+			if fp != h.Fingerprint {
+				return nil, sweep.Totals{}, fmt.Errorf("%w: %s: header fingerprint does not match its own grid", ErrCorrupt, dir)
+			}
+			if cells, err = h.Grid.Cells(); err != nil {
+				return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge %s: %w", dir, err)
+			}
+			if h.ShardCount != len(dirs) {
+				return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge: checkpoint declares %d shard(s), got %d directories",
+					h.ShardCount, len(dirs))
+			}
+			results = make([]sweep.CellResult, len(cells))
+			haveCell = make([]bool, len(cells))
+			seenDir = make([]string, h.ShardCount)
+		} else {
+			if h.Fingerprint != base.Fingerprint || h.Version != base.Version {
+				return nil, sweep.Totals{}, fmt.Errorf("%w: %s holds a different grid than %s", ErrStaleCheckpoint, dir, dirs[0])
+			}
+			if h.ShardCount != base.ShardCount {
+				return nil, sweep.Totals{}, fmt.Errorf("%w: %s declares %d shards, %s declares %d",
+					ErrStaleCheckpoint, dir, h.ShardCount, dirs[0], base.ShardCount)
+			}
+		}
+		if h.ShardIndex < 0 || h.ShardIndex >= base.ShardCount {
+			return nil, sweep.Totals{}, fmt.Errorf("%w: %s: shard index %d outside [0,%d)",
+				ErrCorrupt, dir, h.ShardIndex, base.ShardCount)
+		}
+		if prev := seenDir[h.ShardIndex]; prev != "" {
+			return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge: %s and %s both hold shard %d", prev, dir, h.ShardIndex)
+		}
+		seenDir[h.ShardIndex] = dir
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= len(cells) {
+				return nil, sweep.Totals{}, fmt.Errorf("%w: %s: cell index %d outside grid of %d cells",
+					ErrCorrupt, dir, rec.Index, len(cells))
+			}
+			if sweep.ShardOf(rec.Index, base.ShardCount) != h.ShardIndex {
+				return nil, sweep.Totals{}, fmt.Errorf("%w: %s: cell %d belongs to shard %d, not %d",
+					ErrCorrupt, dir, rec.Index, sweep.ShardOf(rec.Index, base.ShardCount), h.ShardIndex)
+			}
+			if haveCell[rec.Index] {
+				return nil, sweep.Totals{}, fmt.Errorf("%w: cell %d journaled by more than one shard", ErrCorrupt, rec.Index)
+			}
+			if err := cellMatches(cells[rec.Index], rec.Result.Cell); err != nil {
+				return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge %s: %w", dir, err)
+			}
+			results[rec.Index] = rec.Restore()
+			haveCell[rec.Index] = true
+		}
+	}
+	missing := 0
+	firstMissing := -1
+	for i, ok := range haveCell {
+		if !ok {
+			missing++
+			if firstMissing < 0 {
+				firstMissing = i
+			}
+		}
+	}
+	if missing > 0 {
+		return nil, sweep.Totals{}, fmt.Errorf(
+			"sweepd: merge: %d cell(s) missing (first: cell %d, shard %d not finished — resume it before merging)",
+			missing, firstMissing, sweep.ShardOf(firstMissing, base.ShardCount))
+	}
+	return results, sweep.TotalsOf(results), nil
+}

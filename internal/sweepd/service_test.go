@@ -1,0 +1,331 @@
+package sweepd
+
+// Crash-resume differential tests: a sweep killed at arbitrary cell
+// boundaries (injected through the AfterCheckpoint hook) and resumed must
+// produce a JSONL stream and Totals byte-identical to an uninterrupted
+// run — across worker counts and shard layouts — and a sharded fleet
+// merged with Merge must match the unsharded single process exactly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doda/internal/sweep"
+)
+
+// grid200 is the 200-cell differential grid: 5 scenarios × 2 algorithms
+// × 20 sizes, small enough to terminate fast, big enough that kill
+// points and shard hashes land everywhere.
+func grid200() sweep.Grid {
+	sizes := make([]int, 20)
+	for i := range sizes {
+		sizes[i] = 4 + i
+	}
+	return sweep.Grid{
+		Scenarios: []sweep.ScenarioRef{
+			{Name: "uniform"},
+			{Name: "zipf", Params: map[string]string{"alpha": "1"}},
+			{Name: "edge-markovian"},
+			{Name: "community", Params: map[string]string{"communities": "2"}},
+			{Name: "churn"},
+		},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      sizes,
+		Replicas:   2,
+		Seed:       1729,
+	}
+}
+
+// renderJSONL encodes results plus totals exactly as cmd/dodasweep
+// streams them with -summary.
+func renderJSONL(t *testing.T, results []sweep.CellResult, totals sweep.Totals) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Encode(totals); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// uninterrupted runs the reference sweep once (plain sweep.Run, no
+// checkpointing anywhere near it) and returns its rendered stream.
+func uninterrupted(t *testing.T, grid sweep.Grid) string {
+	t.Helper()
+	results, totals, err := sweep.Run(grid, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderJSONL(t, results, totals)
+}
+
+// errKilled is the injected crash.
+var errKilled = errors.New("injected kill at cell boundary")
+
+// runUntilKilled drives one checkpointed shard run that aborts after
+// killAt newly journaled cells (0 = run to completion), returning the
+// stream it managed to emit and whether it was killed.
+func runUntilKilled(t *testing.T, grid sweep.Grid, dir string, workers, shardIndex, shardCount, killAt int, resume bool) (string, bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	journaled := 0
+	opt := Options{
+		Workers:    workers,
+		ShardIndex: shardIndex,
+		ShardCount: shardCount,
+		Resume:     resume,
+		OnResult:   func(r sweep.CellResult) error { return enc.Encode(r) },
+	}
+	if killAt > 0 {
+		opt.AfterCheckpoint = func(done, total int) error {
+			journaled++
+			if journaled >= killAt {
+				return errKilled
+			}
+			return nil
+		}
+	}
+	results, totals, err := Run(grid, dir, opt)
+	if killAt > 0 {
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("killAt=%d: got %v, want the injected kill", killAt, err)
+		}
+		return buf.String(), true
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(totals); err != nil {
+		t.Fatal(err)
+	}
+	// The returned results must agree with the stream (same encoder).
+	if got := renderJSONL(t, results, totals); got != buf.String() {
+		t.Fatal("returned results disagree with the OnResult stream")
+	}
+	return buf.String(), false
+}
+
+// TestCrashResumeDifferential is the acceptance gate: kill a 200-cell
+// sweep at random cell boundaries, resume it (possibly crashing again),
+// and require the final stream byte-identical to the uninterrupted run —
+// for workers=1 and workers=8.
+func TestCrashResumeDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-run differential sweep skipped in -short mode")
+	}
+	grid := grid200()
+	want := uninterrupted(t, grid)
+	wantLines := strings.Count(want, "\n")
+	if wantLines != 201 { // 200 cells + totals
+		t.Fatalf("reference run has %d lines, want 201", wantLines)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				dir := filepath.Join(t.TempDir(), "ck")
+				// First run: killed after 1..120 fresh cells.
+				kill1 := 1 + rng.Intn(120)
+				if _, killed := runUntilKilled(t, grid, dir, workers, 0, 1, kill1, false); !killed {
+					t.Fatal("first run was not killed")
+				}
+				// Second run: resumed, killed again a bit further in.
+				kill2 := 1 + rng.Intn(60)
+				runUntilKilled(t, grid, dir, workers, 0, 1, kill2, true)
+				// Final resume runs to completion.
+				got, _ := runUntilKilled(t, grid, dir, workers, 0, 1, 0, true)
+				if got != want {
+					t.Fatalf("trial %d (kills at %d, +%d): resumed stream differs from uninterrupted run\n got %d bytes\nwant %d bytes",
+						trial, kill1, kill2, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMergeDifferential partitions the 200-cell grid into m
+// shards (with crash-resume on some shards), merges the checkpoints, and
+// requires the merged stream byte-identical to the unsharded
+// uninterrupted run — for m ∈ {1, 3, 7}.
+func TestShardedMergeDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-run differential sweep skipped in -short mode")
+	}
+	grid := grid200()
+	want := uninterrupted(t, grid)
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{1, 3, 7} {
+		t.Run(fmt.Sprintf("shards=%d", m), func(t *testing.T) {
+			base := t.TempDir()
+			dirs := make([]string, m)
+			for i := 0; i < m; i++ {
+				dirs[i] = filepath.Join(base, fmt.Sprintf("shard%d", i))
+				workers := 1 + rng.Intn(4)
+				// Roughly half the shards crash once mid-run first.
+				if rng.Intn(2) == 0 {
+					runUntilKilled(t, grid, dirs[i], workers, i, m, 1+rng.Intn(20), false)
+					runUntilKilled(t, grid, dirs[i], workers, i, m, 0, true)
+				} else {
+					runUntilKilled(t, grid, dirs[i], workers, i, m, 0, false)
+				}
+			}
+			results, totals, err := Merge(dirs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderJSONL(t, results, totals); got != want {
+				t.Fatalf("merged %d-shard stream differs from uninterrupted run", m)
+			}
+		})
+	}
+}
+
+// TestShardsPartitionCells pins the disjoint-cover contract the fleet
+// depends on: every cell lands in exactly one shard, for any m.
+func TestShardsPartitionCells(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 7, 16, 101} {
+		counts := make([]int, m)
+		for idx := 0; idx < 5000; idx++ {
+			s := sweep.ShardOf(idx, m)
+			if s < 0 || s >= m {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", idx, m, s)
+			}
+			counts[s]++
+		}
+		if m > 1 {
+			// The stable hash must spread load: no shard may hold more
+			// than twice its fair share of a 5000-cell grid.
+			fair := 5000 / m
+			for s, c := range counts {
+				if c > 2*fair+1 {
+					t.Errorf("m=%d: shard %d holds %d of 5000 cells (fair share %d)", m, s, c, fair)
+				}
+			}
+		}
+	}
+	// Stability: the assignment is a pure function of (index, m).
+	for idx := 0; idx < 100; idx++ {
+		if sweep.ShardOf(idx, 7) != sweep.ShardOf(idx, 7) {
+			t.Fatal("ShardOf is not stable")
+		}
+	}
+}
+
+// TestMergeRejectsIncompleteAndMixedFleets covers merge's refusals.
+func TestMergeRejectsIncompleteAndMixedFleets(t *testing.T) {
+	grid := sweep.Grid{
+		Scenarios:  []sweep.ScenarioRef{{Name: "uniform"}},
+		Algorithms: []string{"gathering"},
+		Sizes:      []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, // 10 cells: every 3-way shard non-empty
+		Replicas:   1,
+		Seed:       5,
+	}
+	base := t.TempDir()
+	dirs := make([]string, 3)
+	for i := range dirs {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("s%d", i))
+		runUntilKilled(t, grid, dirs[i], 1, i, 3, 0, false)
+	}
+
+	t.Run("missing shard", func(t *testing.T) {
+		if _, _, err := Merge(dirs[:2]); err == nil {
+			t.Error("merging 2 of 3 shards must fail")
+		}
+	})
+	t.Run("duplicate shard", func(t *testing.T) {
+		if _, _, err := Merge([]string{dirs[0], dirs[1], dirs[1]}); err == nil {
+			t.Error("the same shard twice must fail")
+		}
+	})
+	t.Run("unfinished shard", func(t *testing.T) {
+		killedDir := filepath.Join(base, "killed")
+		runUntilKilled(t, grid, killedDir, 1, 2, 3, 1, false) // dies after 1 cell
+		if _, _, err := Merge([]string{dirs[0], dirs[1], killedDir}); err == nil ||
+			!strings.Contains(err.Error(), "resume it before merging") {
+			t.Errorf("unfinished shard: got %v", err)
+		}
+	})
+	t.Run("foreign grid", func(t *testing.T) {
+		other := grid
+		other.Seed = 6
+		foreignDir := filepath.Join(base, "foreign")
+		runUntilKilled(t, other, foreignDir, 1, 2, 3, 0, false)
+		if _, _, err := Merge([]string{dirs[0], dirs[1], foreignDir}); !errors.Is(err, ErrStaleCheckpoint) {
+			t.Errorf("foreign grid: got %v, want ErrStaleCheckpoint", err)
+		}
+	})
+}
+
+// TestResumeAfterCompletionIsANoOp re-runs a finished checkpoint: zero
+// cells execute (a hook error would fire on any fresh cell) and the
+// stream is re-emitted identically.
+func TestResumeAfterCompletionIsANoOp(t *testing.T) {
+	grid := sweep.Grid{
+		Scenarios:  []sweep.ScenarioRef{{Name: "uniform"}},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      []int{6, 9},
+		Replicas:   2,
+		Seed:       31,
+	}
+	dir := filepath.Join(t.TempDir(), "ck")
+	first, _ := runUntilKilled(t, grid, dir, 2, 0, 1, 0, false)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	results, totals, err := Run(grid, dir, Options{
+		Resume:   true,
+		OnResult: func(r sweep.CellResult) error { return enc.Encode(r) },
+		AfterCheckpoint: func(done, total int) error {
+			return fmt.Errorf("no cell should run fresh, but %d/%d did", done, total)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(totals); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != first {
+		t.Error("no-op resume stream differs from the original run")
+	}
+	if len(results) != 4 {
+		t.Errorf("got %d results, want 4", len(results))
+	}
+}
+
+// TestRunOnResultErrorAborts propagates an emitter failure (the
+// ENOSPC/short-write class) out of the service.
+func TestRunOnResultErrorAborts(t *testing.T) {
+	grid := sweep.Grid{
+		Scenarios:  []sweep.ScenarioRef{{Name: "uniform"}},
+		Algorithms: []string{"gathering"},
+		Sizes:      []int{6, 8, 10},
+		Replicas:   1,
+		Seed:       3,
+	}
+	sentinel := errors.New("disk full")
+	emitted := 0
+	_, _, err := Run(grid, filepath.Join(t.TempDir(), "ck"), Options{
+		OnResult: func(sweep.CellResult) error {
+			emitted++
+			if emitted == 2 {
+				return sentinel
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the emitter error", err)
+	}
+}

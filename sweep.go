@@ -6,6 +6,7 @@ package doda
 import (
 	"doda/internal/adversary"
 	"doda/internal/sweep"
+	"doda/internal/sweepd"
 )
 
 // Sweep types.
@@ -46,6 +47,50 @@ func SweepAlgorithms() []string { return sweep.AlgorithmNames() }
 // grid's "auto" provenance choice drops from full bitset provenance to
 // count-only (see SweepGrid.Provenance).
 const SweepAutoProvenanceThreshold = sweep.AutoProvenanceThreshold
+
+// Checkpointed sweep service types (internal/sweepd).
+type (
+	// SweepCheckpointOptions tunes a checkpointed, resumable, optionally
+	// sharded sweep execution.
+	SweepCheckpointOptions = sweepd.Options
+	// SweepCheckpointHeader is a checkpoint's identity record (grid
+	// fingerprint, shard layout, the grid itself).
+	SweepCheckpointHeader = sweepd.Header
+	// SweepCheckpointRecord is one journaled cell.
+	SweepCheckpointRecord = sweepd.CellRecord
+)
+
+// RunCheckpointedSweep executes one shard of the grid with per-cell
+// checkpointing in dir: every completed cell is journaled to a
+// crc-guarded JSONL segment, and a resumed run (Options.Resume) skips the
+// journaled cells while re-emitting a stream byte-identical to an
+// uninterrupted run. Returns the shard's results in cell order plus the
+// shard totals.
+func RunCheckpointedSweep(grid SweepGrid, dir string, opt SweepCheckpointOptions) ([]SweepCellResult, SweepTotals, error) {
+	return sweepd.Run(grid, dir, opt)
+}
+
+// MergeSweepCheckpoints stitches the checkpoints of a complete m-way
+// sharded sweep into one cell-ordered result stream plus fleet totals,
+// byte-identical (through JSON) to an uninterrupted unsharded run.
+func MergeSweepCheckpoints(dirs []string) ([]SweepCellResult, SweepTotals, error) {
+	return sweepd.Merge(dirs)
+}
+
+// ReadSweepCheckpoint reads a checkpoint directory without opening it
+// for writing: its identity header and every journaled cell.
+func ReadSweepCheckpoint(dir string) (SweepCheckpointHeader, []SweepCheckpointRecord, error) {
+	return sweepd.ReadCheckpoint(dir)
+}
+
+// SweepShardOf maps a cell index to one of m disjoint shards with a
+// stable hash: m processes running shards 0..m-1 cover a grid exactly
+// once (see SweepCheckpointOptions.ShardIndex/ShardCount).
+func SweepShardOf(index, shards int) int { return sweep.ShardOf(index, shards) }
+
+// SweepTotalsOf folds cell results into fleet totals in slice order;
+// pass results sorted by cell index to reproduce Run's totals exactly.
+func SweepTotalsOf(results []SweepCellResult) SweepTotals { return sweep.TotalsOf(results) }
 
 // NewGeneratedAdversary exposes the Generated adversary the sweep fast
 // path uses: it feeds gen's interactions straight to the engine with no
