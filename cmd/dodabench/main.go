@@ -12,6 +12,7 @@
 //	dodabench -csv out/        # also write each table as CSV
 //	dodabench -json BENCH_hotpath.json  # hot-path perf baseline instead
 //	dodabench -json new.json -baseline BENCH_hotpath.json  # + regression guard
+//	dodabench -run S1 -report scaling.md   # + scaling-law fits (EXPERIMENTS.md section)
 package main
 
 import (
@@ -45,6 +46,7 @@ func run(args []string) error {
 		csvDir    = fs.String("csv", "", "directory to write per-table CSV files")
 		progress  = fs.Bool("progress", false, "print sweep progress")
 		ckptDir   = fs.String("checkpoint", "", "journal the sweep-backed experiments' (S1/S2) grid cells under this directory and resume past them on restart — lets a killed full-scale suite pick up where it stopped")
+		report    = fs.String("report", "", "after the experiments, run the scaling-law grid, print the fitted-exponent table, and write the EXPERIMENTS.md-ready section to this file")
 		workers   = fs.Int("parallel", 1, "run experiments concurrently on this many workers (numbers are unchanged: every experiment derives its own seed)")
 		jsonPath  = fs.String("json", "", "run the hot-path micro-benchmarks and write ns/op and allocs/op to this file (e.g. BENCH_hotpath.json), skipping the experiments")
 		baseline  = fs.String("baseline", "", "with -json: compare the fresh report against this committed baseline and fail on regressions")
@@ -82,6 +84,9 @@ func run(args []string) error {
 	}
 
 	if *jsonPath != "" {
+		if *report != "" {
+			return fmt.Errorf("-report cannot be combined with -json (the hot-path benchmark run skips the experiments and the scaling grid)")
+		}
 		rep, err := writeHotpathJSON(*jsonPath)
 		if err != nil {
 			return err
@@ -185,6 +190,15 @@ func run(args []string) error {
 	}
 	fmt.Printf("suite: %d experiments, %d failed, %s total (scale=%s, seed=%d)\n",
 		len(selected), failures, time.Since(start).Round(time.Millisecond), scale, *seed)
+	// Write the scaling report even when experiments failed: the grid is
+	// independent of the verdicts, and on a full-scale checkpointed run
+	// the report is the artifact hours of sweeping were spent on.
+	if *report != "" {
+		fmt.Println()
+		if err := writeScalingReport(*report, scale, *seed, *ckptDir, os.Stdout); err != nil {
+			return err
+		}
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failures)
 	}

@@ -1,0 +1,78 @@
+package main
+
+// The -report path: run the standard scaling-law grid (analysis.
+// ReportGrid), extract the cross-cell fits, append the fitted-exponent
+// table to the suite's stdout, and write the EXPERIMENTS.md-ready
+// "Scaling laws" section to the requested file. With -checkpoint set the
+// grid runs through the resumable sweep service under <dir>/scaling, so
+// a killed full-scale report run picks up where it stopped.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"doda/internal/analysis"
+	"doda/internal/experiments"
+	"doda/internal/sweep"
+	"doda/internal/sweepd"
+)
+
+// fullScaleReportCmd is the command EXPERIMENTS.md records for
+// regenerating the section at paper scale.
+const fullScaleReportCmd = "go run ./cmd/dodabench -run S1 -scale full -seed 12345 -checkpoint ckpt/ -report scaling.md"
+
+// writeScalingReport runs the report grid, prints the selection table to
+// out, and writes the markdown section to path.
+func writeScalingReport(path string, scale experiments.Scale, seed uint64, checkpointDir string, out io.Writer) error {
+	full := scale == experiments.ScaleFull
+	grid := analysis.ReportGrid(full, seed)
+	var (
+		results []sweep.CellResult
+		err     error
+	)
+	if checkpointDir != "" {
+		dir := filepath.Join(checkpointDir, "scaling")
+		results, _, err = sweepd.Run(grid, dir, sweepd.Options{Resume: true})
+	} else {
+		results, _, err = sweep.Run(grid, sweep.Options{})
+	}
+	if err != nil {
+		return fmt.Errorf("scaling report: %w", err)
+	}
+	a, err := analysis.Analyze(results, analysis.Options{Seed: seed})
+	if err != nil {
+		return fmt.Errorf("scaling report: %w", err)
+	}
+	a.Grid = &grid
+
+	tb := &experiments.Table{
+		Title:   fmt.Sprintf("Scaling laws (scale=%s): AIC selection over the candidate forms", scale),
+		Columns: []string{"scenario", "algorithm", "predicted", "selected", "c", "c 95% CI", "exponent", "exp 95% CI", "R2"},
+	}
+	for _, row := range analysis.SummaryRows(a) {
+		cells := make([]any, len(row))
+		for i, c := range row {
+			cells[i] = c
+		}
+		tb.AddRow(cells...)
+	}
+	if err := tb.Format(out); err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteExperimentsSection(f, a, analysis.ScaleName(full), fullScaleReportCmd); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nscaling-law section written to %s\n", path)
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReportWritesScalingSection drives -report end to end: the suite
+// runs, the scaling grid sweeps, and the EXPERIMENTS.md-ready section
+// lands in the file — deterministically, so two runs agree byte for
+// byte.
+func TestReportWritesScalingSection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scaling.md")
+	if err := run([]string{"-run", "E1", "-report", path}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(first)
+	for _, want := range []string{
+		"## Scaling laws",
+		"| uniform | gathering |",
+		"| uniform | waiting |",
+		"| uniform | waiting-greedy |",
+		"Reproduce at full scale with:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("section missing %q:\n%s", want, text)
+		}
+	}
+	if err := run([]string{"-run", "E1", "-report", path}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second) != text {
+		t.Error("two -report runs wrote different sections")
+	}
+}

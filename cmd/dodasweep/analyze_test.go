@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doda/internal/analysis"
+	"doda/internal/sweep"
+	"doda/internal/sweepd"
+)
+
+// s1Args is a quick-scale multi-size grid over the S1 scenario family —
+// the configuration the analyze acceptance criterion is stated for.
+func s1Args(extra ...string) []string {
+	base := []string{
+		"-scenarios", "uniform;zipf:alpha=1;community:communities=4,p-intra=0.9",
+		"-algs", "waiting,gathering",
+		"-n", "12,16,24,32", "-reps", "10", "-seed", "41",
+	}
+	return append(base, extra...)
+}
+
+// TestAnalyzeCheckpointSelectsPaperForm is the acceptance gate for the
+// analyze subcommand: on a quick-scale S1-family checkpoint the AIC
+// selection per (scenario, algorithm) group must land on the paper's
+// predicted form, or the free power law must report an exponent whose
+// CI is consistent with it.
+func TestAnalyzeCheckpointSelectsPaperForm(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	sweepOut(t, s1Args("-checkpoint", dir))
+
+	raw := sweepOut(t, []string{"analyze", "-json", dir})
+	var a analysis.Analysis
+	if err := json.Unmarshal([]byte(raw), &a); err != nil {
+		t.Fatalf("analyze -json output is not an Analysis: %v", err)
+	}
+	if a.Grid == nil {
+		t.Error("checkpoint-backed analysis must carry the journaled grid")
+	}
+	if len(a.Groups) != 6 {
+		t.Fatalf("got %d groups, want 6", len(a.Groups))
+	}
+	for _, g := range a.Groups {
+		if g.Law == nil {
+			t.Errorf("%s/%s: no law fitted: %s", g.Scenario, g.Algorithm, g.Note)
+			continue
+		}
+		if g.Predicted == "" {
+			t.Errorf("%s/%s: no paper prediction recorded", g.Scenario, g.Algorithm)
+			continue
+		}
+		if g.Law.Best == g.Predicted {
+			continue
+		}
+		// Selection strayed (legitimate at quick scale): the free fit
+		// must still report an exponent + CI near the predicted growth.
+		var free analysis.ModelFit
+		found := false
+		for _, f := range g.Law.Fits {
+			if f.Free {
+				free, found = f, true
+			}
+		}
+		if !found {
+			t.Errorf("%s/%s: no free power fit", g.Scenario, g.Algorithm)
+			continue
+		}
+		if free.ExpLo >= free.ExpHi {
+			t.Errorf("%s/%s: degenerate exponent CI [%v, %v]", g.Scenario, g.Algorithm, free.ExpLo, free.ExpHi)
+		}
+		if math.Abs(free.Exponent-2) > 1.0 {
+			t.Errorf("%s/%s: free exponent %.3f far from the Θ(n²)-family growth",
+				g.Scenario, g.Algorithm, free.Exponent)
+		}
+	}
+}
+
+// TestAnalyzeIdenticalAcrossShardFleetAndResume: the same grid analyzed
+// from (a) an uninterrupted single checkpoint, (b) a crashed-and-resumed
+// checkpoint and (c) a merged 3-shard fleet must produce byte-identical
+// reports — the property the CI report-smoke step diffs for real.
+func TestAnalyzeIdenticalAcrossShardFleetAndResume(t *testing.T) {
+	td := t.TempDir()
+	clean := filepath.Join(td, "clean")
+	sweepOut(t, s1Args("-checkpoint", clean))
+
+	// A killed-and-resumed checkpoint of the same grid.
+	crashed := filepath.Join(td, "crashed")
+	grid := mustGrid(t, clean)
+	stop := errors.New("deterministic crash")
+	_, _, err := sweepd.Run(grid, crashed, sweepd.Options{
+		AfterCheckpoint: func(done, total int) error {
+			if done >= total/2 {
+				return stop
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("crash hook did not fire: %v", err)
+	}
+	sweepOut(t, s1Args("-resume", crashed))
+
+	// A 3-shard fleet.
+	var shardDirs []string
+	for i := 0; i < 3; i++ {
+		dir := filepath.Join(td, "shard"+itoa(i))
+		shardDirs = append(shardDirs, dir)
+		sweepOut(t, s1Args("-shard", itoa(i)+"/3", "-checkpoint", dir))
+	}
+
+	ref := sweepOut(t, []string{"analyze", clean})
+	if !strings.Contains(ref, "# Scaling-law report") {
+		t.Fatalf("analyze produced no report:\n%s", ref)
+	}
+	if got := sweepOut(t, []string{"analyze", crashed}); got != ref {
+		t.Error("crashed-and-resumed checkpoint analyzes differently from the uninterrupted one")
+	}
+	if got := sweepOut(t, append([]string{"analyze"}, shardDirs...)); got != ref {
+		t.Error("merged 3-shard fleet analyzes differently from the single checkpoint")
+	}
+}
+
+// mustGrid reads a checkpoint's journaled grid back.
+func mustGrid(t *testing.T, dir string) sweep.Grid {
+	t.Helper()
+	h, _, err := sweepd.ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.Grid
+}
+
+// TestAnalyzeAndMergeShareStaleJournalError: the satellite fix — a
+// foreign journal must fail analyze and merge with the exact same
+// grid-fingerprint error, because both read fleets through
+// sweepd.LoadFleet.
+func TestAnalyzeAndMergeShareStaleJournalError(t *testing.T) {
+	td := t.TempDir()
+	a := filepath.Join(td, "a")
+	b := filepath.Join(td, "b")
+	sweepOut(t, []string{"-scenarios", "uniform", "-algs", "gathering", "-n", "8,12", "-reps", "2", "-seed", "1", "-shard", "0/2", "-checkpoint", a})
+	// A foreign grid (different seed) posing as shard 1.
+	sweepOut(t, []string{"-scenarios", "uniform", "-algs", "gathering", "-n", "8,12", "-reps", "2", "-seed", "99", "-shard", "1/2", "-checkpoint", b})
+
+	mergeErr := run([]string{"merge", a, b}, io.Discard, io.Discard)
+	analyzeErr := run([]string{"analyze", a, b}, io.Discard, io.Discard)
+	if mergeErr == nil || analyzeErr == nil {
+		t.Fatalf("foreign journal accepted: merge=%v analyze=%v", mergeErr, analyzeErr)
+	}
+	if !errors.Is(mergeErr, sweepd.ErrStaleCheckpoint) || !errors.Is(analyzeErr, sweepd.ErrStaleCheckpoint) {
+		t.Errorf("want ErrStaleCheckpoint from both: merge=%v analyze=%v", mergeErr, analyzeErr)
+	}
+	if mergeErr.Error() != analyzeErr.Error() {
+		t.Errorf("error messages diverge:\n  merge:   %v\n  analyze: %v", mergeErr, analyzeErr)
+	}
+}
+
+// TestAnalyzeResultsFile drives the -results path: saved JSONL sweep
+// output (including the -summary totals line, which must be skipped)
+// analyzes like the live stream.
+func TestAnalyzeResultsFile(t *testing.T) {
+	out := sweepOut(t, s1Args("-summary"))
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := sweepOut(t, []string{"analyze", "-results", path})
+	if !strings.Contains(report, "# Scaling-law report") || !strings.Contains(report, "uniform / gathering") {
+		t.Fatalf("unexpected report:\n%s", report)
+	}
+	// The report must match the checkpoint-backed one except for the
+	// grid line, which only checkpoints can carry.
+	dir := filepath.Join(t.TempDir(), "ck")
+	sweepOut(t, s1Args("-checkpoint", dir))
+	ckReport := sweepOut(t, []string{"analyze", dir})
+	if got, want := stripGridLine(ckReport), stripGridLine(report); got != want {
+		t.Error("results-file analysis diverges from checkpoint analysis beyond the grid line")
+	}
+}
+
+func stripGridLine(report string) string {
+	var keep []string
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "- grid: ") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestAnalyzeFlagErrors covers the analyze flag-validation paths.
+func TestAnalyzeFlagErrors(t *testing.T) {
+	if err := run([]string{"analyze"}, io.Discard, io.Discard); err == nil {
+		t.Error("analyze with no inputs accepted")
+	}
+	if err := run([]string{"analyze", "-results", "x.jsonl", "somedir"}, io.Discard, io.Discard); err == nil {
+		t.Error("analyze with both -results and dirs accepted")
+	}
+	if err := run([]string{"analyze", filepath.Join(t.TempDir(), "empty")}, io.Discard, io.Discard); err == nil {
+		t.Error("analyze on a checkpoint-free directory accepted")
+	}
+}
+
+// TestAnalyzeJSONDeterministic: two -json runs over the same checkpoint
+// are byte-identical (the bootstrap streams derive from the seed alone).
+func TestAnalyzeJSONDeterministic(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	sweepOut(t, []string{"-scenarios", "uniform", "-algs", "gathering", "-n", "8,12,16", "-reps", "3", "-seed", "5", "-checkpoint", dir})
+	first := sweepOut(t, []string{"analyze", "-json", "-bootstrap", "150", "-seed", "9", dir})
+	second := sweepOut(t, []string{"analyze", "-json", "-bootstrap", "150", "-seed", "9", dir})
+	if first != second {
+		t.Error("two analyze -json runs differ")
+	}
+	if !json.Valid([]byte(first)) {
+		t.Error("analyze -json emitted invalid JSON")
+	}
+}

@@ -13,6 +13,15 @@
 // merge subcommand stitches the m checkpoints back into one ordered
 // stream plus fleet totals.
 //
+// The analyze subcommand turns completed checkpoints (or saved JSONL
+// output) into scaling laws: per (scenario, algorithm) group it fits the
+// paper's candidate growth forms plus a free power law, selects among
+// them by AIC/BIC with bootstrap confidence intervals, tests
+// single-parameter monotone trends, and renders a deterministic markdown
+// report (or JSON with -json). Checkpoints are validated by the same
+// path merge uses, so stale or foreign journals fail identically in
+// both.
+//
 // Usage:
 //
 //	dodasweep -scenarios "uniform;zipf:alpha=1" -algs waiting,gathering -n 16,32 -reps 10
@@ -23,6 +32,8 @@
 //	dodasweep ... -resume run1/                      # continue; output byte-identical
 //	dodasweep ... -shard 0/3 -checkpoint s0/         # one of three disjoint shard processes
 //	dodasweep merge -summary s0/ s1/ s2/             # stitch the shards back together
+//	dodasweep analyze run1/                          # scaling-law report from a checkpoint
+//	dodasweep analyze -json s0/ s1/ s2/              # same analysis over a whole shard fleet
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"doda/internal/analysis"
 	"doda/internal/sweep"
 	"doda/internal/sweepd"
 )
@@ -51,6 +63,9 @@ func main() {
 func run(args []string, out, errw io.Writer) error {
 	if len(args) > 0 && args[0] == "merge" {
 		return runMerge(args[1:], out, errw)
+	}
+	if len(args) > 0 && args[0] == "analyze" {
+		return runAnalyze(args[1:], out, errw)
 	}
 	fs := flag.NewFlagSet("dodasweep", flag.ContinueOnError)
 	fs.SetOutput(errw)
@@ -235,6 +250,78 @@ func runMerge(args []string, out, errw io.Writer) error {
 		return enc.Encode(totals)
 	}
 	return nil
+}
+
+// runAnalyze implements the analyze subcommand: extract scaling laws
+// from the checkpoint directories of a completed sweep (one unsharded
+// checkpoint, or a whole shard fleet) or from a saved JSONL results
+// file, and render the deterministic markdown report (or the JSON
+// analysis with -json). Checkpoint directories go through
+// sweepd.LoadFleet — the exact validation path the merge subcommand
+// uses — so a stale or foreign journal fails here with the same
+// grid-fingerprint error it would produce there, and the report of a
+// crashed-and-resumed sweep is byte-identical to an uninterrupted one.
+func runAnalyze(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("dodasweep analyze", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		jsonOut   = fs.Bool("json", false, "emit the analysis as JSON instead of the markdown report")
+		bootstrap = fs.Int("bootstrap", 1000, "residual-bootstrap resamples behind every confidence interval (0 disables CIs)")
+		seed      = fs.Uint64("seed", 1, "bootstrap resampling seed; same input and seed, same report bytes")
+		results   = fs.String("results", "", "analyze this saved JSONL results file (dodasweep stdout) instead of checkpoint directories")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: dodasweep analyze [-json] [-bootstrap N] [-seed N] <checkpoint-dir>...")
+		fmt.Fprintln(errw, "       dodasweep analyze [-json] [-bootstrap N] [-seed N] -results <file.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	boot := *bootstrap
+	if boot == 0 {
+		boot = -1 // the analysis layer reads 0 as "default": map the flag's 0 to "disabled"
+	}
+	opt := analysis.Options{Bootstrap: boot, Seed: *seed}
+
+	var (
+		a   *analysis.Analysis
+		err error
+	)
+	if *results != "" {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("analyze: -results and checkpoint directories are mutually exclusive")
+		}
+		f, ferr := os.Open(*results)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		cells, rerr := sweep.ReadResults(f)
+		if rerr != nil {
+			return rerr
+		}
+		a, err = analysis.Analyze(cells, opt)
+	} else {
+		dirs := fs.Args()
+		if len(dirs) == 0 {
+			return fmt.Errorf("analyze: no checkpoint directories given (or use -results <file.jsonl>)")
+		}
+		a, err = analysis.AnalyzeCheckpoint(dirs, opt)
+	}
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		b, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = out.Write(b)
+		return err
+	}
+	return analysis.WriteMarkdown(out, a)
 }
 
 // parseShard parses the -shard i/m syntax; "" means the whole grid.

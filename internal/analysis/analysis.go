@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"doda/internal/stats"
+	"doda/internal/sweep"
+	"doda/internal/sweepd"
+)
+
+// Options tunes one analysis pass.
+type Options struct {
+	// Bootstrap is the number of residual-bootstrap resamples behind
+	// every confidence interval. 0 means the default (1000); a negative
+	// count disables resampling, collapsing every CI to its point
+	// estimate.
+	Bootstrap int
+	// Seed drives the bootstrap resampling streams; the same (input,
+	// seed) always yields the same report, byte for byte. 0 means 1.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bootstrap == 0 {
+		o.Bootstrap = 1000
+	}
+	if o.Bootstrap < 0 {
+		o.Bootstrap = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Point is one fitted observation: a node count and the mean measured
+// duration (interactions to aggregate, over the terminated replicas).
+type Point struct {
+	N          int     `json:"n"`
+	Mean       float64 `json:"mean"`
+	StdDev     float64 `json:"stddev"`
+	Replicas   int     `json:"replicas"`
+	Terminated int     `json:"terminated"`
+}
+
+// GroupFit is the scaling analysis of one (scenario, algorithm) group:
+// its per-size points and — given at least three distinct sizes — the
+// candidate-set fit with model selection.
+type GroupFit struct {
+	// Scenario is the canonical scenario reference (name:params sorted).
+	Scenario string `json:"scenario"`
+	// Algorithm is the algorithm name.
+	Algorithm string `json:"algorithm"`
+	// Predicted is the model the paper's theorems predict for the
+	// algorithm ("" when the paper makes no claim).
+	Predicted string `json:"predicted,omitempty"`
+	// Points are the fitted (n, mean duration) observations, ascending
+	// in n.
+	Points []Point `json:"points"`
+	// SkippedSizes lists sizes excluded because no replica terminated
+	// (a capped run yields no duration to fit).
+	SkippedSizes []int `json:"skipped_sizes,omitempty"`
+	// Law is the candidate-set fit, nil when the group has fewer than
+	// three usable sizes (Note says so).
+	Law *LawFit `json:"law,omitempty"`
+	// Note explains a missing Law.
+	Note string `json:"note,omitempty"`
+}
+
+// MatchesPrediction reports whether the AIC selection agrees with the
+// paper's predicted model (false when either side is unknown).
+func (g *GroupFit) MatchesPrediction() bool {
+	return g.Law != nil && g.Predicted != "" && g.Law.Best == g.Predicted
+}
+
+// Trend is a monotonicity test over one varying scenario parameter: the
+// cells sharing (scenario name, algorithm, n) and every other parameter,
+// ordered by the varying parameter's value. This is the S2
+// community-mixing claim as a statistic: Kendall's τ between the
+// parameter and the mean duration, plus a strict-monotonicity verdict.
+type Trend struct {
+	// Scenario is the registry scenario name (without the varying
+	// parameter).
+	Scenario string `json:"scenario"`
+	// Fixed renders the non-varying parameters, canonically.
+	Fixed string `json:"fixed,omitempty"`
+	// Algorithm and N pin the rest of the cell identity.
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	// Param is the varying parameter; Values its sorted values and
+	// Means the mean durations at each value.
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+	Means  []float64 `json:"means"`
+	// Tau is Kendall's rank correlation between Values and Means.
+	Tau float64 `json:"tau"`
+	// Monotone is +1 for strictly increasing means, -1 for strictly
+	// decreasing, 0 for neither.
+	Monotone int `json:"monotone"`
+}
+
+// Analysis is a whole sweep's scaling-law extraction.
+type Analysis struct {
+	// Cells is the number of cell results analysed.
+	Cells int `json:"cells"`
+	// Bootstrap and Seed record the resampling configuration.
+	Bootstrap int    `json:"bootstrap"`
+	Seed      uint64 `json:"seed"`
+	// Grid is the sweep grid, when known (checkpoint-backed analyses
+	// carry it; raw result streams do not).
+	Grid *sweep.Grid `json:"grid,omitempty"`
+	// Groups are the per-(scenario, algorithm) fits, sorted by scenario
+	// then algorithm.
+	Groups []GroupFit `json:"groups"`
+	// Trends are the single-parameter monotonicity tests, sorted.
+	Trends []Trend `json:"trends,omitempty"`
+}
+
+// Analyze extracts scaling laws from a set of completed sweep cells
+// (live sweep.Run output, a decoded JSONL stream, or restored checkpoint
+// records). Cells are grouped by (scenario, algorithm); each group with
+// at least three distinct sizes gets the full candidate-set fit. The
+// output is deterministic given (results, opt).
+func Analyze(results []sweep.CellResult, opt Options) (*Analysis, error) {
+	opt = opt.withDefaults()
+	if len(results) == 0 {
+		return nil, fmt.Errorf("analysis: no cell results")
+	}
+
+	type groupKey struct{ scenario, algorithm string }
+	groups := make(map[groupKey][]sweep.CellResult)
+	seen := make(map[string]bool, len(results))
+	for _, r := range results {
+		id := fmt.Sprintf("%s|%s|%d", r.Scenario, r.Algorithm, r.N)
+		if seen[id] {
+			return nil, fmt.Errorf("analysis: duplicate cell %s/%s/n=%d (mixed result streams?)",
+				r.Scenario, r.Algorithm, r.N)
+		}
+		seen[id] = true
+		k := groupKey{r.Scenario.String(), r.Algorithm}
+		groups[k] = append(groups[k], r)
+	}
+
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].scenario != keys[j].scenario {
+			return keys[i].scenario < keys[j].scenario
+		}
+		return keys[i].algorithm < keys[j].algorithm
+	})
+
+	a := &Analysis{Cells: len(results), Bootstrap: opt.Bootstrap, Seed: opt.Seed}
+	for _, k := range keys {
+		cells := groups[k]
+		sort.Slice(cells, func(i, j int) bool { return cells[i].N < cells[j].N })
+		g := GroupFit{Scenario: k.scenario, Algorithm: k.algorithm, Predicted: PredictedModel(k.algorithm)}
+		var ns, ys []float64
+		for _, c := range cells {
+			if c.Terminated == 0 || !(c.Duration.Mean > 0) {
+				g.SkippedSizes = append(g.SkippedSizes, c.N)
+				continue
+			}
+			g.Points = append(g.Points, Point{
+				N: c.N, Mean: c.Duration.Mean, StdDev: c.Duration.StdDev,
+				Replicas: c.Replicas, Terminated: c.Terminated,
+			})
+			ns = append(ns, float64(c.N))
+			ys = append(ys, c.Duration.Mean)
+		}
+		if len(ns) >= 3 {
+			law, err := fitLaw(ns, ys, opt.Bootstrap, groupSeed(opt.Seed, k.scenario+"|"+k.algorithm))
+			if err != nil {
+				return nil, fmt.Errorf("analysis: group %s/%s: %w", k.scenario, k.algorithm, err)
+			}
+			g.Law = law
+		} else {
+			g.Note = fmt.Sprintf("needs >= 3 sizes with terminated replicas to fit scaling laws, have %d", len(ns))
+		}
+		a.Groups = append(a.Groups, g)
+	}
+
+	a.Trends = extractTrends(results)
+	return a, nil
+}
+
+// AnalyzeCheckpoint analyzes the checkpoint directories of a complete
+// sweep — one unsharded checkpoint or a whole m-shard fleet. The
+// directories are read and cross-validated by sweepd.LoadFleet, the same
+// path `dodasweep merge` uses, so a stale or foreign journal fails here
+// exactly as it fails there. The analysis depends only on the journaled
+// grid and results, so a crashed-and-resumed checkpoint, an uninterrupted
+// one and a merged shard fleet all produce the identical report.
+func AnalyzeCheckpoint(dirs []string, opt Options) (*Analysis, error) {
+	header, results, _, err := sweepd.LoadFleet(dirs)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Analyze(results, opt)
+	if err != nil {
+		return nil, err
+	}
+	grid := header.Grid
+	a.Grid = &grid
+	return a, nil
+}
+
+// extractTrends finds every (scenario name, algorithm, n) family whose
+// cells differ in exactly one numeric scenario parameter and tests the
+// mean duration for a monotone trend over it.
+func extractTrends(results []sweep.CellResult) []Trend {
+	type famKey struct {
+		name, algorithm string
+		n               int
+	}
+	fams := make(map[famKey][]sweep.CellResult)
+	for _, r := range results {
+		if r.Terminated == 0 || !(r.Duration.Mean > 0) {
+			continue
+		}
+		k := famKey{r.Scenario.Name, r.Algorithm, r.N}
+		fams[k] = append(fams[k], r)
+	}
+	keys := make([]famKey, 0, len(fams))
+	for k := range fams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		if a.algorithm != b.algorithm {
+			return a.algorithm < b.algorithm
+		}
+		return a.n < b.n
+	})
+
+	var trends []Trend
+	for _, k := range keys {
+		cells := fams[k]
+		if len(cells) < 3 {
+			continue
+		}
+		param, ok := varyingParam(cells)
+		if !ok {
+			continue
+		}
+		type pv struct {
+			v    float64
+			mean float64
+		}
+		pvs := make([]pv, 0, len(cells))
+		valid := true
+		for _, c := range cells {
+			v, err := strconv.ParseFloat(c.Scenario.Params[param], 64)
+			if err != nil {
+				valid = false
+				break
+			}
+			pvs = append(pvs, pv{v, c.Duration.Mean})
+		}
+		if !valid {
+			continue
+		}
+		sort.Slice(pvs, func(i, j int) bool { return pvs[i].v < pvs[j].v })
+		t := Trend{
+			Scenario: k.name, Algorithm: k.algorithm, N: k.n, Param: param,
+			Fixed: fixedParams(cells[0].Scenario, param),
+		}
+		for i, p := range pvs {
+			if i > 0 && p.v == pvs[i-1].v {
+				valid = false // duplicate parameter value: ambiguous trend
+				break
+			}
+			t.Values = append(t.Values, p.v)
+			t.Means = append(t.Means, p.mean)
+		}
+		if !valid {
+			continue
+		}
+		tau, err := stats.KendallTau(t.Values, t.Means)
+		if err != nil {
+			continue
+		}
+		t.Tau = tau
+		t.Monotone = stats.StrictlyMonotone(t.Means)
+		trends = append(trends, t)
+	}
+	return trends
+}
+
+// varyingParam returns the single parameter key whose value differs
+// across the cells, if exactly one does and every cell defines it.
+func varyingParam(cells []sweep.CellResult) (string, bool) {
+	keySet := map[string]bool{}
+	for _, c := range cells {
+		for k := range c.Scenario.Params {
+			keySet[k] = true
+		}
+	}
+	var varying []string
+	for k := range keySet {
+		first, firstOK := cells[0].Scenario.Params[k]
+		same := firstOK
+		for _, c := range cells[1:] {
+			v, ok := c.Scenario.Params[k]
+			if !ok {
+				return "", false // a cell misses the key: families must share the schema
+			}
+			if v != first {
+				same = false
+			}
+		}
+		if !firstOK {
+			return "", false
+		}
+		if !same {
+			varying = append(varying, k)
+		}
+	}
+	if len(varying) != 1 {
+		return "", false
+	}
+	return varying[0], true
+}
+
+// fixedParams renders the non-varying parameters canonically (sorted).
+func fixedParams(ref sweep.ScenarioRef, varying string) string {
+	keys := make([]string, 0, len(ref.Params))
+	for k := range ref.Params {
+		if k != varying {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + ref.Params[k]
+	}
+	return strings.Join(parts, ",")
+}

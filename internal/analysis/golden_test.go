@@ -1,0 +1,78 @@
+package analysis
+
+// The golden-file test pins the markdown report byte-for-byte for one
+// fixed (grid, analysis seed): the renderer is a pure function of the
+// analysis, the analysis is a pure function of (results, options), and
+// the sweep results are deterministic by the per-cell seed contract —
+// so any byte drift here means a contract broke somewhere in that
+// chain. Regenerate deliberately with:
+//
+//	go test ./internal/analysis -run TestGoldenReport -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"doda/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report file")
+
+// goldenGrid exercises every report feature: multi-size groups that fit
+// (uniform, zipf), a three-point community family that produces a
+// p-intra trend, and enough structure for the selection table.
+func goldenGrid() sweep.Grid {
+	return sweep.Grid{
+		Scenarios: []sweep.ScenarioRef{
+			{Name: "uniform"},
+			{Name: "zipf", Params: map[string]string{"alpha": "1"}},
+			{Name: "community", Params: map[string]string{"communities": "2", "p-intra": "0.5"}},
+			{Name: "community", Params: map[string]string{"communities": "2", "p-intra": "0.9"}},
+			{Name: "community", Params: map[string]string{"communities": "2", "p-intra": "0.99"}},
+		},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      []int{16, 24, 32},
+		Replicas:   6,
+		Seed:       0x5eed,
+	}
+}
+
+func TestGoldenReport(t *testing.T) {
+	grid := goldenGrid()
+	results, _, err := sweep.Run(grid, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(results, Options{Bootstrap: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Grid = &grid
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report.golden.md")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from %s (regenerate with -update if intended)\n--- got ---\n%s",
+			golden, buf.String())
+	}
+}

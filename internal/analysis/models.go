@@ -1,0 +1,362 @@
+package analysis
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"doda/internal/rng"
+	"doda/internal/stats"
+)
+
+// Model names. The display names are the paper's asymptotic shorthands;
+// each fixed candidate is fitted against the paper's *exact* closed form
+// (see forms below), because at experiment sizes the lower-order terms
+// still matter — (n-1)² vs n² is a 12% gap at n=16, and fitting the
+// exact form is what lets quick-scale grids select the right model.
+const (
+	ModelNHn       = "n*H(n)"
+	ModelN2        = "n^2"
+	ModelN2Hn      = "n^2*H(n)"
+	ModelN15SqrtLn = "n^1.5*sqrt(log n)"
+	ModelFreePower = "c*n^a"
+)
+
+// form is one fixed-shape candidate: a display name, the exact closed
+// form fitted, and its evaluator.
+type form struct {
+	name string
+	expr string
+	g    func(n float64) float64
+}
+
+// hn returns H(n) for a float node count (always integral in practice).
+func hn(n float64) float64 { return stats.Harmonic(int(n)) }
+
+// forms is the fixed candidate set, in report order: the paper's closed
+// forms for the offline optimum / Waiting Greedy's lower envelope
+// ((n-1)·H(n-1), i.e. Θ(n log n)), Gathering ((n-1)², Θ(n²)), Waiting
+// (n(n-1)/2·H(n-1), Θ(n² log n)) and Waiting Greedy's upper bound
+// (n^1.5·√(ln n)).
+func candidateForms() []form {
+	return []form{
+		{ModelNHn, "(n-1)*H(n-1)", func(n float64) float64 { return (n - 1) * hn(n-1) }},
+		{ModelN2, "(n-1)^2", func(n float64) float64 { return (n - 1) * (n - 1) }},
+		{ModelN2Hn, "n(n-1)/2*H(n-1)", func(n float64) float64 { return n * (n - 1) / 2 * hn(n-1) }},
+		{ModelN15SqrtLn, "n^1.5*sqrt(ln n)", func(n float64) float64 {
+			return math.Pow(n, 1.5) * math.Sqrt(math.Log(n))
+		}},
+	}
+}
+
+// PredictedModel returns the candidate the paper's theorems predict for
+// an algorithm, or "" when the paper makes no growth claim for it. The
+// theorems are stated for §4's uniform randomized adversary; on other
+// scenarios the prediction is the baseline the measured growth is
+// compared against — S1's finding is precisely that contact structure
+// bends it (a Zipf-heavy sink pulls Gathering below n², for instance).
+func PredictedModel(algorithm string) string {
+	switch algorithm {
+	case "waiting":
+		return ModelN2Hn // Theorem 9: n(n-1)/2·H(n-1)
+	case "gathering":
+		return ModelN2 // Theorem 9: (n-1)²
+	case "waiting-greedy":
+		return ModelN15SqrtLn // Theorem 10: O(n^1.5·√log n)
+	case "full-knowledge":
+		return ModelNHn // Theorem 8: the offline optimum (n-1)·H(n-1)
+	default:
+		return ""
+	}
+}
+
+// ModelFit is one candidate's least-squares fit over a group's (n, mean
+// duration) points, with bootstrap confidence intervals and information
+// criteria. All regression happens in log space (multiplicative noise,
+// every decade weighted equally); RSS, R² and the criteria refer to that
+// space.
+type ModelFit struct {
+	// Model is the candidate's display name (asymptotic shorthand).
+	Model string `json:"model"`
+	// Form is the exact expression fitted.
+	Form string `json:"form"`
+	// Free marks the free power-law candidate, the only one with a
+	// fitted exponent.
+	Free bool `json:"free,omitempty"`
+	// C is the fitted scale constant, with its bootstrap CI.
+	C   float64 `json:"c"`
+	CLo float64 `json:"c_lo"`
+	CHi float64 `json:"c_hi"`
+	// Exponent is the fitted power (free candidate only), with its
+	// bootstrap CI.
+	Exponent float64 `json:"exponent,omitempty"`
+	ExpLo    float64 `json:"exponent_lo,omitempty"`
+	ExpHi    float64 `json:"exponent_hi,omitempty"`
+	// R2 is the log-space coefficient of determination.
+	R2 float64 `json:"r2"`
+	// RSS is the log-space residual sum of squares.
+	RSS float64 `json:"rss"`
+	// AIC and BIC score the candidate (lower is better); DeltaAIC and
+	// DeltaBIC are the gaps to the group's best candidate under each
+	// criterion, 0 for the respective winner.
+	AIC      float64 `json:"aic"`
+	BIC      float64 `json:"bic"`
+	DeltaAIC float64 `json:"delta_aic"`
+	DeltaBIC float64 `json:"delta_bic"`
+}
+
+// LawFit is a full candidate-set fit over one point set: every model's
+// fit plus the AIC selection.
+type LawFit struct {
+	// Fits holds every candidate in report order (fixed forms first,
+	// free power last).
+	Fits []ModelFit `json:"fits"`
+	// Best is the model with the lowest AIC; ties break toward fewer
+	// parameters, then candidate order.
+	Best string `json:"best"`
+	// BestBIC is the BIC winner, reported alongside because BIC's
+	// harsher parameter penalty is the more conservative referee when
+	// the two disagree about the free-exponent model.
+	BestBIC string `json:"best_bic"`
+}
+
+// FitByName returns the named candidate's fit.
+func (l *LawFit) FitByName(model string) (ModelFit, bool) {
+	for _, f := range l.Fits {
+		if f.Model == model {
+			return f, true
+		}
+	}
+	return ModelFit{}, false
+}
+
+// FreeFit returns the free power-law candidate's fit.
+func (l *LawFit) FreeFit() (ModelFit, bool) { return l.FitByName(ModelFreePower) }
+
+// FitScalingLaw fits every candidate form to the (n, y) points and
+// selects among them by AIC/BIC. It needs at least three points with
+// distinct positive n and positive y — two points make the free power
+// law exact and the selection vacuous. Bootstrap CIs are deterministic
+// given opt.Seed: the resampling streams derive from it alone.
+func FitScalingLaw(ns, ys []float64, opt Options) (*LawFit, error) {
+	opt = opt.withDefaults()
+	return fitLaw(ns, ys, opt.Bootstrap, opt.Seed)
+}
+
+// fitLaw is FitScalingLaw after defaulting: bootstrap is the resolved
+// resample count (0 = no CIs).
+func fitLaw(ns, ys []float64, bootstrap int, seed uint64) (*LawFit, error) {
+	if len(ns) != len(ys) {
+		return nil, fmt.Errorf("analysis: mismatched lengths %d and %d", len(ns), len(ys))
+	}
+	if len(ns) < 3 {
+		return nil, fmt.Errorf("analysis: need >= 3 sizes to fit scaling laws, got %d", len(ns))
+	}
+	distinct := map[float64]bool{}
+	for _, n := range ns {
+		distinct[n] = true
+	}
+	if len(distinct) < 3 {
+		return nil, fmt.Errorf("analysis: need >= 3 distinct sizes, got %d", len(distinct))
+	}
+
+	law := &LawFit{}
+	m := len(ns)
+	for fi, f := range candidateForms() {
+		ff, err := stats.FitScaledForm(ns, ys, f.g)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", f.name, err)
+		}
+		mf := ModelFit{
+			Model: f.name, Form: f.expr,
+			C: ff.C(), R2: ff.R2, RSS: ff.RSS,
+			AIC: stats.AIC(ff.RSS, m, 1), BIC: stats.BIC(ff.RSS, m, 1),
+		}
+		mf.CLo, mf.CHi = mf.C, mf.C
+		if bootstrap > 0 {
+			src := rng.New(deriveSeed(seed, uint64(fi)+1))
+			cs := bootstrapForm(src, ns, ys, f.g, ff, bootstrap)
+			mf.CLo, mf.CHi = logNormalCI(ff.LogC, cs, m-1)
+		}
+		law.Fits = append(law.Fits, mf)
+	}
+
+	pf, err := stats.FitPowerLaw(ns, ys)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: free power fit: %w", err)
+	}
+	free := ModelFit{
+		Model: ModelFreePower, Form: "c*n^a (free exponent)", Free: true,
+		C: pf.C(), Exponent: pf.Exponent, R2: pf.R2, RSS: pf.RSS,
+		AIC: stats.AIC(pf.RSS, m, 2), BIC: stats.BIC(pf.RSS, m, 2),
+	}
+	free.CLo, free.CHi = free.C, free.C
+	free.ExpLo, free.ExpHi = free.Exponent, free.Exponent
+	if bootstrap > 0 {
+		src := rng.New(deriveSeed(seed, 0))
+		as, cs := bootstrapPower(src, ns, ys, pf, bootstrap)
+		free.ExpLo, free.ExpHi = normalCI(pf.Exponent, as, m-2)
+		free.CLo, free.CHi = logNormalCI(pf.LogC, cs, m-2)
+	}
+	law.Fits = append(law.Fits, free)
+
+	law.Best = selectBest(law.Fits, func(f ModelFit) float64 { return f.AIC })
+	law.BestBIC = selectBest(law.Fits, func(f ModelFit) float64 { return f.BIC })
+	best, _ := law.FitByName(law.Best)
+	bestBIC, _ := law.FitByName(law.BestBIC)
+	for i := range law.Fits {
+		law.Fits[i].DeltaAIC = law.Fits[i].AIC - best.AIC
+		law.Fits[i].DeltaBIC = law.Fits[i].BIC - bestBIC.BIC
+	}
+	return law, nil
+}
+
+// selectBest picks the candidate minimising the criterion; ties (within
+// nothing — exact equality only) break toward the earlier, simpler
+// candidate, since the free power law is listed last.
+func selectBest(fits []ModelFit, crit func(ModelFit) float64) string {
+	best := 0
+	for i := 1; i < len(fits); i++ {
+		if crit(fits[i]) < crit(fits[best]) {
+			best = i
+		}
+	}
+	return fits[best].Model
+}
+
+// bootstrapForm resamples residuals around a fixed-form fit (fixed-x
+// residual bootstrap — with a handful of distinct sizes, resampling the
+// points themselves would routinely degenerate to a single size) and
+// returns the refitted scale constants.
+func bootstrapForm(src *rng.Source, ns, ys []float64, g func(float64) float64, fit stats.FormFit, b int) []float64 {
+	m := len(ns)
+	resid := make([]float64, m)
+	infl := residInflation(m, 1)
+	for i := range ns {
+		resid[i] = infl * (math.Log(ys[i]) - math.Log(g(ns[i])) - fit.LogC)
+	}
+	cs := make([]float64, 0, b)
+	for it := 0; it < b; it++ {
+		// Refitting a scale-only model to resampled residuals reduces to
+		// averaging them, so the refit is done in closed form.
+		sum := 0.0
+		for range resid {
+			sum += resid[src.Intn(m)]
+		}
+		cs = append(cs, math.Exp(fit.LogC+sum/float64(m)))
+	}
+	return cs
+}
+
+// bootstrapPower resamples residuals around the free power-law fit and
+// returns the refitted exponents and scale constants.
+func bootstrapPower(src *rng.Source, ns, ys []float64, fit stats.PowerFit, b int) (exps, cs []float64) {
+	m := len(ns)
+	lx := make([]float64, m)
+	resid := make([]float64, m)
+	infl := residInflation(m, 2)
+	for i := range ns {
+		lx[i] = math.Log(ns[i])
+		resid[i] = infl * (math.Log(ys[i]) - (fit.LogC + fit.Exponent*lx[i]))
+	}
+	ystar := make([]float64, m)
+	exps = make([]float64, 0, b)
+	cs = make([]float64, 0, b)
+	for it := 0; it < b; it++ {
+		for i := range ns {
+			ystar[i] = math.Exp(fit.LogC + fit.Exponent*lx[i] + resid[src.Intn(m)])
+		}
+		pf, err := stats.FitPowerLaw(ns, ystar)
+		if err != nil {
+			continue // cannot happen: ns are unchanged and ystar > 0
+		}
+		exps = append(exps, pf.Exponent)
+		cs = append(cs, pf.C())
+	}
+	return exps, cs
+}
+
+// residInflation is the √(m/(m−k)) leverage correction applied to
+// least-squares residuals before resampling: a k-parameter fit absorbs
+// k degrees of freedom, deflating the residual variance, and resampling
+// the raw residuals would hand the bootstrap an interval that is
+// systematically too narrow (measurably so at the 3–8 sizes a sweep
+// grid carries).
+func residInflation(m, k int) float64 {
+	if m <= k {
+		return 1
+	}
+	return math.Sqrt(float64(m) / float64(m-k))
+}
+
+// normalCI builds the 95% bootstrap interval est ± t·sd(samples), with
+// Student's t at the residual degrees of freedom. With the 3–8 sizes a
+// sweep grid carries, the plain percentile interval is systematically
+// too narrow (the classic small-m undercoverage); anchoring the width
+// on the bootstrap standard error and the t quantile restores nominal
+// coverage, and the interval still collapses to a point on noise-free
+// data.
+func normalCI(est float64, samples []float64, dof int) (lo, hi float64) {
+	if len(samples) < 2 {
+		return est, est
+	}
+	sd := stats.StdDev(samples)
+	if math.IsNaN(sd) {
+		return est, est
+	}
+	h := tQuantile975(dof) * sd
+	return est - h, est + h
+}
+
+// logNormalCI is normalCI computed in log space for a positive scale
+// parameter: samples are bootstrap replicates of c, the interval is
+// exp(log c ± t·sd(log samples)), which keeps the bounds positive.
+func logNormalCI(logEst float64, samples []float64, dof int) (lo, hi float64) {
+	logs := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s > 0 {
+			logs = append(logs, math.Log(s))
+		}
+	}
+	llo, lhi := normalCI(logEst, logs, dof)
+	return math.Exp(llo), math.Exp(lhi)
+}
+
+// tQuantile975 is the 97.5th percentile of Student's t with the given
+// degrees of freedom (the two-sided 95% multiplier), tabulated exactly
+// where sweeps live (tiny dof) and flattening to the normal 1.96 beyond.
+func tQuantile975(dof int) float64 {
+	table := []float64{ // dof 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case dof < 1:
+		return table[0]
+	case dof <= len(table):
+		return table[dof-1]
+	default:
+		return 1.96
+	}
+}
+
+// deriveSeed derives an independent stream seed from the analysis seed
+// and a stable tag with one splitmix64 step, so every (group, model)
+// pair gets its own deterministic resampling stream and adding a model
+// or group never perturbs another's CI.
+func deriveSeed(base, tag uint64) uint64 {
+	z := base + (tag+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// groupSeed tags the analysis seed with a group's identity string, so a
+// group's bootstrap streams are stable no matter which other groups the
+// sweep happens to contain.
+func groupSeed(base uint64, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return deriveSeed(base, h.Sum64())
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"io"
+
+	"doda/internal/sweep"
+)
+
+// ReportGrid is the standard scaling-law grid behind `dodabench
+// -report`: the paper's three online algorithms under the uniform
+// adversary (the model every theorem is stated for), swept over a
+// multi-point size range so the candidate fits have exponents to bite
+// on. Quick scale is the committed-EXPERIMENTS.md configuration
+// (seconds); full scale pushes the sizes the PR 3/4 throughput work
+// made affordable.
+func ReportGrid(full bool, seed uint64) sweep.Grid {
+	g := sweep.Grid{
+		Scenarios:  []sweep.ScenarioRef{{Name: "uniform"}},
+		Algorithms: []string{"waiting", "gathering", "waiting-greedy"},
+		Sizes:      []int{16, 24, 32, 48, 64},
+		Replicas:   24,
+		Seed:       seed ^ 0x5ca11a6, // decorrelate from the experiment suite's own derived seeds
+	}
+	if full {
+		g.Sizes = []int{64, 96, 128, 192, 256, 384, 512}
+		g.Replicas = 40
+	}
+	return g
+}
+
+// WriteExperimentsSection renders an EXPERIMENTS.md-ready "Scaling laws"
+// section from an analysis of the report grid: the selection summary
+// table plus the exact command that reproduces the analysis at full
+// scale. reproduce is the full-scale command line to embed.
+func WriteExperimentsSection(w io.Writer, a *Analysis, scale string, reproduce string) error {
+	bw := &errWriter{w: w}
+	bw.printf("## Scaling laws\n\n")
+	bw.printf("Cross-cell regression fits over the sweep grid (scale=%s), extracted by\n", scale)
+	bw.printf("`internal/analysis`: per (scenario, algorithm) group, every candidate growth\n")
+	bw.printf("form is fitted by least squares on log(mean duration) and the forms are\n")
+	bw.printf("ranked by AIC; the free power law `c*n^a` reports the empirical exponent\n")
+	if a.Bootstrap > 0 {
+		bw.printf("with a %d-resample residual-bootstrap 95%% CI.\n\n", a.Bootstrap)
+	} else {
+		bw.printf("as a point estimate (bootstrap CIs disabled for this run).\n\n")
+	}
+	writeSummaryTable(bw, a)
+	matches, total := 0, 0
+	for i := range a.Groups {
+		g := &a.Groups[i]
+		if g.Law == nil || g.Predicted == "" {
+			continue
+		}
+		total++
+		if g.MatchesPrediction() {
+			matches++
+		}
+	}
+	if total > 0 {
+		bw.printf("\n%d of %d predicted groups select the paper's form.\n", matches, total)
+	}
+	if reproduce != "" {
+		bw.printf("\nReproduce at full scale with:\n\n```sh\n%s\n```\n", reproduce)
+	}
+	return bw.err
+}
+
+// ScaleName renders the grid scale for the section header.
+func ScaleName(full bool) string {
+	if full {
+		return "full"
+	}
+	return "quick"
+}
+
+// SummaryRows flattens the per-group selections into printable rows
+// (scenario, algorithm, predicted, selected, c, c CI, exponent, exp CI,
+// R²) for CLIs that render their own tables.
+func SummaryRows(a *Analysis) [][]string {
+	rows := make([][]string, 0, len(a.Groups))
+	for gi := range a.Groups {
+		g := &a.Groups[gi]
+		if g.Law == nil {
+			rows = append(rows, []string{g.Scenario, g.Algorithm, dash(g.Predicted), "(no fit)", "-", "-", "-", "-", "-"})
+			continue
+		}
+		sel, _ := g.Law.FitByName(g.Law.Best)
+		free, _ := g.Law.FreeFit()
+		rows = append(rows, []string{
+			g.Scenario, g.Algorithm, dash(g.Predicted), g.Law.Best,
+			fnum(sel.C), ci(sel.CLo, sel.CHi),
+			fnum(free.Exponent), ci(free.ExpLo, free.ExpHi), fnum(sel.R2),
+		})
+	}
+	return rows
+}

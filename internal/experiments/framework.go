@@ -1,14 +1,3 @@
-// Package experiments reproduces every quantitative and behavioural
-// result of the paper as a runnable experiment. The paper has no numbered
-// tables or figures — it is a theory paper — so each theorem, lemma and
-// corollary becomes one experiment (E1–E14) whose report compares
-// measured values against the paper's closed forms or asymptotic claims
-// and issues a PASS/FAIL verdict. Two ablations (A1, A2) probe design
-// choices called out in DESIGN.md.
-//
-// Experiments are deterministic given (Scale, Seed) and run at two
-// scales: ScaleQuick for tests and CI, ScaleFull for the paper-quality
-// numbers recorded in EXPERIMENTS.md.
 package experiments
 
 import (

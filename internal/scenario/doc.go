@@ -1,0 +1,36 @@
+// Package scenario is the workload-generation layer: deterministic,
+// seedable dynamic-graph contact models that go beyond the paper's own
+// adversaries. Where package adversary implements the constructions the
+// paper analyses (uniform/weighted randomized, recurrent, the
+// impossibility sequences), this package generates the workloads the
+// wider dynamic-network literature evaluates against — edge-Markovian
+// dynamic graphs, community-structured contact patterns, node churn,
+// and replayed real-world contact traces.
+//
+// # Determinism and seed derivation
+//
+// Every model is a pure function of (n, params, seed): same model, same
+// seed ⇒ bit-for-bit the same interaction sequence, across runs and
+// platforms, exactly like the rest of the repository's randomness
+// (package rng). Models never consult ambient state; all randomness
+// flows from the rng.Source a caller hands the generator, which is how
+// the sweep layer can re-run any single cell of a grid in isolation and
+// get the identical sequence.
+//
+// # Contract with the execution stack
+//
+// A Model is a generator of interactions that plugs into the existing
+// stack unchanged: wrapped into a seq.Stream (so knowledge oracles can
+// look ahead consistently) and exposed as an oblivious core.Adversary,
+// or fed straight to the engine through adversary.Generated on the
+// allocation-free fast path when no look-ahead is needed. Spec.Model is
+// the generative fast path; Spec.Build the stream-backed general path
+// (required for trace replay and for knowledge-consuming algorithms).
+//
+// The Registry (see registry.go) catalogues the built-in models with
+// their parameters, defaults and citations; cmd/dodascen, the -scenario
+// flags of the CLIs, and the sweep grid expander all resolve workloads
+// through it, so adding one Spec lights a workload up across the whole
+// stack. DefaultCap is the shared generous interaction budget for runs
+// that must terminate.
+package scenario

@@ -1,22 +1,3 @@
-// Package scenario is the workload-generation layer: deterministic,
-// seedable dynamic-graph contact models that go beyond the paper's own
-// adversaries. Where package adversary implements the constructions the
-// paper analyses (uniform/weighted randomized, recurrent, the
-// impossibility sequences), this package generates the workloads the
-// wider dynamic-network literature evaluates against — edge-Markovian
-// dynamic graphs, community-structured contact patterns, node churn, and
-// replayed real-world contact traces.
-//
-// Every model plugs into the existing execution stack unchanged: a Model
-// is a generator of interactions that is wrapped into a seq.Stream (so
-// knowledge oracles can look ahead consistently) and exposed as an
-// oblivious core.Adversary. Same model, same seed ⇒ bit-for-bit the same
-// interaction sequence, across runs and platforms, exactly like the rest
-// of the repository's randomness (package rng).
-//
-// The Registry (see registry.go) catalogues the built-in models with
-// their parameters and citations; cmd/dodascen and the -scenario flag of
-// cmd/dodasim are thin front-ends over it.
 package scenario
 
 import (

@@ -1,0 +1,33 @@
+// Package stats provides the descriptive and inferential statistics the
+// experiment harness and the analysis layer need to compare measured
+// interaction counts against the paper's closed forms and asymptotic
+// exponents.
+//
+// # Layers
+//
+// Descriptive: Mean/Variance/Quantile/Summarize over float samples, and
+// the streaming Welford accumulator whose Merge implements Chan et
+// al.'s parallel variance update — the primitive behind worker-local
+// accumulation in sweeps. WelfordState is the exact JSON snapshot
+// (shortest round-trippable float encoding) that lets checkpoints
+// journal an accumulator and restore it bit-for-bit, which is what
+// makes resumed and merged fleet totals byte-identical to an
+// uninterrupted run's.
+//
+// Closed forms: Harmonic computes H(n) (exact summation below 1024, the
+// asymptotic expansion above, error far below experiment noise) — the
+// paper's Waiting and offline-optimum expectations are stated with
+// H(n−1).
+//
+// Regression: LinearFit/LogLogFit estimate empirical growth exponents;
+// FitScaledForm fits y = c·g(n) for a fixed candidate form in log
+// space; FitPowerLaw adds the log-space RSS the information criteria
+// need; AIC/BIC score candidates (floored at a vanishing RSS so a
+// perfect fit stays finite); KendallTau and StrictlyMonotone back the
+// monotone-trend tests. internal/analysis composes these into
+// scaling-law extraction with bootstrap confidence intervals.
+//
+// Everything here is deterministic pure-float computation — no
+// randomness, no ambient state — so any statistic is reproducible from
+// its inputs alone.
+package stats

@@ -1,0 +1,212 @@
+package stats
+
+// Regression primitives for scaling-law extraction: fitting a sample of
+// (n, cost) points against the paper's candidate growth forms, scoring
+// the candidates with information criteria, and testing monotone trends.
+// internal/analysis composes these into per-(scenario, algorithm) model
+// selection with bootstrap confidence intervals.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// rssFloor keeps the information criteria finite when a candidate fits
+// the sample exactly (synthetic data, or as many parameters as points):
+// ln(0) would otherwise send AIC to -Inf, which JSON cannot carry and
+// which would make every comparison against the perfect fit meaningless
+// rather than merely decisive.
+const rssFloor = 1e-18
+
+// FormFit is a least-squares fit of y = c·g(x), computed in log space
+// (log y = log c + log g(x) + ε): the natural space for scaling laws,
+// where multiplicative noise becomes additive and every decade of n
+// counts equally.
+type FormFit struct {
+	// LogC is the fitted log-scale constant; C() exponentiates it.
+	LogC float64
+	// RSS is the residual sum of squares in log space.
+	RSS float64
+	// R2 is the coefficient of determination in log space.
+	R2 float64
+	// N is the number of points fitted.
+	N int
+}
+
+// C returns the fitted scale constant c = exp(LogC).
+func (f FormFit) C() float64 { return math.Exp(f.LogC) }
+
+// FitScaledForm fits y = c·g(x) by least squares on log y − log g(x):
+// the maximum-likelihood estimate of log c is the mean log-ratio, and
+// the residuals around it are what AIC/BIC score. Points must be
+// positive and g must be positive at every x.
+func FitScaledForm(x, y []float64, g func(float64) float64) (FormFit, error) {
+	if len(x) != len(y) {
+		return FormFit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return FormFit{}, ErrNoData
+	}
+	resid := make([]float64, len(x))
+	sum := 0.0
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return FormFit{}, fmt.Errorf("stats: scaled-form fit needs positive data, got (%v,%v)", x[i], y[i])
+		}
+		gv := g(x[i])
+		if gv <= 0 || math.IsInf(gv, 0) || math.IsNaN(gv) {
+			return FormFit{}, fmt.Errorf("stats: form is not positive and finite at x=%v (g=%v)", x[i], gv)
+		}
+		resid[i] = math.Log(y[i]) - math.Log(gv)
+		sum += resid[i]
+	}
+	f := FormFit{LogC: sum / float64(len(x)), N: len(x)}
+	// RSS and R² around the fitted constant; the total sum of squares is
+	// taken around the mean of log y, mirroring LinearFit.
+	meanLy := 0.0
+	lys := make([]float64, len(y))
+	for i := range y {
+		lys[i] = math.Log(y[i])
+		meanLy += lys[i]
+	}
+	meanLy /= float64(len(y))
+	var ssTot float64
+	for i := range resid {
+		d := resid[i] - f.LogC
+		f.RSS += d * d
+		dt := lys[i] - meanLy
+		ssTot += dt * dt
+	}
+	f.R2 = 1
+	if ssTot > 0 {
+		f.R2 = 1 - f.RSS/ssTot
+	}
+	return f, nil
+}
+
+// PowerFit is a free power-law fit y = c·x^a (log-log least squares),
+// with the log-space residual sum of squares the information criteria
+// need — the extra piece Fit/LogLogFit does not carry.
+type PowerFit struct {
+	// Exponent is the fitted power a.
+	Exponent float64
+	// LogC is the fitted log-scale constant.
+	LogC float64
+	// RSS is the residual sum of squares in log space.
+	RSS float64
+	// R2 is the coefficient of determination in log space.
+	R2 float64
+	// N is the number of points fitted.
+	N int
+}
+
+// C returns the fitted scale constant c = exp(LogC).
+func (f PowerFit) C() float64 { return math.Exp(f.LogC) }
+
+// FitPowerLaw fits y = c·x^a by ordinary least squares on (log x, log y)
+// and returns the exponent, scale and log-space residuals. It needs at
+// least two points with distinct positive x and positive y.
+func FitPowerLaw(x, y []float64) (PowerFit, error) {
+	fit, err := LogLogFit(x, y)
+	if err != nil {
+		return PowerFit{}, err
+	}
+	p := PowerFit{Exponent: fit.Slope, LogC: fit.Intercept, R2: fit.R2, N: len(x)}
+	for i := range x {
+		r := math.Log(y[i]) - (fit.Intercept + fit.Slope*math.Log(x[i]))
+		p.RSS += r * r
+	}
+	return p, nil
+}
+
+// AIC is the Akaike information criterion of a least-squares fit with k
+// free parameters over m points, under the usual Gaussian-residual
+// reduction AIC = m·ln(RSS/m) + 2k. Only differences between candidates
+// fitted to the same points are meaningful. A vanishing RSS is floored
+// so a perfect fit scores decisively but finitely.
+func AIC(rss float64, m, k int) float64 {
+	return icPenalty(rss, m) + 2*float64(k)
+}
+
+// BIC is the Bayesian information criterion m·ln(RSS/m) + k·ln(m): the
+// same goodness-of-fit term as AIC with a harsher parameter penalty, so
+// it is the more conservative of the two when they disagree about the
+// free-exponent model.
+func BIC(rss float64, m, k int) float64 {
+	return icPenalty(rss, m) + float64(k)*math.Log(float64(m))
+}
+
+func icPenalty(rss float64, m int) float64 {
+	if rss < rssFloor {
+		rss = rssFloor
+	}
+	return float64(m) * math.Log(rss/float64(m))
+}
+
+// KendallTau returns Kendall's rank correlation τ between x and y: +1
+// for a strictly concordant (monotone increasing) relation, −1 for a
+// strictly discordant one, with tied pairs handled by the τ-b
+// correction. It is the trend statistic the analysis layer uses for the
+// community-mixing monotonicity claim, chosen over a fitted slope
+// because the claim is ordinal — "scarcer contacts, slower aggregation"
+// — not linear.
+func KendallTau(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, ErrNoData
+	}
+	var concordant, discordant, tiesX, tiesY float64
+	for i := 0; i < len(x); i++ {
+		for j := i + 1; j < len(x); j++ {
+			dx := x[j] - x[i]
+			dy := y[j] - y[i]
+			switch {
+			case dx == 0 && dy == 0:
+				tiesX++
+				tiesY++
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case (dx > 0) == (dy > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(len(x)*(len(x)-1)) / 2
+	den := math.Sqrt((n0 - tiesX) * (n0 - tiesY))
+	if den == 0 {
+		return 0, errors.New("stats: kendall tau undefined (a variable is constant)")
+	}
+	return (concordant - discordant) / den, nil
+}
+
+// StrictlyMonotone reports whether ys is strictly increasing (+1),
+// strictly decreasing (−1), or neither (0).
+func StrictlyMonotone(ys []float64) int {
+	if len(ys) < 2 {
+		return 0
+	}
+	inc, dec := true, true
+	for i := 1; i < len(ys); i++ {
+		if ys[i] <= ys[i-1] {
+			inc = false
+		}
+		if ys[i] >= ys[i-1] {
+			dec = false
+		}
+	}
+	switch {
+	case inc:
+		return 1
+	case dec:
+		return -1
+	default:
+		return 0
+	}
+}

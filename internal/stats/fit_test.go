@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitScaledFormRecoversConstant(t *testing.T) {
+	g := func(x float64) float64 { return x * x }
+	x := []float64{8, 16, 32, 64, 128}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3.5 * v * v
+	}
+	f, err := FitScaledForm(x, y, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.C()-3.5) > 1e-12 {
+		t.Errorf("c = %v, want 3.5", f.C())
+	}
+	if f.RSS > 1e-20 {
+		t.Errorf("RSS = %v on exact data, want ~0", f.RSS)
+	}
+	if f.R2 < 0.999999 {
+		t.Errorf("R2 = %v on exact data", f.R2)
+	}
+}
+
+func TestFitScaledFormRejectsBadData(t *testing.T) {
+	g := func(x float64) float64 { return x }
+	if _, err := FitScaledForm([]float64{1, 2}, []float64{1, -2}, g); err == nil {
+		t.Error("negative y accepted")
+	}
+	if _, err := FitScaledForm([]float64{1}, []float64{1}, g); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitScaledForm([]float64{1, 2}, []float64{1, 2}, func(float64) float64 { return 0 }); err == nil {
+		t.Error("non-positive form accepted")
+	}
+}
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	x := []float64{4, 8, 16, 32, 64}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 0.25 * math.Pow(v, 1.5)
+	}
+	f, err := FitPowerLaw(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Exponent-1.5) > 1e-10 {
+		t.Errorf("exponent = %v, want 1.5", f.Exponent)
+	}
+	if math.Abs(f.C()-0.25) > 1e-10 {
+		t.Errorf("c = %v, want 0.25", f.C())
+	}
+	if f.RSS > 1e-18 {
+		t.Errorf("RSS = %v on exact data", f.RSS)
+	}
+}
+
+// The information criteria must rank the true generating form ahead of
+// a wrong fixed form, and must charge the free fit for its extra
+// parameter when the fixed form explains the data equally well.
+func TestAICPrefersTrueForm(t *testing.T) {
+	x := []float64{8, 16, 32, 64, 128, 256}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		// y = 2·x² with mild deterministic multiplicative wobble.
+		wobble := 1 + 0.01*math.Sin(float64(i))
+		y[i] = 2 * v * v * wobble
+	}
+	sq, err := FitScaledForm(x, y, func(v float64) float64 { return v * v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := FitScaledForm(x, y, func(v float64) float64 { return v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AIC(sq.RSS, sq.N, 1) >= AIC(lin.RSS, lin.N, 1) {
+		t.Errorf("AIC ranks x (%v) at or above x² (%v) on quadratic data",
+			AIC(lin.RSS, lin.N, 1), AIC(sq.RSS, sq.N, 1))
+	}
+	if BIC(sq.RSS, sq.N, 1) >= BIC(lin.RSS, lin.N, 1) {
+		t.Errorf("BIC ranks x at or above x² on quadratic data")
+	}
+}
+
+func TestAICFiniteOnPerfectFit(t *testing.T) {
+	if v := AIC(0, 5, 2); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("AIC(0, 5, 2) = %v, want finite", v)
+	}
+	if v := BIC(0, 5, 2); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("BIC(0, 5, 2) = %v, want finite", v)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	up := []float64{1, 2, 3, 4}
+	down := []float64{9, 7, 5, 2}
+	if tau, err := KendallTau(up, []float64{10, 20, 30, 40}); err != nil || tau != 1 {
+		t.Errorf("tau = %v, %v; want 1 on concordant data", tau, err)
+	}
+	if tau, err := KendallTau(up, down); err != nil || tau != -1 {
+		t.Errorf("tau = %v, %v; want -1 on discordant data", tau, err)
+	}
+	if tau, err := KendallTau(up, []float64{1, 3, 2, 4}); err != nil || tau <= 0 || tau >= 1 {
+		t.Errorf("tau = %v, %v; want in (0,1) on one swap", tau, err)
+	}
+	if _, err := KendallTau(up, []float64{5, 5, 5, 5}); err == nil {
+		t.Error("constant y must make tau undefined")
+	}
+	if _, err := KendallTau([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+func TestStrictlyMonotone(t *testing.T) {
+	cases := []struct {
+		ys   []float64
+		want int
+	}{
+		{[]float64{1, 2, 3}, 1},
+		{[]float64{3, 2, 1}, -1},
+		{[]float64{1, 2, 2}, 0},
+		{[]float64{1, 3, 2}, 0},
+		{[]float64{1}, 0},
+	}
+	for _, c := range cases {
+		if got := StrictlyMonotone(c.ys); got != c.want {
+			t.Errorf("StrictlyMonotone(%v) = %d, want %d", c.ys, got, c.want)
+		}
+	}
+}

@@ -1,8 +1,3 @@
-// Package stats provides the descriptive and inferential statistics the
-// experiment harness needs to compare measured interaction counts against
-// the paper's closed forms and asymptotic exponents: summary statistics,
-// streaming (Welford) accumulators, harmonic numbers, least-squares and
-// log-log regression, quantiles and histograms.
 package stats
 
 import (

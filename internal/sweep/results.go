@@ -1,0 +1,62 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadResults decodes a stream of CellResult JSON lines — the format
+// cmd/dodasweep writes to stdout and the merge subcommand re-emits — back
+// into typed results, so saved sweep output can feed the analysis layer
+// without re-running the grid. A trailing Totals line (the -summary
+// flag's last line) is recognised and skipped; blank lines are ignored;
+// anything else that is not a cell result is an error.
+//
+// Results read this way carry everything the JSON carries — which is
+// everything except the exact duration accumulator (an unexported field
+// only checkpoints journal). TotalsOf over read results therefore
+// reproduces counts exactly but duration moments only to Metric
+// precision; consumers needing bit-exact totals must read a checkpoint
+// (sweepd.ReadCheckpoint / sweepd.LoadFleet) instead.
+func ReadResults(r io.Reader) ([]CellResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []CellResult
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		// A cell line always carries "index" and "scenario"; the totals
+		// line carries neither. Probe before committing to a decode so a
+		// totals line is skipped rather than misread as a zero cell.
+		var probe struct {
+			Index    *int             `json:"index"`
+			Scenario *json.RawMessage `json:"scenario"`
+			Cells    *int             `json:"cells"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("sweep: results line %d: %w", lineNo, err)
+		}
+		if probe.Index == nil || probe.Scenario == nil {
+			if probe.Cells != nil {
+				continue // the -summary totals line
+			}
+			return nil, fmt.Errorf("sweep: results line %d is not a cell result", lineNo)
+		}
+		var res CellResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return nil, fmt.Errorf("sweep: results line %d: %w", lineNo, err)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: reading results: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestReadResultsRoundTrip: the JSONL stream Run emits decodes back into
+// the same results (through JSON), with a -summary totals line skipped.
+func TestReadResultsRoundTrip(t *testing.T) {
+	grid := Grid{
+		Scenarios:  []ScenarioRef{{Name: "uniform"}},
+		Algorithms: []string{"gathering"},
+		Sizes:      []int{8, 12},
+		Replicas:   3,
+		Seed:       5,
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	results, totals, err := Run(grid, Options{OnResult: func(r CellResult) error { return enc.Encode(r) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(totals); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("read %d results, want %d", len(got), len(results))
+	}
+	want, _ := json.Marshal(results)
+	have, _ := json.Marshal(got)
+	if !bytes.Equal(want, have) {
+		t.Errorf("results drifted through the stream:\nwant %s\ngot  %s", want, have)
+	}
+}
+
+func TestReadResultsRejectsGarbage(t *testing.T) {
+	if _, err := ReadResults(strings.NewReader("not json\n")); err == nil {
+		t.Error("non-JSON line accepted")
+	}
+	if _, err := ReadResults(strings.NewReader(`{"foo": 1}` + "\n")); err == nil {
+		t.Error("JSON line that is neither cell nor totals accepted")
+	}
+	got, err := ReadResults(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank input: got %v, %v; want empty, nil", got, err)
+	}
+}

@@ -1,16 +1,3 @@
-// Package sweep is the sharded parameter-sweep engine: it expands a grid
-// of (scenario × algorithm × node count × seed replicas) over the
-// scenario registry into cells, shards the cells across a bounded worker
-// pool, and aggregates per-cell statistics — replacing the hand-rolled
-// per-adversary loops the experiments and CLIs used to carry.
-//
-// Determinism is the load-bearing property: every cell derives its seed
-// from the grid seed and the cell's index alone, and every replica's seed
-// from the cell seed alone, so the results are bit-for-bit identical no
-// matter how many workers run the sweep or which worker picks up which
-// cell. Workers reuse one core.Engine each (via Engine.Reset) plus
-// per-worker sample buffers, so the steady-state measurement loop does
-// not allocate.
 package sweep
 
 import (

@@ -1,18 +1,3 @@
-// Package sweepd is the checkpointed, resumable sweep service layered on
-// internal/sweep. It journals every completed cell to an append-only
-// JSONL checkpoint — one crc-guarded record per cell, grouped into
-// immutable segments written with tmp+rename so a crash can never leave a
-// half-written segment under its final name — and on resume skips the
-// journaled cells, re-emitting output byte-identical to an uninterrupted
-// run (the per-cell deterministic seed contract makes that provable: a
-// cell's result depends only on the grid and its index, never on which
-// process ran it or when).
-//
-// Sharding rides the same contract: ShardOf partitions the cell index
-// space disjointly with a stable hash, so m independent processes — or
-// hosts — each journaling their own shard cover the grid exactly once,
-// and Merge stitches the m checkpoints back into the single-process
-// byte stream plus fleet totals.
 package sweepd
 
 import (

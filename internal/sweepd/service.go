@@ -207,8 +207,21 @@ func cellMatches(want, got sweep.Cell) error {
 // they fold the exact journaled per-cell accumulators in cell-index
 // order, exactly as sweep.Run does.
 func Merge(dirs []string) ([]sweep.CellResult, sweep.Totals, error) {
+	_, results, totals, err := LoadFleet(dirs)
+	return results, totals, err
+}
+
+// LoadFleet is the one checkpoint-directory validation path every
+// cross-checkpoint consumer shares: `dodasweep merge` and `dodasweep
+// analyze` both read fleets through it, so a stale or foreign journal
+// fails with the same grid-fingerprint error no matter which subcommand
+// tripped over it. It reads and cross-validates the checkpoints of a
+// complete sharded sweep (a single unsharded checkpoint is the
+// one-directory case) and returns the fleet's identity header plus all
+// cell results in cell-index order and the exact fleet totals.
+func LoadFleet(dirs []string) (Header, []sweep.CellResult, sweep.Totals, error) {
 	if len(dirs) == 0 {
-		return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge needs at least one checkpoint directory")
+		return Header{}, nil, sweep.Totals{}, fmt.Errorf("sweepd: need at least one checkpoint directory")
 	}
 	var (
 		base     Header
@@ -217,10 +230,13 @@ func Merge(dirs []string) ([]sweep.CellResult, sweep.Totals, error) {
 		cells    []sweep.Cell
 		seenDir  []string
 	)
+	fail := func(err error) (Header, []sweep.CellResult, sweep.Totals, error) {
+		return Header{}, nil, sweep.Totals{}, err
+	}
 	for di, dir := range dirs {
 		h, recs, err := ReadCheckpoint(dir)
 		if err != nil {
-			return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge %s: %w", dir, err)
+			return fail(fmt.Errorf("sweepd: fleet %s: %w", dir, err))
 		}
 		if di == 0 {
 			base = h
@@ -229,52 +245,53 @@ func Merge(dirs []string) ([]sweep.CellResult, sweep.Totals, error) {
 			// header cannot relabel foreign results.
 			fp, err := h.Grid.Fingerprint()
 			if err != nil {
-				return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge %s: %w", dir, err)
+				return fail(fmt.Errorf("sweepd: fleet %s: %w", dir, err))
 			}
 			if fp != h.Fingerprint {
-				return nil, sweep.Totals{}, fmt.Errorf("%w: %s: header fingerprint does not match its own grid", ErrCorrupt, dir)
+				return fail(fmt.Errorf("%w: %s: header fingerprint does not match its own grid", ErrCorrupt, dir))
 			}
 			if cells, err = h.Grid.Cells(); err != nil {
-				return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge %s: %w", dir, err)
+				return fail(fmt.Errorf("sweepd: fleet %s: %w", dir, err))
 			}
 			if h.ShardCount != len(dirs) {
-				return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge: checkpoint declares %d shard(s), got %d directories",
-					h.ShardCount, len(dirs))
+				return fail(fmt.Errorf("sweepd: checkpoint declares %d shard(s), got %d directories",
+					h.ShardCount, len(dirs)))
 			}
 			results = make([]sweep.CellResult, len(cells))
 			haveCell = make([]bool, len(cells))
 			seenDir = make([]string, h.ShardCount)
 		} else {
 			if h.Fingerprint != base.Fingerprint || h.Version != base.Version {
-				return nil, sweep.Totals{}, fmt.Errorf("%w: %s holds a different grid than %s", ErrStaleCheckpoint, dir, dirs[0])
+				return fail(fmt.Errorf("%w: %s holds a different grid than %s (fingerprint %.12s, want %.12s)",
+					ErrStaleCheckpoint, dir, dirs[0], h.Fingerprint, base.Fingerprint))
 			}
 			if h.ShardCount != base.ShardCount {
-				return nil, sweep.Totals{}, fmt.Errorf("%w: %s declares %d shards, %s declares %d",
-					ErrStaleCheckpoint, dir, h.ShardCount, dirs[0], base.ShardCount)
+				return fail(fmt.Errorf("%w: %s declares %d shards, %s declares %d",
+					ErrStaleCheckpoint, dir, h.ShardCount, dirs[0], base.ShardCount))
 			}
 		}
 		if h.ShardIndex < 0 || h.ShardIndex >= base.ShardCount {
-			return nil, sweep.Totals{}, fmt.Errorf("%w: %s: shard index %d outside [0,%d)",
-				ErrCorrupt, dir, h.ShardIndex, base.ShardCount)
+			return fail(fmt.Errorf("%w: %s: shard index %d outside [0,%d)",
+				ErrCorrupt, dir, h.ShardIndex, base.ShardCount))
 		}
 		if prev := seenDir[h.ShardIndex]; prev != "" {
-			return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge: %s and %s both hold shard %d", prev, dir, h.ShardIndex)
+			return fail(fmt.Errorf("sweepd: %s and %s both hold shard %d", prev, dir, h.ShardIndex))
 		}
 		seenDir[h.ShardIndex] = dir
 		for _, rec := range recs {
 			if rec.Index < 0 || rec.Index >= len(cells) {
-				return nil, sweep.Totals{}, fmt.Errorf("%w: %s: cell index %d outside grid of %d cells",
-					ErrCorrupt, dir, rec.Index, len(cells))
+				return fail(fmt.Errorf("%w: %s: cell index %d outside grid of %d cells",
+					ErrCorrupt, dir, rec.Index, len(cells)))
 			}
 			if sweep.ShardOf(rec.Index, base.ShardCount) != h.ShardIndex {
-				return nil, sweep.Totals{}, fmt.Errorf("%w: %s: cell %d belongs to shard %d, not %d",
-					ErrCorrupt, dir, rec.Index, sweep.ShardOf(rec.Index, base.ShardCount), h.ShardIndex)
+				return fail(fmt.Errorf("%w: %s: cell %d belongs to shard %d, not %d",
+					ErrCorrupt, dir, rec.Index, sweep.ShardOf(rec.Index, base.ShardCount), h.ShardIndex))
 			}
 			if haveCell[rec.Index] {
-				return nil, sweep.Totals{}, fmt.Errorf("%w: cell %d journaled by more than one shard", ErrCorrupt, rec.Index)
+				return fail(fmt.Errorf("%w: cell %d journaled by more than one shard", ErrCorrupt, rec.Index))
 			}
 			if err := cellMatches(cells[rec.Index], rec.Result.Cell); err != nil {
-				return nil, sweep.Totals{}, fmt.Errorf("sweepd: merge %s: %w", dir, err)
+				return fail(fmt.Errorf("sweepd: fleet %s: %w", dir, err))
 			}
 			results[rec.Index] = rec.Restore()
 			haveCell[rec.Index] = true
@@ -291,9 +308,9 @@ func Merge(dirs []string) ([]sweep.CellResult, sweep.Totals, error) {
 		}
 	}
 	if missing > 0 {
-		return nil, sweep.Totals{}, fmt.Errorf(
-			"sweepd: merge: %d cell(s) missing (first: cell %d, shard %d not finished — resume it before merging)",
-			missing, firstMissing, sweep.ShardOf(firstMissing, base.ShardCount))
+		return fail(fmt.Errorf(
+			"sweepd: %d cell(s) missing (first: cell %d, shard %d not finished — resume it before merging or analyzing)",
+			missing, firstMissing, sweep.ShardOf(firstMissing, base.ShardCount)))
 	}
-	return results, sweep.TotalsOf(results), nil
+	return base, results, sweep.TotalsOf(results), nil
 }
