@@ -79,5 +79,31 @@ func compareBaseline(rep *hotpathReport, path string, tolerance float64, w io.Wr
 		return fmt.Errorf("%d tracked metric(s) regressed more than %.0f%%: %s",
 			len(regressions), tolerance*100, strings.Join(regressions, "; "))
 	}
+	return checkProgressOverhead(rep, w)
+}
+
+// progressOverheadMax is the absolute ceiling on what the observability
+// layer may cost: progress accounting and advisory writes must stay
+// under 2% of checkpointed sweep throughput. Unlike the ns metrics this
+// gate reads only the fresh report — the overhead is a ratio of two
+// runs on the same machine, so no baseline or calibration applies.
+const progressOverheadMax = 0.02
+
+func checkProgressOverhead(rep *hotpathReport, w io.Writer) error {
+	o := rep.SweepProgress
+	if o.Trials == 0 {
+		fmt.Fprintf(w, "  %-44s (skipped: section missing)\n", "sweep_progress_overhead.overhead_frac")
+		return nil
+	}
+	verdict := "ok"
+	if o.OverheadFrac > progressOverheadMax {
+		verdict = "REGRESSION"
+	}
+	fmt.Fprintf(w, "  %-44s %+9.2f%% of sweep throughput (ceiling %+.0f%%)  %s\n",
+		"sweep_progress_overhead.overhead_frac", o.OverheadFrac*100, progressOverheadMax*100, verdict)
+	if o.OverheadFrac > progressOverheadMax {
+		return fmt.Errorf("progress instrumentation costs %.1f%% of sweep throughput, ceiling is %.0f%% (base %.1fms vs instrumented %.1fms over %d cells)",
+			o.OverheadFrac*100, progressOverheadMax*100, o.BaseMs, o.InstrumentedMs, o.Cells)
+	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"doda/internal/seq"
 	"doda/internal/sim"
 	"doda/internal/sweep"
+	"doda/internal/sweepd"
 )
 
 // perInteraction reports one measured interaction loop.
@@ -74,22 +76,39 @@ type sweepLargeNReport struct {
 	PerSec          float64 `json:"interactions_per_sec"`
 }
 
+// sweepProgressOverhead reports what the observability layer costs: the
+// same checkpointed fleet run with progress tracking disabled and with
+// the default throttled progress record, paired and min-of-trials on
+// both sides to squeeze out scheduler noise. OverheadFrac is gated
+// absolutely (not baseline-relative) in compare.go: the per-replica
+// accounting and throttled advisory writes must stay under 2% of sweep
+// throughput, or watching a fleet would slow the fleet down.
+type sweepProgressOverhead struct {
+	Cells           int     `json:"cells"`
+	Trials          int     `json:"trials"`
+	BaseMs          float64 `json:"base_ms"`
+	InstrumentedMs  float64 `json:"instrumented_ms"`
+	BaseCellsPerSec float64 `json:"base_cells_per_sec"`
+	OverheadFrac    float64 `json:"overhead_frac"`
+}
+
 // hotpathReport is the BENCH_hotpath.json document. CalibrationNs is a
 // fixed pure-CPU reference loop (rng.Uint64) measured alongside the
 // tracked metrics: the regression guard divides out the ratio of the two
 // reports' calibrations, so comparing a laptop baseline against a CI
 // runner gates on code changes rather than on hardware identity.
 type hotpathReport struct {
-	GoMaxProcs    int               `json:"gomaxprocs"`
-	CalibrationNs float64           `json:"calibration_ns"`
-	Engine        perInteraction    `json:"engine"`
-	EngineBatched perInteraction    `json:"engine_batched"`
-	Sim           perInteraction    `json:"sim"`
-	AliasSampler  perDraw           `json:"alias_sampler"`
-	WeightedGen   perDraw           `json:"weighted_gen"`
-	LargeN        largeNReport      `json:"large_n"`
-	Sweep         sweepThroughput   `json:"sweep"`
-	SweepLargeN   sweepLargeNReport `json:"sweep_large_n"`
+	GoMaxProcs    int                   `json:"gomaxprocs"`
+	CalibrationNs float64               `json:"calibration_ns"`
+	Engine        perInteraction        `json:"engine"`
+	EngineBatched perInteraction        `json:"engine_batched"`
+	Sim           perInteraction        `json:"sim"`
+	AliasSampler  perDraw               `json:"alias_sampler"`
+	WeightedGen   perDraw               `json:"weighted_gen"`
+	LargeN        largeNReport          `json:"large_n"`
+	Sweep         sweepThroughput       `json:"sweep"`
+	SweepLargeN   sweepLargeNReport     `json:"sweep_large_n"`
+	SweepProgress sweepProgressOverhead `json:"sweep_progress_overhead"`
 }
 
 // benchEngine measures the sequential engine's steady-state interaction
@@ -353,6 +372,78 @@ func benchSweep() (sweepThroughput, error) {
 	}, nil
 }
 
+// benchSweepProgress times the same checkpointed fleet with progress
+// tracking off (ProgressEvery < 0: no per-replica accounting, no
+// advisory writes) and on (the default 500ms throttle), interleaved
+// A/B/A/B so load shifts hit both sides, taking the min per side. Each
+// trial journals into a fresh directory — checkpoints have exactly one
+// writer and are never reused.
+func benchSweepProgress() (sweepProgressOverhead, error) {
+	// Big enough that one trial runs a few hundred ms: the gate measures
+	// throughput overhead, and a realistic shard runs minutes — a trial
+	// so short that two fixed advisory-file writes register would gate
+	// on constants no real fleet can observe.
+	grid := sweep.Grid{
+		Scenarios: []sweep.ScenarioRef{
+			{Name: "uniform"},
+			{Name: "zipf", Params: map[string]string{"alpha": "1"}},
+			{Name: "churn"},
+		},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      []int{32, 48, 64},
+		Replicas:   10,
+		Seed:       8,
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		return sweepProgressOverhead{}, err
+	}
+	trial := func(every time.Duration) (time.Duration, error) {
+		dir, err := os.MkdirTemp("", "dodabench-progress-")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		start := time.Now()
+		_, _, err = sweepd.Run(grid, filepath.Join(dir, "ck"), sweepd.Options{
+			Workers:       runtime.GOMAXPROCS(0),
+			ProgressEvery: every,
+		})
+		return time.Since(start), err
+	}
+	const trials = 4
+	minBase, minInst := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < trials; i++ {
+		b, err := trial(-1)
+		if err != nil {
+			return sweepProgressOverhead{}, err
+		}
+		inst, err := trial(0)
+		if err != nil {
+			return sweepProgressOverhead{}, err
+		}
+		if b < minBase {
+			minBase = b
+		}
+		if inst < minInst {
+			minInst = inst
+		}
+	}
+	rep := sweepProgressOverhead{
+		Cells:          len(cells),
+		Trials:         trials,
+		BaseMs:         float64(minBase.Microseconds()) / 1000,
+		InstrumentedMs: float64(minInst.Microseconds()) / 1000,
+	}
+	if minBase > 0 {
+		rep.BaseCellsPerSec = float64(len(cells)) / minBase.Seconds()
+		if frac := float64(minInst)/float64(minBase) - 1; frac > 0 {
+			rep.OverheadFrac = frac
+		}
+	}
+	return rep, nil
+}
+
 // benchCalibration times the reference loop: one xoshiro draw, a hot
 // pure-CPU operation no perf PR is likely to touch.
 func benchCalibration() float64 {
@@ -396,6 +487,9 @@ func collectHotpath() (*hotpathReport, error) {
 	}
 	if rep.SweepLargeN, err = benchSweepLargeN(); err != nil {
 		return nil, fmt.Errorf("large-n sweep benchmark: %w", err)
+	}
+	if rep.SweepProgress, err = benchSweepProgress(); err != nil {
+		return nil, fmt.Errorf("sweep progress-overhead benchmark: %w", err)
 	}
 	return &rep, nil
 }

@@ -111,6 +111,11 @@ func TestHotpathJSON(t *testing.T) {
 		rep.SweepLargeN.Interactions <= 0 || rep.SweepLargeN.PerSec <= 0 {
 		t.Errorf("large-n sweep section bad: %+v", rep.SweepLargeN)
 	}
+	if rep.SweepProgress.Trials == 0 || rep.SweepProgress.Cells == 0 ||
+		rep.SweepProgress.BaseMs <= 0 || rep.SweepProgress.InstrumentedMs <= 0 {
+		t.Errorf("progress-overhead section bad: %+v", rep.SweepProgress)
+	}
+	t.Logf("sweep_progress_overhead: %+v", rep.SweepProgress)
 }
 
 // TestCompareBaseline unit-tests the regression guard against synthetic
@@ -191,6 +196,48 @@ func TestCompareBaselineCalibration(t *testing.T) {
 	out.Reset()
 	if err := compareBaseline(&realRegression, basePath, 0.25, &out); err == nil {
 		t.Errorf("machine-relative regression not detected:\n%s", out.String())
+	}
+}
+
+// TestProgressOverheadGate unit-tests the absolute observability-cost
+// ceiling: a report over the 2% line fails regardless of baseline, one
+// under it passes, and a baseline predating the section is skipped.
+func TestProgressOverheadGate(t *testing.T) {
+	dir := t.TempDir()
+	base := hotpathReport{}
+	base.Engine.NsPerInteraction = 100
+	basePath := filepath.Join(dir, "base.json")
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := base
+	fresh.SweepProgress = sweepProgressOverhead{Cells: 12, Trials: 4, BaseMs: 100, InstrumentedMs: 101, OverheadFrac: 0.01}
+	var out strings.Builder
+	if err := compareBaseline(&fresh, basePath, 0.25, &out); err != nil {
+		t.Errorf("1%% overhead failed the 2%% gate: %v\n%s", err, out.String())
+	}
+
+	hot := fresh
+	hot.SweepProgress.InstrumentedMs = 110
+	hot.SweepProgress.OverheadFrac = 0.10
+	out.Reset()
+	err = compareBaseline(&hot, basePath, 0.25, &out)
+	if err == nil || !strings.Contains(err.Error(), "progress instrumentation") {
+		t.Errorf("10%% overhead passed the gate: %v\n%s", err, out.String())
+	}
+
+	// No section at all (an old report): skipped, not failed.
+	out.Reset()
+	if err := compareBaseline(&base, basePath, 0.25, &out); err != nil {
+		t.Errorf("missing section failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("missing section not reported as skipped:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,413 @@
+package main
+
+// Fleet subcommands and live observability: coordinate (lease server +
+// final merge), work (lease-driven worker), status / watch (read-only
+// fleet dashboards over checkpoint journals), plus the shared grid-flag
+// set and the throttled stderr progress line.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"doda/internal/fleet"
+	"doda/internal/sweep"
+	"doda/internal/sweepd"
+)
+
+// gridFlags is the one definition of the sweep-grid flag set, shared by
+// the root run command and coordinate so a fleet is specified with the
+// exact flags a single-process run uses.
+type gridFlags struct {
+	scenarios, algs, sizes, prov *string
+	reps, max                    *int
+	seed                         *uint64
+}
+
+func addGridFlags(fs *flag.FlagSet) *gridFlags {
+	return &gridFlags{
+		scenarios: fs.String("scenarios", "uniform", "semicolon-separated scenarios, each name[:k=v,k2=v2] (see `dodascen list`)"),
+		algs:      fs.String("algs", "gathering", "comma-separated algorithms: "+strings.Join(sweep.AlgorithmNames(), " | ")),
+		sizes:     fs.String("n", "32", "comma-separated node counts"),
+		reps:      fs.Int("reps", 10, "seed replicas per cell"),
+		seed:      fs.Uint64("seed", 1, "grid seed; every cell seed derives from it deterministically"),
+		max:       fs.Int("max", 0, "interaction cap per run (0 = a generous scenario default)"),
+		prov:      fs.String("provenance", "auto", "engine provenance mode: auto | full | count | off (auto = full below n="+strconv.Itoa(sweep.AutoProvenanceThreshold)+", count-only above)"),
+	}
+}
+
+func (g *gridFlags) grid() (sweep.Grid, error) {
+	refs, err := sweep.ParseScenarios(*g.scenarios)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	ns, err := parseInts(*g.sizes)
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	return sweep.Grid{
+		Scenarios:       refs,
+		Algorithms:      splitList(*g.algs),
+		Sizes:           ns,
+		Replicas:        *g.reps,
+		Seed:            *g.seed,
+		MaxInteractions: *g.max,
+		Provenance:      *g.prov,
+	}, nil
+}
+
+// progressLine prints a throttled cells-done/ETA line to stderr as cell
+// results stream out. It deliberately never forces a final print: short
+// sweeps finish inside the throttle window and stay silent, and the
+// existing completion summary already reports totals.
+type progressLine struct {
+	w     io.Writer
+	total int
+	start time.Time
+
+	mu   sync.Mutex
+	last time.Time
+	done int
+}
+
+func newProgressLine(w io.Writer, total int) *progressLine {
+	now := time.Now()
+	return &progressLine{w: w, total: total, start: now, last: now}
+}
+
+func (p *progressLine) bump() {
+	p.mu.Lock()
+	p.done++
+	now := time.Now()
+	if now.Sub(p.last) >= 500*time.Millisecond && p.done < p.total {
+		p.last = now
+		elapsed := now.Sub(p.start).Seconds()
+		rate := float64(p.done) / elapsed
+		eta := "?"
+		if rate > 0 {
+			eta = (time.Duration(float64(p.total-p.done) / rate * float64(time.Second))).Round(time.Second).String()
+		}
+		fmt.Fprintf(p.w, "dodasweep: progress %d/%d cells, %.1f cells/sec, ETA %s\n", p.done, p.total, rate, eta)
+	}
+	p.mu.Unlock()
+}
+
+// runCoordinate implements the coordinate subcommand: serve shard leases
+// for the grid until every shard completes, then merge the shard
+// checkpoints and emit the byte-identical result stream.
+func runCoordinate(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("dodasweep coordinate", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	gf := addGridFlags(fs)
+	var (
+		shards   = fs.Int("shards", 2, "shard leases to split the grid into (each worker runs one at a time)")
+		dir      = fs.String("dir", "", "fleet root directory; shard i checkpoints into dir/shard-<i> (required)")
+		addr     = fs.String("addr", "127.0.0.1:0", "host:port to serve the lease protocol on (port 0 picks a free one)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (workers and scripts discover the coordinator through it)")
+		ttl      = fs.Duration("lease-ttl", 30*time.Second, "lease time-to-live without a heartbeat; must comfortably exceed the slowest cell's wall time")
+		summary  = fs.Bool("summary", false, "also print the fleet totals as a final JSON line on stdout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: dodasweep coordinate -shards M -dir fleet/ [grid flags] [-addr host:port] [-addr-file f] [-lease-ttl d]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("coordinate: -dir is required")
+	}
+	grid, err := gf.grid()
+	if err != nil {
+		return err
+	}
+	c, err := fleet.NewCoordinator(grid, fleet.CoordinatorOptions{
+		ShardCount: *shards,
+		Dir:        *dir,
+		LeaseTTL:   *ttl,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := c.Start(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(errw, "dodasweep coordinate: serving %d shard lease(s) on %s (lease TTL %s)\n", *shards, bound, *ttl)
+	if err := c.Wait(context.Background()); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "dodasweep coordinate: all %d shard(s) complete, merging\n", *shards)
+
+	results, totals, err := sweepd.Merge(c.ShardDirs())
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(errw, "dodasweep coordinate: %d cells, %d runs (%d terminated)\n",
+		totals.Cells, totals.Runs, totals.Terminated)
+	if *summary {
+		return enc.Encode(totals)
+	}
+	return nil
+}
+
+// runWork implements the work subcommand: lease shards from a
+// coordinator and execute them with checkpointing and heartbeats until
+// the fleet is done.
+func runWork(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("dodasweep work", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		coord       = fs.String("coord", "", "coordinator base URL (e.g. http://127.0.0.1:7700)")
+		addrFile    = fs.String("addr-file", "", "read the coordinator address from this file (written by coordinate -addr-file)")
+		addrTimeout = fs.Duration("addr-timeout", 10*time.Second, "how long to wait for -addr-file to appear")
+		workers     = fs.Int("workers", 0, "in-process sweep workers per leased shard (0 = all cores)")
+		perReplica  = fs.Bool("per-replica", false, "checkpoint every completed replica of the leased shards")
+		name        = fs.String("name", "", "worker name in leases and dashboards (default host:pid)")
+		quiet       = fs.Bool("quiet", false, "suppress the per-shard progress lines")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: dodasweep work (-coord URL | -addr-file f) [-workers N] [-per-replica] [-name s]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url, err := coordinatorURL(*coord, *addrFile, *addrTimeout)
+	if err != nil {
+		return err
+	}
+	opt := fleet.WorkerOptions{
+		Name:       *name,
+		Workers:    *workers,
+		PerReplica: *perReplica,
+	}
+	if !*quiet {
+		opt.OnProgress = func(shard int, p sweepd.Progress) {
+			fmt.Fprintf(errw, "dodasweep work: shard %d: %d/%d cells, %.0f interactions\n",
+				shard, p.CellsDone, p.CellsTotal, p.Interactions)
+		}
+	}
+	return fleet.Work(context.Background(), url, opt)
+}
+
+// coordinatorURL resolves the coordinator base URL from -coord or
+// -addr-file (whichever is given; the file wins a race by appearing).
+func coordinatorURL(coord, addrFile string, timeout time.Duration) (string, error) {
+	if coord != "" {
+		return coord, nil
+	}
+	if addrFile == "" {
+		return "", fmt.Errorf("need -coord URL or -addr-file f")
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		raw, err := os.ReadFile(addrFile)
+		if err == nil && len(strings.TrimSpace(string(raw))) > 0 {
+			return "http://" + strings.TrimSpace(string(raw)), nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return "", fmt.Errorf("waiting for %s: %w", addrFile, err)
+			}
+			return "", fmt.Errorf("%s still empty after %s", addrFile, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// expandFleetDirs widens each argument that is a fleet root (no
+// checkpoint of its own, but shard-* children) into its shard
+// directories, so `status fleet/` works as well as `status fleet/shard-*`.
+func expandFleetDirs(dirs []string) []string {
+	var out []string
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			out = append(out, dir)
+			continue
+		}
+		hasSeg, shardDirs := false, []string{}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") {
+				hasSeg = true
+			}
+			if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+				shardDirs = append(shardDirs, filepath.Join(dir, e.Name()))
+			}
+		}
+		if !hasSeg && len(shardDirs) > 0 {
+			sort.Strings(shardDirs)
+			out = append(out, shardDirs...)
+			continue
+		}
+		out = append(out, dir)
+	}
+	return out
+}
+
+// runStatus implements the status subcommand: one read-only snapshot of
+// a fleet's progress from its checkpoint journals (plus lease state when
+// a coordinator is reachable).
+func runStatus(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("dodasweep status", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		coord    = fs.String("coord", "", "also query this coordinator URL for lease and heartbeat state")
+		addrFile = fs.String("addr-file", "", "read the coordinator address from this file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: dodasweep status [-coord URL | -addr-file f] <checkpoint-dir|fleet-root>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dirs := expandFleetDirs(fs.Args())
+	if len(dirs) == 0 && *coord == "" && *addrFile == "" {
+		return fmt.Errorf("status: no checkpoint directories given")
+	}
+	watchers := make(map[string]*sweepd.Watcher, len(dirs))
+	_, err := renderStatus(out, dirs, watchers, *coord, *addrFile)
+	return err
+}
+
+// runWatch implements the watch subcommand: the status snapshot,
+// refreshed on an interval until every watched shard reports done (or
+// -count refreshes have printed).
+func runWatch(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("dodasweep watch", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		coord    = fs.String("coord", "", "also query this coordinator URL for lease and heartbeat state")
+		addrFile = fs.String("addr-file", "", "read the coordinator address from this file")
+		every    = fs.Duration("every", 2*time.Second, "refresh interval")
+		count    = fs.Int("count", 0, "stop after this many refreshes (0 = until the fleet is done)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: dodasweep watch [-every d] [-count N] [-coord URL | -addr-file f] <checkpoint-dir|fleet-root>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dirs := expandFleetDirs(fs.Args())
+	if len(dirs) == 0 {
+		return fmt.Errorf("watch: no checkpoint directories given")
+	}
+	watchers := make(map[string]*sweepd.Watcher, len(dirs))
+	for i := 0; ; i++ {
+		fmt.Fprintf(out, "--- %s\n", time.Now().Format("15:04:05"))
+		done, err := renderStatus(out, dirs, watchers, *coord, *addrFile)
+		if err != nil {
+			return err
+		}
+		if done || (*count > 0 && i+1 >= *count) {
+			return nil
+		}
+		time.Sleep(*every)
+	}
+}
+
+// renderStatus prints one dashboard snapshot and reports whether every
+// watched shard is complete. Watchers are reused across refreshes so
+// already-parsed immutable segments are never re-read.
+func renderStatus(out io.Writer, dirs []string, watchers map[string]*sweepd.Watcher, coord, addrFile string) (bool, error) {
+	allDone := len(dirs) > 0
+	var cellsDone, cellsTotal, transmissions int
+	var interactions float64
+	for _, dir := range dirs {
+		w := watchers[dir]
+		if w == nil {
+			w = sweepd.NewWatcher(dir)
+			watchers[dir] = w
+		}
+		snap, err := w.Snapshot()
+		if errors.Is(err, sweepd.ErrNoCheckpoint) {
+			fmt.Fprintf(out, "%s: no checkpoint yet\n", dir)
+			allDone = false
+			continue
+		}
+		if err != nil {
+			return false, fmt.Errorf("status: %s: %w", dir, err)
+		}
+		cellsDone += snap.CellsDone
+		cellsTotal += snap.CellsTotal
+		interactions += snap.Interactions
+		transmissions += snap.Transmissions
+		line := fmt.Sprintf("%s: shard %d/%d: %d/%d cells",
+			dir, snap.Header.ShardIndex, snap.Header.ShardCount, snap.CellsDone, snap.CellsTotal)
+		if snap.ReplicasDone > 0 {
+			line += fmt.Sprintf(" (+%d replicas in flight)", snap.ReplicasDone)
+		}
+		line += fmt.Sprintf(", %.3g interactions", snap.Interactions)
+		if p := snap.Progress; p != nil && p.ElapsedMs > 0 && p.FreshCells > 0 {
+			rate := float64(p.FreshCells) / (p.ElapsedMs / 1000)
+			line += fmt.Sprintf(", %.1f cells/sec", rate)
+			if left := snap.CellsTotal - snap.CellsDone; left > 0 && rate > 0 {
+				line += fmt.Sprintf(", ETA %s", (time.Duration(float64(left) / rate * float64(time.Second))).Round(time.Second))
+			}
+		}
+		if snap.CellsDone == snap.CellsTotal {
+			line += " [done]"
+		} else {
+			allDone = false
+		}
+		fmt.Fprintln(out, line)
+	}
+	if len(dirs) > 1 {
+		fmt.Fprintf(out, "fleet: %d/%d cells, %.3g interactions, %d transmissions\n",
+			cellsDone, cellsTotal, interactions, transmissions)
+	}
+	if coord != "" || addrFile != "" {
+		url, err := coordinatorURL(coord, addrFile, time.Second)
+		if err != nil {
+			return false, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		st, err := fleet.FetchStatus(ctx, nil, url)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(out, "coordinator: unreachable (%v)\n", err)
+		} else {
+			fmt.Fprintf(out, "coordinator: fingerprint %.12s, %d/%d shards done\n",
+				st.Fingerprint, st.Done, st.ShardCount)
+			for _, s := range st.Shards {
+				row := fmt.Sprintf("  shard %d: %s", s.Shard, s.State)
+				if s.Worker != "" {
+					row += " by " + s.Worker
+				}
+				if s.HeartbeatAgeMs >= 0 {
+					row += fmt.Sprintf(", heartbeat %.1fs ago", s.HeartbeatAgeMs/1000)
+				}
+				if s.Retries > 0 {
+					row += fmt.Sprintf(", %d retries", s.Retries)
+				}
+				fmt.Fprintln(out, row)
+			}
+		}
+	}
+	return allDone, nil
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fleetGridArgs is a small multi-scenario grid used by the fleet CLI
+// tests; identical flags drive both the fleet and the single-process
+// reference run.
+var fleetGridArgs = []string{
+	"-scenarios", "uniform;churn", "-algs", "waiting,gathering",
+	"-n", "4,6,8", "-reps", "2", "-seed", "321",
+}
+
+// TestCoordinateWorkEndToEnd drives the whole fleet path through the
+// CLI: a coordinator with 3 shards, two workers discovering it via
+// -addr-file, and the merged stdout byte-identical to a plain
+// single-process sweep with the same grid flags.
+func TestCoordinateWorkEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	fleetDir := filepath.Join(dir, "fleet")
+
+	var coordOut bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var coordErr error
+	go func() {
+		defer wg.Done()
+		coordErr = run(append([]string{
+			"coordinate", "-shards", "3", "-dir", fleetDir,
+			"-addr-file", addrFile, "-summary",
+		}, fleetGridArgs...), &coordOut, io.Discard)
+	}()
+
+	workErrs := make([]error, 2)
+	for i := range workErrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			workErrs[i] = run([]string{
+				"work", "-addr-file", addrFile, "-workers", "2", "-quiet",
+			}, io.Discard, io.Discard)
+		}()
+	}
+	wg.Wait()
+	if coordErr != nil {
+		t.Fatalf("coordinate: %v", coordErr)
+	}
+	for i, err := range workErrs {
+		// A worker that arrives after a fast fleet already finished (and
+		// the coordinator exited) gets connection-refused on first
+		// contact; with this tiny grid that race is expected.
+		if err != nil && !strings.Contains(err.Error(), "cannot reach coordinator") {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	want := sweepOut(t, append([]string{"-workers", "1", "-summary", "-quiet"}, fleetGridArgs...))
+	if got := coordOut.String(); got != want {
+		t.Errorf("fleet output differs from single-process run:\n--- fleet ---\n%s\n--- single ---\n%s", got, want)
+	}
+
+	// The finished fleet renders a status dashboard from its journals.
+	var status bytes.Buffer
+	if err := run([]string{"status", fleetDir}, &status, io.Discard); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	s := status.String()
+	if strings.Count(s, "[done]") != 3 {
+		t.Errorf("status should show 3 done shards:\n%s", s)
+	}
+	if !strings.Contains(s, "fleet:") {
+		t.Errorf("status lacks the fleet summary line:\n%s", s)
+	}
+
+	// watch with -count exits after one refresh even on a done fleet.
+	var watch bytes.Buffer
+	if err := run([]string{"watch", "-count", "1", "-every", "10ms", fleetDir}, &watch, io.Discard); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if !strings.Contains(watch.String(), "[done]") {
+		t.Errorf("watch output lacks done markers:\n%s", watch.String())
+	}
+
+	// Partial analysis of a *complete* fleet still works via the fleet root.
+	var md bytes.Buffer
+	if err := run([]string{"analyze", "-partial", "-bootstrap", "0", fleetDir}, &md, io.Discard); err != nil {
+		t.Fatalf("analyze -partial: %v", err)
+	}
+	if !strings.Contains(md.String(), "Partial analysis") {
+		t.Errorf("partial analysis lacks its banner:\n%.400s", md.String())
+	}
+}
+
+// TestStatusBeforeCheckpoint covers the empty-directory path: status
+// must report "no checkpoint yet" rather than erroring.
+func TestStatusBeforeCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"status", dir}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no checkpoint yet") {
+		t.Errorf("got %q, want a 'no checkpoint yet' line", out.String())
+	}
+}
+
+// TestExpandFleetDirs checks fleet-root widening: a directory holding
+// shard-* children expands to them in order, while a checkpoint
+// directory (or anything unreadable) passes through untouched.
+func TestExpandFleetDirs(t *testing.T) {
+	root := t.TempDir()
+	for _, name := range []string{"shard-001", "shard-000", "notes"} {
+		if err := os.MkdirAll(filepath.Join(root, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := expandFleetDirs([]string{root, "missing-dir"})
+	want := []string{
+		filepath.Join(root, "shard-000"),
+		filepath.Join(root, "shard-001"),
+		"missing-dir",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+
+	// A directory with its own segments is a checkpoint, not a root.
+	ckpt := t.TempDir()
+	if err := os.WriteFile(filepath.Join(ckpt, "seg-000000.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(ckpt, "shard-000"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got := expandFleetDirs([]string{ckpt}); len(got) != 1 || got[0] != ckpt {
+		t.Fatalf("checkpoint dir was expanded: %v", got)
+	}
+}
+
+// TestFleetCmdFlagErrors pins the usage errors of the fleet subcommands.
+func TestFleetCmdFlagErrors(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		args []string
+	}{
+		{name: "coordinate without dir", args: []string{"coordinate", "-shards", "2"}},
+		{name: "work without coordinator", args: []string{"work"}},
+		{name: "status without dirs", args: []string{"status"}},
+		{name: "watch without dirs", args: []string{"watch"}},
+		{name: "per-replica without checkpoint", args: []string{"-per-replica"}},
+		{name: "partial with results file", args: []string{"analyze", "-partial", "-results", "x.jsonl"}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, io.Discard, io.Discard); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+// TestWorkAddrFileTimeout bounds the worker's wait for a coordinator
+// address that never appears.
+func TestWorkAddrFileTimeout(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-written")
+	err := run([]string{"work", "-addr-file", missing, "-addr-timeout", "100ms"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+}
+
+// TestProgressLineThrottles exercises the stderr progress line: silent
+// inside the throttle window, one line after it, and silent on the final
+// cell (the completion summary covers it).
+func TestProgressLineThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgressLine(&buf, 100)
+	p.bump()
+	if buf.Len() != 0 {
+		t.Fatalf("printed inside the throttle window: %q", buf.String())
+	}
+	p.last = time.Now().Add(-time.Second) // age past the throttle
+	p.bump()
+	line := buf.String()
+	if !strings.Contains(line, "2/100 cells") || !strings.Contains(line, "ETA") {
+		t.Fatalf("got %q, want a done/total + ETA line", line)
+	}
+	buf.Reset()
+	p.done = 99
+	p.last = time.Now().Add(-time.Second)
+	p.bump()
+	if buf.Len() != 0 {
+		t.Fatalf("printed on the final cell: %q", buf.String())
+	}
+}
+
+// TestQuietSuppressesProgress runs a real sweep with -quiet and checks
+// stderr carries only the banner and summary, no progress lines.
+func TestQuietSuppressesProgress(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{
+		"-scenarios", "uniform", "-algs", "waiting", "-n", "4", "-reps", "1", "-quiet",
+	}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errw.String(), "progress") {
+		t.Errorf("-quiet still printed progress:\n%s", errw.String())
+	}
+}

@@ -20,7 +20,17 @@
 // single-parameter monotone trends, and renders a deterministic markdown
 // report (or JSON with -json). Checkpoints are validated by the same
 // path merge uses, so stale or foreign journals fail identically in
-// both.
+// both. -partial analyzes an unfinished fleet over its complete cells,
+// annotating per-group coverage.
+//
+// The fleet subcommands replace hand-run shards with a lease protocol:
+// coordinate serves shard leases over HTTP and merges when every shard
+// completes; work leases shards, heartbeats, and checkpoints until the
+// fleet is done (a worker that dies silently has its lease requeued);
+// status and watch render a live dashboard from the checkpoint journals
+// without disturbing the writers. The merged output stays byte-identical
+// to a single-process run regardless of worker count, scheduling, or
+// mid-shard retries — see internal/fleet for the protocol contract.
 //
 // Usage:
 //
@@ -34,6 +44,11 @@
 //	dodasweep merge -summary s0/ s1/ s2/             # stitch the shards back together
 //	dodasweep analyze run1/                          # scaling-law report from a checkpoint
 //	dodasweep analyze -json s0/ s1/ s2/              # same analysis over a whole shard fleet
+//	dodasweep coordinate -shards 4 -dir fleet/ -addr-file fleet/addr ... > out.jsonl
+//	dodasweep work -addr-file fleet/addr             # as many of these as you have cores/hosts
+//	dodasweep status fleet/ -addr-file fleet/addr    # one dashboard snapshot
+//	dodasweep watch -every 2s fleet/                 # refresh until the fleet is done
+//	dodasweep analyze -partial fleet/                # scaling laws over the cells done so far
 package main
 
 import (
@@ -61,27 +76,33 @@ func main() {
 }
 
 func run(args []string, out, errw io.Writer) error {
-	if len(args) > 0 && args[0] == "merge" {
-		return runMerge(args[1:], out, errw)
-	}
-	if len(args) > 0 && args[0] == "analyze" {
-		return runAnalyze(args[1:], out, errw)
+	if len(args) > 0 {
+		switch args[0] {
+		case "merge":
+			return runMerge(args[1:], out, errw)
+		case "analyze":
+			return runAnalyze(args[1:], out, errw)
+		case "coordinate":
+			return runCoordinate(args[1:], out, errw)
+		case "work":
+			return runWork(args[1:], out, errw)
+		case "status":
+			return runStatus(args[1:], out, errw)
+		case "watch":
+			return runWatch(args[1:], out, errw)
+		}
 	}
 	fs := flag.NewFlagSet("dodasweep", flag.ContinueOnError)
 	fs.SetOutput(errw)
+	gf := addGridFlags(fs)
 	var (
-		scenarios  = fs.String("scenarios", "uniform", "semicolon-separated scenarios, each name[:k=v,k2=v2] (see `dodascen list`)")
-		algs       = fs.String("algs", "gathering", "comma-separated algorithms: "+strings.Join(sweep.AlgorithmNames(), " | "))
-		sizes      = fs.String("n", "32", "comma-separated node counts")
-		reps       = fs.Int("reps", 10, "seed replicas per cell")
-		seed       = fs.Uint64("seed", 1, "grid seed; every cell seed derives from it deterministically")
-		max        = fs.Int("max", 0, "interaction cap per run (0 = a generous scenario default)")
 		workers    = fs.Int("workers", 0, "worker shards (0 = all cores)")
 		summary    = fs.Bool("summary", false, "also print the fleet totals as a final JSON line on stdout")
-		prov       = fs.String("provenance", "auto", "engine provenance mode: auto | full | count | off (auto = full below n="+strconv.Itoa(sweep.AutoProvenanceThreshold)+", count-only above)")
+		quiet      = fs.Bool("quiet", false, "suppress the throttled stderr progress line")
 		checkpoint = fs.String("checkpoint", "", "journal every completed cell to this directory (crc-guarded JSONL segments); must not already hold a checkpoint")
 		resume     = fs.String("resume", "", "resume from the checkpoint in this directory: skip journaled cells, keep journaling, re-emit the full byte-identical stream (grid flags must match, or the stale checkpoint is rejected)")
 		shard      = fs.String("shard", "", "run only shard i of m disjoint cell shards, as i/m (e.g. 0/3); pair with -checkpoint and stitch with the merge subcommand")
+		perReplica = fs.Bool("per-replica", false, "checkpoint every completed replica, not just whole cells (needs -checkpoint/-resume); resume stays byte-identical — worth it when single cells run for minutes")
 		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memProf    = fs.String("memprofile", "", "write a pprof heap profile after the sweep to this file")
 	)
@@ -121,22 +142,9 @@ func run(args []string, out, errw io.Writer) error {
 		}()
 	}
 
-	refs, err := sweep.ParseScenarios(*scenarios)
+	grid, err := gf.grid()
 	if err != nil {
 		return err
-	}
-	ns, err := parseInts(*sizes)
-	if err != nil {
-		return err
-	}
-	grid := sweep.Grid{
-		Scenarios:       refs,
-		Algorithms:      splitList(*algs),
-		Sizes:           ns,
-		Replicas:        *reps,
-		Seed:            *seed,
-		MaxInteractions: *max,
-		Provenance:      *prov,
 	}
 	cells, err := grid.Cells()
 	if err != nil {
@@ -163,7 +171,7 @@ func run(args []string, out, errw io.Writer) error {
 		w = mine
 	}
 	fmt.Fprintf(errw, "dodasweep: %d cells (%d scenarios × %d algorithms × %d sizes), %d replicas each, %d workers",
-		len(cells), len(refs), len(grid.Algorithms), len(ns), grid.Replicas, w)
+		len(cells), len(grid.Scenarios), len(grid.Algorithms), len(grid.Sizes), grid.Replicas, w)
 	if shardCount > 1 {
 		fmt.Fprintf(errw, ", shard %d/%d (%d cells)", shardIndex, shardCount, mine)
 	}
@@ -174,6 +182,17 @@ func run(args []string, out, errw io.Writer) error {
 	// silently lost.
 	enc := json.NewEncoder(out)
 	emit := func(r sweep.CellResult) error { return enc.Encode(r) }
+	if !*quiet {
+		prog := newProgressLine(errw, mine)
+		inner := emit
+		emit = func(r sweep.CellResult) error {
+			if err := inner(r); err != nil {
+				return err
+			}
+			prog.bump()
+			return nil
+		}
+	}
 
 	var (
 		results []sweep.CellResult
@@ -183,6 +202,9 @@ func run(args []string, out, errw io.Writer) error {
 	if *resume != "" {
 		dir, resuming = *resume, true
 	}
+	if *perReplica && dir == "" {
+		return fmt.Errorf("-per-replica needs -checkpoint or -resume (it tunes checkpoint granularity)")
+	}
 	start := time.Now()
 	if dir != "" {
 		results, totals, err = sweepd.Run(grid, dir, sweepd.Options{
@@ -190,6 +212,7 @@ func run(args []string, out, errw io.Writer) error {
 			ShardIndex: shardIndex,
 			ShardCount: shardCount,
 			Resume:     resuming,
+			PerReplica: *perReplica,
 			OnResult:   emit,
 		})
 	} else {
@@ -269,6 +292,7 @@ func runAnalyze(args []string, out, errw io.Writer) error {
 		bootstrap = fs.Int("bootstrap", 1000, "residual-bootstrap resamples behind every confidence interval (0 disables CIs)")
 		seed      = fs.Uint64("seed", 1, "bootstrap resampling seed; same input and seed, same report bytes")
 		results   = fs.String("results", "", "analyze this saved JSONL results file (dodasweep stdout) instead of checkpoint directories")
+		partial   = fs.Bool("partial", false, "analyze an unfinished fleet: fit over the complete cells only, annotating coverage per group (directories may cover only some shards)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(errw, "usage: dodasweep analyze [-json] [-bootstrap N] [-seed N] <checkpoint-dir>...")
@@ -292,6 +316,9 @@ func runAnalyze(args []string, out, errw io.Writer) error {
 		if fs.NArg() > 0 {
 			return fmt.Errorf("analyze: -results and checkpoint directories are mutually exclusive")
 		}
+		if *partial {
+			return fmt.Errorf("analyze: -partial reads checkpoint directories, not -results files")
+		}
 		f, ferr := os.Open(*results)
 		if ferr != nil {
 			return ferr
@@ -307,7 +334,11 @@ func runAnalyze(args []string, out, errw io.Writer) error {
 		if len(dirs) == 0 {
 			return fmt.Errorf("analyze: no checkpoint directories given (or use -results <file.jsonl>)")
 		}
-		a, err = analysis.AnalyzeCheckpoint(dirs, opt)
+		if *partial {
+			a, err = analysis.AnalyzeCheckpointPartial(expandFleetDirs(dirs), opt)
+		} else {
+			a, err = analysis.AnalyzeCheckpoint(dirs, opt)
+		}
 	}
 	if err != nil {
 		return err

@@ -68,6 +68,13 @@ type GroupFit struct {
 	Law *LawFit `json:"law,omitempty"`
 	// Note explains a missing Law.
 	Note string `json:"note,omitempty"`
+	// CoverageDone/CoverageTotal count the group's complete cells
+	// against the grid's sizes, and MissingSizes lists the sizes still
+	// outstanding. Set only by partial analyses (AnalyzeCheckpointPartial);
+	// a complete analysis leaves them zero.
+	CoverageDone  int   `json:"coverage_done,omitempty"`
+	CoverageTotal int   `json:"coverage_total,omitempty"`
+	MissingSizes  []int `json:"missing_sizes,omitempty"`
 }
 
 // MatchesPrediction reports whether the AIC selection agrees with the
@@ -112,6 +119,11 @@ type Analysis struct {
 	// Grid is the sweep grid, when known (checkpoint-backed analyses
 	// carry it; raw result streams do not).
 	Grid *sweep.Grid `json:"grid,omitempty"`
+	// Partial marks an analysis over an unfinished fleet: fits cover
+	// only the complete cells, and CellsTotal is the grid's full cell
+	// count (Cells of them were complete at read time).
+	Partial    bool `json:"partial,omitempty"`
+	CellsTotal int  `json:"cells_total,omitempty"`
 	// Groups are the per-(scenario, algorithm) fits, sorted by scenario
 	// then algorithm.
 	Groups []GroupFit `json:"groups"`
@@ -208,6 +220,87 @@ func AnalyzeCheckpoint(dirs []string, opt Options) (*Analysis, error) {
 	grid := header.Grid
 	a.Grid = &grid
 	return a, nil
+}
+
+// AnalyzeCheckpointPartial analyzes however much of a fleet exists right
+// now: the directories may cover only some shards and any shard may be
+// mid-run. The scaling-law fits run over the complete cells only —
+// which, by the cell-seed contract, are byte-identical to what the
+// finished sweep will contain — and every (scenario, algorithm) group is
+// annotated with its coverage so a reader can tell a converged estimate
+// from one resting on two sizes. Groups with no complete cells yet still
+// appear, with their full missing-size list.
+func AnalyzeCheckpointPartial(dirs []string, opt Options) (*Analysis, error) {
+	header, results, total, err := sweepd.LoadFleetPartial(dirs)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("analysis: no complete cells journaled yet")
+	}
+	a, err := Analyze(results, opt)
+	if err != nil {
+		return nil, err
+	}
+	grid := header.Grid
+	a.Grid = &grid
+	a.Partial = true
+	a.CellsTotal = total
+	annotateCoverage(a, grid)
+	return a, nil
+}
+
+// annotateCoverage fills the per-group coverage counters of a partial
+// analysis against the grid's cross product, adding rows for groups with
+// no complete cells at all.
+func annotateCoverage(a *Analysis, grid sweep.Grid) {
+	type key struct{ scenario, algorithm string }
+	have := make(map[key]*GroupFit, len(a.Groups))
+	for i := range a.Groups {
+		g := &a.Groups[i]
+		have[key{g.Scenario, g.Algorithm}] = g
+	}
+	for _, ref := range grid.Scenarios {
+		for _, alg := range grid.Algorithms {
+			k := key{ref.String(), alg}
+			g, ok := have[k]
+			if !ok {
+				a.Groups = append(a.Groups, GroupFit{
+					Scenario: k.scenario, Algorithm: k.algorithm,
+					Predicted:     PredictedModel(alg),
+					Note:          "no complete cells yet",
+					CoverageTotal: len(grid.Sizes),
+					MissingSizes:  append([]int(nil), grid.Sizes...),
+				})
+				continue
+			}
+			// A size is covered when its cell is complete — whether or
+			// not it was usable for fitting (SkippedSizes are complete
+			// cells with no terminated replica).
+			done := make(map[int]bool, len(g.Points)+len(g.SkippedSizes))
+			for _, p := range g.Points {
+				done[p.N] = true
+			}
+			for _, n := range g.SkippedSizes {
+				done[n] = true
+			}
+			g.CoverageTotal = len(grid.Sizes)
+			for _, n := range grid.Sizes {
+				if done[n] {
+					g.CoverageDone++
+				} else {
+					g.MissingSizes = append(g.MissingSizes, n)
+				}
+			}
+			sort.Ints(g.MissingSizes)
+		}
+	}
+	sort.Slice(a.Groups, func(i, j int) bool {
+		if a.Groups[i].Scenario != a.Groups[j].Scenario {
+			return a.Groups[i].Scenario < a.Groups[j].Scenario
+		}
+		return a.Groups[i].Algorithm < a.Groups[j].Algorithm
+	})
 }
 
 // extractTrends finds every (scenario name, algorithm, n) family whose

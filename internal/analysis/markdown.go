@@ -38,6 +38,10 @@ func ci(lo, hi float64) string {
 func WriteMarkdown(w io.Writer, a *Analysis) error {
 	bw := &errWriter{w: w}
 	bw.printf("# Scaling-law report\n\n")
+	if a.Partial {
+		bw.printf("**Partial analysis**: the fleet is not finished — fits cover the %d of %d cells complete so far. Complete cells are final (the cell-seed contract), but group estimates may shift as coverage grows.\n\n",
+			a.Cells, a.CellsTotal)
+	}
 	bw.printf("- cells analysed: %d\n", a.Cells)
 	if a.Bootstrap > 0 {
 		bw.printf("- confidence intervals: %d residual-bootstrap resamples, seed %d, 95%% t-intervals\n",
@@ -56,6 +60,14 @@ func WriteMarkdown(w io.Writer, a *Analysis) error {
 	for gi := range a.Groups {
 		g := &a.Groups[gi]
 		bw.printf("\n## %s / %s\n\n", g.Scenario, g.Algorithm)
+		if a.Partial {
+			if len(g.MissingSizes) > 0 {
+				bw.printf("Coverage: %d/%d sizes complete (missing n: %s).\n\n",
+					g.CoverageDone, g.CoverageTotal, intList(g.MissingSizes))
+			} else {
+				bw.printf("Coverage: %d/%d sizes complete.\n\n", g.CoverageDone, g.CoverageTotal)
+			}
+		}
 		if g.Predicted != "" {
 			bw.printf("Paper prediction: `%s`.", g.Predicted)
 			if g.Law != nil {

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"doda/internal/sweep"
+	"doda/internal/sweepd"
+)
+
+// TestAnalyzeCheckpointPartial runs only one shard of a two-shard fleet
+// and analyzes the half-finished fleet: fits must cover the complete
+// cells, every group must be coverage-annotated, and absent groups must
+// still appear.
+func TestAnalyzeCheckpointPartial(t *testing.T) {
+	grid := sweep.Grid{
+		Scenarios:  []sweep.ScenarioRef{{Name: "uniform"}, {Name: "churn"}},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      []int{4, 6, 8, 10, 12},
+		Replicas:   2,
+		Seed:       4242,
+	}
+	dir := t.TempDir()
+	if _, _, err := sweepd.Run(grid, dir, sweepd.Options{
+		Workers: 2, ShardIndex: 0, ShardCount: 2, ProgressEvery: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := Options{Bootstrap: -1, Seed: 1}
+	a, err := AnalyzeCheckpointPartial([]string{dir}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Partial {
+		t.Fatal("analysis not marked partial")
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CellsTotal != len(cells) {
+		t.Fatalf("CellsTotal=%d, want %d", a.CellsTotal, len(cells))
+	}
+	if a.Cells == 0 || a.Cells >= len(cells) {
+		t.Fatalf("one shard should hold some but not all cells, got %d/%d", a.Cells, len(cells))
+	}
+	if want := len(grid.Scenarios) * len(grid.Algorithms); len(a.Groups) != want {
+		t.Fatalf("groups=%d, want every grid group (%d)", len(a.Groups), want)
+	}
+	coveredCells := 0
+	for _, g := range a.Groups {
+		if g.CoverageTotal != len(grid.Sizes) {
+			t.Fatalf("group %s/%s coverage total %d, want %d", g.Scenario, g.Algorithm, g.CoverageTotal, len(grid.Sizes))
+		}
+		if g.CoverageDone+len(g.MissingSizes) != g.CoverageTotal {
+			t.Fatalf("group %s/%s coverage %d + missing %d != total %d",
+				g.Scenario, g.Algorithm, g.CoverageDone, len(g.MissingSizes), g.CoverageTotal)
+		}
+		coveredCells += g.CoverageDone
+	}
+	if coveredCells != a.Cells {
+		t.Fatalf("group coverage sums to %d, analysis saw %d cells", coveredCells, a.Cells)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	if !strings.Contains(md, "Partial analysis") {
+		t.Fatal("markdown lacks the partial banner")
+	}
+	if !strings.Contains(md, "Coverage:") {
+		t.Fatal("markdown lacks coverage annotations")
+	}
+
+	// The complete-fleet path must still refuse a partial fleet.
+	if _, err := AnalyzeCheckpoint([]string{dir}, opt); err == nil {
+		t.Fatal("AnalyzeCheckpoint accepted an incomplete fleet")
+	}
+}
+
+// TestPartialAnnotationsAbsentFromCompleteAnalysis pins the golden-file
+// contract: a complete analysis carries no partial markers, so the
+// non-partial markdown is byte-identical to before the partial layer
+// existed.
+func TestPartialAnnotationsAbsentFromCompleteAnalysis(t *testing.T) {
+	grid := sweep.Grid{
+		Scenarios:  []sweep.ScenarioRef{{Name: "uniform"}},
+		Algorithms: []string{"waiting"},
+		Sizes:      []int{4, 6, 8},
+		Replicas:   2,
+		Seed:       7,
+	}
+	dir := t.TempDir()
+	if _, _, err := sweepd.Run(grid, dir, sweepd.Options{Workers: 1, ProgressEvery: -1}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeCheckpoint([]string{dir}, Options{Bootstrap: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Partial || a.CellsTotal != 0 {
+		t.Fatalf("complete analysis marked partial: %+v", a)
+	}
+	for _, g := range a.Groups {
+		if g.CoverageTotal != 0 || g.CoverageDone != 0 || g.MissingSizes != nil {
+			t.Fatalf("complete analysis group carries coverage: %+v", g)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Partial analysis") || strings.Contains(buf.String(), "Coverage:") {
+		t.Fatal("complete markdown contains partial annotations")
+	}
+}

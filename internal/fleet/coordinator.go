@@ -1,0 +1,357 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"doda/internal/sweep"
+)
+
+// CoordinatorOptions tunes a fleet coordinator.
+type CoordinatorOptions struct {
+	// ShardCount is the number of shard leases the grid is split into
+	// (each worker runs one shard at a time).
+	ShardCount int
+	// Dir is the fleet's root directory; shard i checkpoints into
+	// Dir/shard-<i>.
+	Dir string
+	// LeaseTTL is how long a lease survives without a heartbeat before
+	// its shard is requeued (default 30s). It must comfortably exceed
+	// the wall time of the slowest cell — a worker only notices a
+	// revocation at a checkpoint boundary.
+	LeaseTTL time.Duration
+	// RetryEvery is the backoff hint returned when all shards are leased
+	// (default LeaseTTL/4).
+	RetryEvery time.Duration
+}
+
+// shard lease states.
+const (
+	statePending = "pending"
+	stateLeased  = "leased"
+	stateDone    = "done"
+)
+
+// shardState is the coordinator's record of one shard.
+type shardState struct {
+	state    string
+	worker   string
+	leaseID  string
+	expires  time.Time
+	lastBeat time.Time
+	retries  int
+	dir      string
+}
+
+// Coordinator owns the shard partition table of one grid and serves the
+// lease protocol. Create with NewCoordinator, then Start/Wait/Close.
+type Coordinator struct {
+	grid        sweep.Grid
+	fingerprint string
+	opt         CoordinatorOptions
+
+	mu       sync.Mutex
+	shards   []*shardState
+	byLease  map[string]int
+	leaseSeq int
+	doneOnce sync.Once
+	doneCh   chan struct{}
+
+	srv    *http.Server
+	lis    net.Listener
+	stopHB chan struct{}
+}
+
+// NewCoordinator validates the grid and builds the partition table.
+func NewCoordinator(grid sweep.Grid, opt CoordinatorOptions) (*Coordinator, error) {
+	if opt.ShardCount < 1 {
+		return nil, fmt.Errorf("fleet: shard count %d < 1", opt.ShardCount)
+	}
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("fleet: empty fleet directory")
+	}
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 30 * time.Second
+	}
+	if opt.RetryEvery <= 0 {
+		opt.RetryEvery = opt.LeaseTTL / 4
+	}
+	fp, err := grid.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := grid.Cells(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		grid:        grid,
+		fingerprint: fp,
+		opt:         opt,
+		shards:      make([]*shardState, opt.ShardCount),
+		byLease:     make(map[string]int),
+		doneCh:      make(chan struct{}),
+		stopHB:      make(chan struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shardState{
+			state: statePending,
+			dir:   filepath.Join(opt.Dir, fmt.Sprintf("shard-%03d", i)),
+		}
+	}
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/lease", c.handleLease)
+	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/complete", c.handleComplete)
+	mux.HandleFunc("/v1/status", c.handleStatus)
+	return mux
+}
+
+// Start listens on addr (host:port; port 0 picks a free one), serves the
+// API in the background, and runs the lease-expiry loop. It returns the
+// bound address.
+func (c *Coordinator) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	c.lis = lis
+	c.srv = &http.Server{Handler: c.Handler()}
+	go c.srv.Serve(lis)
+	go c.expiryLoop()
+	return lis.Addr().String(), nil
+}
+
+// expiryLoop requeues shards whose leases stopped heartbeating.
+func (c *Coordinator) expiryLoop() {
+	period := c.opt.LeaseTTL / 4
+	if period > time.Second {
+		period = time.Second
+	}
+	if period <= 0 {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopHB:
+			return
+		case <-c.doneCh:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			c.expireLocked(now)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// expireLocked requeues every leased shard whose lease has expired.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for _, s := range c.shards {
+		if s.state == stateLeased && now.After(s.expires) {
+			delete(c.byLease, s.leaseID)
+			s.state = statePending
+			s.worker = ""
+			s.leaseID = ""
+			s.retries++
+		}
+	}
+}
+
+// Wait blocks until every shard completes or the context is cancelled.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the server and the expiry loop.
+func (c *Coordinator) Close() error {
+	close(c.stopHB)
+	if c.srv != nil {
+		return c.srv.Close()
+	}
+	return nil
+}
+
+// ShardDirs lists every shard's checkpoint directory in shard order —
+// the merge input once Wait returns.
+func (c *Coordinator) ShardDirs() []string {
+	dirs := make([]string, len(c.shards))
+	for i, s := range c.shards {
+		dirs[i] = s.dir
+	}
+	return dirs
+}
+
+// Status snapshots the fleet for the dashboard.
+func (c *Coordinator) Status() FleetStatus {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	st := FleetStatus{
+		Fingerprint: c.fingerprint,
+		ShardCount:  len(c.shards),
+		Shards:      make([]ShardStatus, len(c.shards)),
+	}
+	for i, s := range c.shards {
+		row := ShardStatus{
+			Shard:          i,
+			State:          s.state,
+			Worker:         s.worker,
+			HeartbeatAgeMs: -1,
+			Retries:        s.retries,
+			Dir:            s.dir,
+		}
+		if s.state == stateLeased {
+			row.HeartbeatAgeMs = float64(now.Sub(s.lastBeat).Nanoseconds()) / 1e6
+		}
+		if s.state == stateDone {
+			st.Done++
+		}
+		st.Shards[i] = row
+	}
+	return st
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.expireLocked(now)
+	resp := LeaseResponse{Status: StatusDone}
+	allDone := true
+	for i, s := range c.shards {
+		if s.state == stateDone {
+			continue
+		}
+		allDone = false
+		if s.state != statePending {
+			continue
+		}
+		c.leaseSeq++
+		s.state = stateLeased
+		s.worker = req.Worker
+		s.leaseID = fmt.Sprintf("s%d-e%d", i, c.leaseSeq)
+		s.expires = now.Add(c.opt.LeaseTTL)
+		s.lastBeat = now
+		c.byLease[s.leaseID] = i
+		resp = LeaseResponse{
+			Status:     StatusLease,
+			Shard:      i,
+			ShardCount: len(c.shards),
+			LeaseID:    s.leaseID,
+			TTLMs:      c.opt.LeaseTTL.Milliseconds(),
+			Dir:        s.dir,
+			Grid:       c.grid,
+		}
+		break
+	}
+	if allDone {
+		resp = LeaseResponse{Status: StatusDone}
+	} else if resp.Status == StatusDone {
+		resp = LeaseResponse{Status: StatusWait, RetryMs: c.opt.RetryEvery.Milliseconds()}
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.expireLocked(now)
+	i, ok := c.byLease[req.LeaseID]
+	if ok {
+		s := c.shards[i]
+		s.expires = now.Add(c.opt.LeaseTTL)
+		s.lastBeat = now
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusGone, OKResponse{Status: "revoked"})
+		return
+	}
+	writeJSON(w, http.StatusOK, OKResponse{Status: "ok"})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.expireLocked(now)
+	i, ok := c.byLease[req.LeaseID]
+	if ok {
+		s := c.shards[i]
+		delete(c.byLease, s.leaseID)
+		s.state = stateDone
+		s.worker = ""
+		s.leaseID = ""
+		if req.Dir != "" {
+			s.dir = req.Dir
+		}
+		done := 0
+		for _, sh := range c.shards {
+			if sh.state == stateDone {
+				done++
+			}
+		}
+		if done == len(c.shards) {
+			c.doneOnce.Do(func() { close(c.doneCh) })
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusGone, OKResponse{Status: "revoked"})
+		return
+	}
+	writeJSON(w, http.StatusOK, OKResponse{Status: "ok"})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// decodeJSON parses a request body, answering 400 on garbage (an empty
+// body reads as the zero value). Returns false when the response is
+// already written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

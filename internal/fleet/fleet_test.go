@@ -1,0 +1,300 @@
+package fleet
+
+// Fleet differential tests: a coordinator handing shard leases to
+// in-process workers must merge to output byte-identical to a plain
+// single-process sweep — including when a worker dies mid-shard and its
+// lease is requeued to a survivor.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"doda/internal/sweep"
+	"doda/internal/sweepd"
+)
+
+// testGrid is small enough for fast fleets but spans scenarios and
+// algorithms so shard hashes land everywhere.
+func testGrid() sweep.Grid {
+	sizes := make([]int, 12)
+	for i := range sizes {
+		sizes[i] = 4 + i
+	}
+	return sweep.Grid{
+		Scenarios: []sweep.ScenarioRef{
+			{Name: "uniform"},
+			{Name: "zipf", Params: map[string]string{"alpha": "1"}},
+			{Name: "churn"},
+		},
+		Algorithms: []string{"waiting", "gathering"},
+		Sizes:      sizes,
+		Replicas:   2,
+		Seed:       90210,
+	}
+}
+
+func renderJSONL(t *testing.T, results []sweep.CellResult, totals sweep.Totals) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Encode(totals); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// startCoordinator boots a coordinator on a loopback port and tears it
+// down with the test.
+func startCoordinator(t *testing.T, grid sweep.Grid, opt CoordinatorOptions) (*Coordinator, string) {
+	t.Helper()
+	c, err := NewCoordinator(grid, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := c.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, "http://" + addr
+}
+
+// TestFleetByteIdenticalToSingleProcess is the heart of the fleet
+// contract: 3 workers draining 4 shard leases merge to the exact stream
+// one process produces.
+func TestFleetByteIdenticalToSingleProcess(t *testing.T) {
+	grid := testGrid()
+	want, wantTotals, err := sweep.Run(grid, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, url := startCoordinator(t, grid, CoordinatorOptions{
+		ShardCount: 4,
+		Dir:        t.TempDir(),
+		LeaseTTL:   30 * time.Second,
+	})
+	errs := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		go func(w int) {
+			errs <- Work(context.Background(), url, WorkerOptions{
+				Name: fmt.Sprintf("worker-%d", w), Workers: 2,
+			})
+		}(w)
+	}
+	for w := 0; w < 3; w++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker failed: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator never completed: %v", err)
+	}
+
+	got, gotTotals, err := sweepd.Merge(c.ShardDirs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderJSONL(t, got, gotTotals) != renderJSONL(t, want, wantTotals) {
+		t.Fatal("fleet merge differs from single-process run")
+	}
+}
+
+// TestDeadWorkerLeaseRequeued kills a worker mid-shard (it journals two
+// cells, stops heartbeating, and vanishes without completing); the
+// lease must expire, be requeued, and the surviving workers must finish
+// the fleet with byte-identical merged output.
+func TestDeadWorkerLeaseRequeued(t *testing.T) {
+	grid := testGrid()
+	want, wantTotals, err := sweep.Run(grid, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, url := startCoordinator(t, grid, CoordinatorOptions{
+		ShardCount: 3,
+		Dir:        t.TempDir(),
+		LeaseTTL:   200 * time.Millisecond,
+	})
+
+	// The doomed worker: takes the first lease, journals two cells, and
+	// dies — no completion report, no further heartbeats.
+	var lease LeaseResponse
+	code, err := postJSON(context.Background(), http.DefaultClient, url+"/v1/lease",
+		LeaseRequest{Worker: "doomed"}, &lease)
+	if err != nil || code != http.StatusOK || lease.Status != StatusLease {
+		t.Fatalf("doomed worker lease: code=%d status=%q err=%v", code, lease.Status, err)
+	}
+	killed := errors.New("simulated worker death")
+	_, _, err = sweepd.Run(lease.Grid, lease.Dir, sweepd.Options{
+		Workers:    1,
+		ShardIndex: lease.Shard,
+		ShardCount: lease.ShardCount,
+		Resume:     true,
+		AfterCheckpoint: func(done, total int) error {
+			if done >= 2 {
+				return killed
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, killed) {
+		t.Fatalf("doomed worker: want injected death, got %v", err)
+	}
+
+	// Its lease must expire and requeue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Status()
+		s := st.Shards[lease.Shard]
+		if s.State == statePending && s.Retries >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never requeued: %+v", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Two healthy workers drain the fleet, resuming the dead worker's
+	// checkpoint.
+	errs := make(chan error, 2)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			errs <- Work(context.Background(), url, WorkerOptions{
+				Name: fmt.Sprintf("healthy-%d", w), Workers: 2,
+			})
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker failed: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator never completed: %v", err)
+	}
+	st := c.Status()
+	if st.Shards[lease.Shard].Retries < 1 {
+		t.Fatalf("shard %d should record a retry, got %+v", lease.Shard, st.Shards[lease.Shard])
+	}
+
+	got, gotTotals, err := sweepd.Merge(c.ShardDirs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderJSONL(t, got, gotTotals) != renderJSONL(t, want, wantTotals) {
+		t.Fatal("fleet merge with requeued lease differs from single-process run")
+	}
+}
+
+// TestHeartbeatRevocationStopsStaleWorker proves a stale leaseholder is
+// told to stand down: after its lease expires and requeues, its
+// heartbeat gets 410.
+func TestHeartbeatRevocationStopsStaleWorker(t *testing.T) {
+	grid := testGrid()
+	_, url := startCoordinator(t, grid, CoordinatorOptions{
+		ShardCount: 2,
+		Dir:        t.TempDir(),
+		LeaseTTL:   50 * time.Millisecond,
+	})
+	var lease LeaseResponse
+	code, err := postJSON(context.Background(), http.DefaultClient, url+"/v1/lease",
+		LeaseRequest{Worker: "stale"}, &lease)
+	if err != nil || code != http.StatusOK || lease.Status != StatusLease {
+		t.Fatalf("lease: code=%d status=%q err=%v", code, lease.Status, err)
+	}
+	time.Sleep(150 * time.Millisecond) // let the lease expire
+	var ack OKResponse
+	code, err = postJSON(context.Background(), http.DefaultClient, url+"/v1/heartbeat",
+		HeartbeatRequest{LeaseID: lease.LeaseID}, &ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusGone {
+		t.Fatalf("stale heartbeat: want 410, got %d", code)
+	}
+	code, err = postJSON(context.Background(), http.DefaultClient, url+"/v1/complete",
+		CompleteRequest{LeaseID: lease.LeaseID, Dir: lease.Dir}, &ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusGone {
+		t.Fatalf("stale complete: want 410, got %d", code)
+	}
+}
+
+// TestStatusEndpoint sanity-checks the dashboard payload over HTTP.
+func TestStatusEndpoint(t *testing.T) {
+	grid := testGrid()
+	_, url := startCoordinator(t, grid, CoordinatorOptions{
+		ShardCount: 2,
+		Dir:        filepath.Join(t.TempDir(), "fleet"),
+		LeaseTTL:   time.Minute,
+	})
+	var lease LeaseResponse
+	if _, err := postJSON(context.Background(), http.DefaultClient, url+"/v1/lease",
+		LeaseRequest{Worker: "w0"}, &lease); err != nil {
+		t.Fatal(err)
+	}
+	st, err := FetchStatus(context.Background(), nil, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := grid.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint != fp {
+		t.Fatalf("status fingerprint %.12s, want %.12s", st.Fingerprint, fp)
+	}
+	if st.ShardCount != 2 || len(st.Shards) != 2 {
+		t.Fatalf("status shards: %+v", st)
+	}
+	if st.Shards[lease.Shard].State != stateLeased || st.Shards[lease.Shard].Worker != "w0" {
+		t.Fatalf("leased shard row: %+v", st.Shards[lease.Shard])
+	}
+	if age := st.Shards[lease.Shard].HeartbeatAgeMs; age < 0 {
+		t.Fatalf("leased shard should have a heartbeat age, got %v", age)
+	}
+}
+
+// TestWorkerExitsWhenFleetDone: a late worker joining a finished fleet
+// exits immediately with no error.
+func TestWorkerExitsWhenFleetDone(t *testing.T) {
+	grid := testGrid()
+	_, url := startCoordinator(t, grid, CoordinatorOptions{
+		ShardCount: 1,
+		Dir:        t.TempDir(),
+		LeaseTTL:   time.Minute,
+	})
+	if err := Work(context.Background(), url, WorkerOptions{Name: "first", Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Work(context.Background(), url, WorkerOptions{Name: "late"}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late worker never exited")
+	}
+}

@@ -1,0 +1,68 @@
+package fleet
+
+import "doda/internal/sweep"
+
+// Lease response statuses.
+const (
+	StatusLease = "lease"
+	StatusWait  = "wait"
+	StatusDone  = "done"
+)
+
+// LeaseRequest asks the coordinator for a shard to run.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse is the coordinator's answer: a lease, a backoff hint, or
+// fleet completion.
+type LeaseResponse struct {
+	Status     string     `json:"status"`
+	Shard      int        `json:"shard,omitempty"`
+	ShardCount int        `json:"shard_count,omitempty"`
+	LeaseID    string     `json:"lease_id,omitempty"`
+	TTLMs      int64      `json:"ttl_ms,omitempty"`
+	Dir        string     `json:"dir,omitempty"`
+	Grid       sweep.Grid `json:"grid,omitempty"`
+	RetryMs    int64      `json:"retry_ms,omitempty"`
+}
+
+// HeartbeatRequest keeps a lease alive.
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// CompleteRequest reports a finished shard and where its checkpoint
+// lives.
+type CompleteRequest struct {
+	LeaseID string `json:"lease_id"`
+	Dir     string `json:"dir"`
+}
+
+// OKResponse acknowledges a heartbeat or completion.
+type OKResponse struct {
+	Status string `json:"status"`
+}
+
+// ShardStatus is one shard's row in the fleet dashboard.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// State is "pending", "leased", or "done".
+	State  string `json:"state"`
+	Worker string `json:"worker,omitempty"`
+	// HeartbeatAgeMs is the age of the lease's last heartbeat (leased
+	// shards only; -1 when not applicable).
+	HeartbeatAgeMs float64 `json:"heartbeat_age_ms"`
+	// Retries counts how many times the shard's lease expired and was
+	// requeued.
+	Retries int    `json:"retries"`
+	Dir     string `json:"dir,omitempty"`
+}
+
+// FleetStatus is the GET /v1/status payload.
+type FleetStatus struct {
+	Fingerprint string        `json:"fingerprint"`
+	ShardCount  int           `json:"shard_count"`
+	Done        int           `json:"done"`
+	Shards      []ShardStatus `json:"shards"`
+}

@@ -1,0 +1,242 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"doda/internal/sweepd"
+)
+
+// ErrLeaseRevoked aborts a shard run whose lease the coordinator
+// reassigned (the worker missed heartbeats, typically after a stall).
+// The abandoned checkpoint stays valid; whoever holds the new lease
+// resumes it.
+var ErrLeaseRevoked = errors.New("fleet: lease revoked")
+
+// WorkerOptions tunes one worker process.
+type WorkerOptions struct {
+	// Name identifies the worker in leases and dashboards (default
+	// host:pid).
+	Name string
+	// Workers is the in-process sweep worker count per leased shard
+	// (< 1 = GOMAXPROCS).
+	Workers int
+	// PerReplica selects replica-granularity checkpointing for the
+	// shards this worker runs.
+	PerReplica bool
+	// ProgressEvery throttles the shard progress records (sweepd
+	// semantics: 0 = default, negative = disabled).
+	ProgressEvery time.Duration
+	// OnProgress, when non-nil, observes each leased shard's progress
+	// flushes.
+	OnProgress func(shard int, p sweepd.Progress)
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Work runs the worker loop against the coordinator at baseURL (e.g.
+// "http://127.0.0.1:7700"): lease a shard, execute it with checkpointing
+// and heartbeats, report completion, repeat until the coordinator says
+// the fleet is done. A coordinator that vanishes after first contact
+// ends the loop cleanly — the journaled work is durable and a restarted
+// coordinator can hand the shards out again.
+func Work(ctx context.Context, baseURL string, opt WorkerOptions) error {
+	if opt.Name == "" {
+		host, _ := os.Hostname()
+		opt.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	contacted := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		code, err := postJSON(ctx, client, baseURL+"/v1/lease", LeaseRequest{Worker: opt.Name}, &lease)
+		if err != nil {
+			if contacted {
+				return nil // coordinator gone; our journals are durable
+			}
+			return fmt.Errorf("fleet: cannot reach coordinator: %w", err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("fleet: lease request: HTTP %d", code)
+		}
+		contacted = true
+		switch lease.Status {
+		case StatusDone:
+			return nil
+		case StatusWait:
+			wait := time.Duration(lease.RetryMs) * time.Millisecond
+			if wait <= 0 {
+				wait = 250 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		case StatusLease:
+			if err := runLease(ctx, client, baseURL, lease, opt); err != nil {
+				if errors.Is(err, ErrLeaseRevoked) {
+					continue // someone else owns the shard now
+				}
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: lease response status %q", lease.Status)
+		}
+	}
+}
+
+// runLease executes one leased shard: heartbeat in the background, run
+// the checkpointed sweep (resuming whatever a previous leaseholder
+// journaled), then report completion.
+func runLease(ctx context.Context, client *http.Client, baseURL string, lease LeaseResponse, opt WorkerOptions) error {
+	var revoked atomic.Bool
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go heartbeatLoop(hbCtx, client, baseURL, lease, &revoked)
+
+	checkRevoked := func() error {
+		if revoked.Load() {
+			return fmt.Errorf("%w: shard %d", ErrLeaseRevoked, lease.Shard)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	sopt := sweepd.Options{
+		Workers:         opt.Workers,
+		ShardIndex:      lease.Shard,
+		ShardCount:      lease.ShardCount,
+		Resume:          true,
+		PerReplica:      opt.PerReplica,
+		ProgressEvery:   opt.ProgressEvery,
+		AfterCheckpoint: func(done, total int) error { return checkRevoked() },
+	}
+	if opt.PerReplica {
+		sopt.AfterReplica = func(cell, reps int) error { return checkRevoked() }
+	}
+	if opt.OnProgress != nil {
+		shard := lease.Shard
+		sopt.OnProgress = func(p sweepd.Progress) { opt.OnProgress(shard, p) }
+	}
+	if _, _, err := sweepd.Run(lease.Grid, lease.Dir, sopt); err != nil {
+		return err
+	}
+	stopHB()
+
+	var ack OKResponse
+	code, err := postJSON(ctx, client, baseURL+"/v1/complete",
+		CompleteRequest{LeaseID: lease.LeaseID, Dir: lease.Dir}, &ack)
+	if err != nil {
+		return nil // coordinator gone; the finished journal speaks for itself
+	}
+	if code == http.StatusGone {
+		// The lease expired while we finished; the next leaseholder's
+		// resume is a no-op and reports the shard complete.
+		return fmt.Errorf("%w: shard %d (completed late)", ErrLeaseRevoked, lease.Shard)
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("fleet: complete: HTTP %d", code)
+	}
+	return nil
+}
+
+// heartbeatLoop extends the lease every TTL/3 until stopped, flagging
+// revocation when the coordinator answers 410 or stays unreachable for
+// several beats in a row (a dead coordinator cannot merge, so finishing
+// the shard for it has no owner — abort and keep the journal).
+func heartbeatLoop(ctx context.Context, client *http.Client, baseURL string, lease LeaseResponse, revoked *atomic.Bool) {
+	period := time.Duration(lease.TTLMs) * time.Millisecond / 3
+	if period <= 0 {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	misses := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var ack OKResponse
+			code, err := postJSON(ctx, client, baseURL+"/v1/heartbeat",
+				HeartbeatRequest{LeaseID: lease.LeaseID}, &ack)
+			switch {
+			case err != nil:
+				if misses++; misses >= 3 {
+					revoked.Store(true)
+					return
+				}
+			case code == http.StatusOK:
+				misses = 0
+			default:
+				revoked.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// postJSON posts a JSON body and decodes the JSON response, returning
+// the HTTP status code.
+func postJSON(ctx context.Context, client *http.Client, url string, body, dst any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil && !errors.Is(err, io.EOF) {
+			return resp.StatusCode, fmt.Errorf("fleet: decoding response from %s: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// FetchStatus reads the coordinator's fleet dashboard.
+func FetchStatus(ctx context.Context, client *http.Client, baseURL string) (FleetStatus, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/status", nil)
+	if err != nil {
+		return FleetStatus{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return FleetStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return FleetStatus{}, fmt.Errorf("fleet: status: HTTP %d", resp.StatusCode)
+	}
+	var st FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return FleetStatus{}, err
+	}
+	return st, nil
+}

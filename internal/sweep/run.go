@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"doda/internal/adversary"
 	"doda/internal/algorithms"
@@ -86,6 +87,29 @@ type Options struct {
 	// the contract shard runs and checkpoint resumes are built on.
 	// Results, totals and OnResult cover only the selected cells.
 	Select func(Cell) bool
+	// OnReplica, when non-nil, receives each freshly executed replica's
+	// outcome the moment it completes, before the cell result is
+	// finalised — the hook per-replica checkpointing hangs off. It is
+	// called from worker goroutines (concurrently across cells, in
+	// replica order within a cell); implementations must synchronise. A
+	// non-nil error aborts the sweep. Restored replicas (ResumeReplicas)
+	// are not re-delivered.
+	OnReplica func(cell Cell, rep int, out ReplicaOutcome) error
+	// ResumeReplicas, when non-nil, supplies the journaled outcomes of a
+	// cell's leading replicas. The returned prefix is folded into the
+	// cell result exactly as if those replicas had just run (their seeds
+	// are still drawn and discarded, so the remaining replicas see the
+	// same seed stream), making a mid-cell resume byte-identical to an
+	// uninterrupted run. Called from worker goroutines; must be safe for
+	// concurrent use and must return at most Replicas outcomes.
+	ResumeReplicas func(cell Cell) []ReplicaOutcome
+	// OnCellWall, when non-nil, receives each cell's wall-clock run time
+	// the moment the cell finishes executing, always before that cell is
+	// delivered to OnResult. Wall time is observability metadata and
+	// deliberately lives outside CellResult: the result stream must stay
+	// bit-for-bit independent of machine speed. Called from worker
+	// goroutines; must be safe for concurrent use.
+	OnCellWall func(cell Cell, wall time.Duration)
 }
 
 // Run executes the grid and returns the per-cell results in cell order
@@ -125,9 +149,13 @@ func Run(grid Grid, opt Options) ([]CellResult, Totals, error) {
 	em := &emitter{fn: opt.OnResult, pending: map[int]CellResult{}}
 
 	results, err := parallel.MapWorkers(len(cells), workers, func(w, i int) (CellResult, error) {
+		start := time.Now()
 		res, err := runners[w].runCell(grid, opt, cells[i])
 		if err != nil {
 			return CellResult{}, err
+		}
+		if opt.OnCellWall != nil {
+			opt.OnCellWall(cells[i], time.Since(start))
 		}
 		if err := em.emit(i, res); err != nil {
 			return CellResult{}, err
@@ -201,6 +229,18 @@ func (r *runner) runCell(grid Grid, opt Options, cell Cell) (CellResult, error) 
 	r.durs = r.durs[:0]
 	r.ints = r.ints[:0]
 
+	// Journaled replicas of a partially-checkpointed cell: folded in
+	// below exactly as if they had just run, so the finished cell is
+	// byte-identical to an uninterrupted one.
+	var prior []ReplicaOutcome
+	if opt.ResumeReplicas != nil {
+		prior = opt.ResumeReplicas(cell)
+		if len(prior) > grid.Replicas {
+			return CellResult{}, fmt.Errorf("sweep: cell %d: %d restored replicas exceed the %d configured",
+				cell.Index, len(prior), grid.Replicas)
+		}
+	}
+
 	// Replica seeds derive from the cell seed alone.
 	src := rng.New(cell.Seed)
 
@@ -222,6 +262,13 @@ func (r *runner) runCell(grid Grid, opt Options, cell Cell) (CellResult, error) 
 
 	for rep := 0; rep < grid.Replicas; rep++ {
 		repSeed := src.Uint64()
+		if rep < len(prior) {
+			// The seed above was drawn and discarded, so the fresh
+			// replicas below see the exact seed stream an uninterrupted
+			// run would have given them.
+			r.apply(&res, prior[rep])
+			continue
+		}
 		var (
 			adv  core.Adversary
 			know *knowledge.Bundle
@@ -277,16 +324,35 @@ func (r *runner) runCell(grid Grid, opt Options, cell Cell) (CellResult, error) 
 			return CellResult{}, fmt.Errorf("sweep: cell %d (%s/%s/n=%d) replica %d: %w",
 				cell.Index, cell.Scenario, cell.Algorithm, cell.N, rep, err)
 		}
-		res.Transmissions += out.Transmissions
-		r.ints = append(r.ints, float64(out.Interactions))
+		oc := ReplicaOutcome{
+			Terminated:    out.Terminated,
+			Interactions:  float64(out.Interactions),
+			Transmissions: out.Transmissions,
+		}
 		if out.Terminated {
-			res.Terminated++
-			d := float64(out.Duration + 1)
-			r.durs = append(r.durs, d)
-			res.durW.Add(d)
+			oc.Duration = float64(out.Duration + 1)
+		}
+		r.apply(&res, oc)
+		if opt.OnReplica != nil {
+			if err := opt.OnReplica(cell, rep, oc); err != nil {
+				return CellResult{}, err
+			}
 		}
 	}
 	res.Duration = metricOf(r.durs)
 	res.Interactions = metricOf(r.ints)
 	return res, nil
+}
+
+// apply folds one replica outcome — fresh or restored — into the cell
+// accumulators. Replaying journaled outcomes through the same fold, in
+// the same replica order, is what makes a mid-cell resume byte-identical.
+func (r *runner) apply(res *CellResult, oc ReplicaOutcome) {
+	res.Transmissions += oc.Transmissions
+	r.ints = append(r.ints, oc.Interactions)
+	if oc.Terminated {
+		res.Terminated++
+		r.durs = append(r.durs, oc.Duration)
+		res.durW.Add(oc.Duration)
+	}
 }

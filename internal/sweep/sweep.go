@@ -313,6 +313,18 @@ func metricOf(xs []float64) Metric {
 	return m
 }
 
+// ReplicaOutcome is one replica's contribution to a cell result — the
+// exact values runCell folds into the cell accumulators, so a cell
+// rebuilt by replaying journaled outcomes and then running the remaining
+// replicas is byte-identical to one run uninterrupted. Duration is the
+// paper's duration + 1 (meaningful only when Terminated).
+type ReplicaOutcome struct {
+	Terminated    bool    `json:"terminated"`
+	Duration      float64 `json:"duration"`
+	Interactions  float64 `json:"interactions"`
+	Transmissions int     `json:"transmissions"`
+}
+
 // CellResult is one completed cell: how many replicas terminated and the
 // distribution of their costs. Duration counts interactions up to and
 // including the last transmission (the paper's duration + 1) over the

@@ -60,16 +60,33 @@ type Header struct {
 // streaming JSONL output encodes it, plus the cell's raw duration
 // accumulator (which the rounded Duration metric cannot reconstruct) so
 // resumed and merged totals fold bit-for-bit like an uninterrupted run.
+// WallMs is the wall-clock cost of the cell's fresh replicas — pure
+// observability metadata (progress dashboards, ETA estimates) that never
+// feeds the deterministic result stream.
 type CellRecord struct {
 	Index  int                `json:"index"`
 	Result sweep.CellResult   `json:"result"`
 	DurAcc stats.WelfordState `json:"dur_acc"`
+	WallMs float64            `json:"wall_ms,omitempty"`
 }
 
 // newCellRecord snapshots a completed cell for the journal.
 func newCellRecord(r sweep.CellResult) CellRecord {
 	w := r.DurationAcc()
 	return CellRecord{Index: r.Index, Result: r, DurAcc: w.State()}
+}
+
+// ReplicaRecord journals one completed replica of a cell that has not
+// finished yet — the replica-granularity checkpoint record behind
+// Options.PerReplica, so huge-n cells survive mid-cell crashes. Out is
+// exactly what sweep folds into the cell accumulators; replaying the
+// journaled prefix and running the remaining replicas reproduces the
+// cell byte-for-byte. Within one cell, records are journaled in replica
+// order and must read back contiguous from replica 0.
+type ReplicaRecord struct {
+	CellIndex int                  `json:"cell"`
+	Rep       int                  `json:"rep"`
+	Out       sweep.ReplicaOutcome `json:"out"`
 }
 
 // Restore rebuilds the in-memory cell result, re-attaching the duration
@@ -145,7 +162,7 @@ type Journal struct {
 	dir     string
 	header  Header
 	nextSeg int
-	buf     []CellRecord
+	buf     []any // CellRecord | ReplicaRecord, in journal order
 }
 
 // segName renders the n-th segment's final file name; zero-padding keeps
@@ -261,38 +278,72 @@ func Create(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, 
 // without the tail, so the repair is durable and the next reader never
 // sees mid-stream corruption.
 func Open(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, []CellRecord, error) {
+	j, recs, _, err := OpenResume(dir, grid, shardIndex, shardCount)
+	return j, recs, err
+}
+
+// OpenResume is Open plus the journaled replica prefixes of cells that
+// have not completed: cell index → outcomes in replica order, ready to
+// hand to sweep.Options.ResumeReplicas.
+func OpenResume(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, []CellRecord, map[int][]sweep.ReplicaOutcome, error) {
 	h, err := headerFor(grid, shardIndex, shardCount)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cp, err := readCheckpoint(dir)
 	if errors.Is(err, ErrNoCheckpoint) {
 		j, err := Create(dir, grid, shardIndex, shardCount)
-		return j, nil, err
+		return j, nil, nil, err
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Sweep away tmp files a crashed writer left behind; only final
 	// (renamed) segments count.
 	if _, err := segmentNames(dir, true); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if !cp.header.matches(h) {
-		return nil, nil, fmt.Errorf("%w: checkpoint is for fingerprint %.12s shard %d/%d, want %.12s shard %d/%d",
+		return nil, nil, nil, fmt.Errorf("%w: checkpoint is for fingerprint %.12s shard %d/%d, want %.12s shard %d/%d",
 			ErrStaleCheckpoint, cp.header.Fingerprint, cp.header.ShardIndex, cp.header.ShardCount,
 			h.Fingerprint, shardIndex, shardCount)
 	}
 	if err := cp.repair(dir); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	j := &Journal{dir: dir, header: cp.header, nextSeg: cp.nextSeg}
-	return j, cp.records, nil
+	var prior map[int][]sweep.ReplicaOutcome
+	if len(cp.replicas) > 0 {
+		prior = make(map[int][]sweep.ReplicaOutcome, len(cp.replicas))
+		for idx, recs := range cp.replicas {
+			outs := make([]sweep.ReplicaOutcome, len(recs))
+			for i, r := range recs {
+				outs[i] = r.Out
+			}
+			prior[idx] = outs
+		}
+	}
+	return j, cp.records, prior, nil
 }
 
 // Append buffers one completed cell for the next Checkpoint.
 func (j *Journal) Append(r sweep.CellResult) {
 	j.buf = append(j.buf, newCellRecord(r))
+}
+
+// AppendTimed is Append plus the cell's wall-clock cost in milliseconds,
+// journaled for dashboards (it never feeds the result stream).
+func (j *Journal) AppendTimed(r sweep.CellResult, wallMs float64) {
+	rec := newCellRecord(r)
+	rec.WallMs = wallMs
+	j.buf = append(j.buf, rec)
+}
+
+// AppendReplica buffers one completed replica of a still-running cell.
+// Replicas of a cell must be appended in replica order, and a later
+// Append of the finished cell supersedes them on read-back.
+func (j *Journal) AppendReplica(cellIndex, rep int, out sweep.ReplicaOutcome) {
+	j.buf = append(j.buf, ReplicaRecord{CellIndex: cellIndex, Rep: rep, Out: out})
 }
 
 // Checkpoint flushes the buffered records as one new segment. A no-op
@@ -311,7 +362,7 @@ func (j *Journal) Checkpoint() error {
 }
 
 // writeRecords publishes one segment holding the header plus recs.
-func (j *Journal) writeRecords(recs []CellRecord) error {
+func (j *Journal) writeRecords(recs []any) error {
 	lines := make([][]byte, 0, len(recs)+1)
 	hb, err := json.Marshal(j.header)
 	if err != nil {
@@ -339,7 +390,11 @@ func (j *Journal) Dir() string { return j.dir }
 type checkpoint struct {
 	header  Header
 	records []CellRecord
-	nextSeg int
+	// replicas holds the journaled replica prefix of each cell that has
+	// no cell record yet, in replica order. A cell record supersedes (and
+	// drops) its cell's replica records on read-back.
+	replicas map[int][]ReplicaRecord
+	nextSeg  int
 	// torn tail of the final segment, if any: the segment's name and the
 	// valid raw lines to rewrite it with (possibly none — then the file
 	// is removed outright).
@@ -380,7 +435,8 @@ func segmentNames(dir string, cleanTmp bool) ([]string, error) {
 		}
 		name := e.Name()
 		if cleanTmp && strings.HasSuffix(name, tmpSuffix) {
-			if _, ok := segNumber(strings.TrimSuffix(name, tmpSuffix)); ok {
+			if _, ok := segNumber(strings.TrimSuffix(name, tmpSuffix)); ok ||
+				strings.HasPrefix(name, progressPrefix) {
 				os.Remove(filepath.Join(dir, name))
 			}
 			continue
@@ -410,7 +466,7 @@ func readCheckpoint(dir string) (*checkpoint, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, dir)
 	}
-	cp := &checkpoint{}
+	cp := &checkpoint{replicas: make(map[int][]ReplicaRecord)}
 	seen := make(map[int]string)
 	for si, name := range names {
 		raw, err := os.ReadFile(filepath.Join(dir, name))
@@ -445,7 +501,7 @@ func readCheckpoint(dir string) (*checkpoint, error) {
 			if li == 0 {
 				perr = cp.readHeader(si, name, body)
 			} else {
-				perr = cp.readCell(name, li, body, seen)
+				perr = cp.readRecord(name, li, body, seen)
 			}
 			if perr != nil {
 				return nil, fmt.Errorf("segment %s record %d: %w", name, li, perr)
@@ -493,6 +549,27 @@ func (cp *checkpoint) readHeader(si int, name string, body []byte) error {
 	return nil
 }
 
+// readRecord parses one non-header record line, dispatching on the JSON
+// shape: cell records carry "result", replica records carry "out". Both
+// kinds share recordVersion 1 — the discriminator is additive, so
+// pre-replica checkpoints read unchanged.
+func (cp *checkpoint) readRecord(name string, li int, body []byte, seen map[int]string) error {
+	var probe struct {
+		Result *json.RawMessage `json:"result"`
+		Out    *json.RawMessage `json:"out"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return fmt.Errorf("%w: segment %s record %d: %v", ErrCorrupt, name, li, err)
+	}
+	if probe.Result != nil {
+		return cp.readCell(name, li, body, seen)
+	}
+	if probe.Out != nil {
+		return cp.readReplica(name, li, body, seen)
+	}
+	return fmt.Errorf("%w: segment %s record %d: neither a cell nor a replica record", ErrCorrupt, name, li)
+}
+
 // readCell parses one cell record, rejecting duplicate cell indexes (no
 // legitimate writer produces them; a duplicate means mixed checkpoints).
 func (cp *checkpoint) readCell(name string, li int, body []byte, seen map[int]string) error {
@@ -509,6 +586,29 @@ func (cp *checkpoint) readCell(name string, li int, body []byte, seen map[int]st
 	}
 	seen[rec.Index] = name
 	cp.records = append(cp.records, rec)
+	// The cell record folds its whole replica sequence; the journaled
+	// prefix is now redundant.
+	delete(cp.replicas, rec.Index)
+	return nil
+}
+
+// readReplica parses one replica record. Replicas of a cell must read
+// back contiguous from 0 and must precede the cell's own record — any
+// other shape means mixed or reordered checkpoints, which is fatal.
+func (cp *checkpoint) readReplica(name string, li int, body []byte, seen map[int]string) error {
+	var rec ReplicaRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return fmt.Errorf("%w: segment %s record %d: %v", ErrCorrupt, name, li, err)
+	}
+	if prev, done := seen[rec.CellIndex]; done {
+		return fmt.Errorf("%w: replica record for cell %d in %s after its cell record in %s",
+			ErrCorrupt, rec.CellIndex, name, prev)
+	}
+	if got := len(cp.replicas[rec.CellIndex]); rec.Rep != got {
+		return fmt.Errorf("%w: cell %d replica %d journaled in %s but %d replica(s) precede it",
+			ErrCorrupt, rec.CellIndex, rec.Rep, name, got)
+	}
+	cp.replicas[rec.CellIndex] = append(cp.replicas[rec.CellIndex], rec)
 	return nil
 }
 

@@ -1,0 +1,99 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// progressName is the advisory progress record's file name inside a
+// checkpoint directory; progressPrefix matches its tmp files so crashed
+// writers' leftovers are swept with the segment tmps.
+const (
+	progressName   = "progress.json"
+	progressPrefix = "progress"
+)
+
+// Progress is the periodically-flushed observability record of one
+// running shard. It is purely advisory: the file is rewritten atomically
+// but never fsynced, readers tolerate its absence or corruption, and
+// nothing in resume or merge consults it — the journal segments alone
+// carry the durable state. Counters cover the whole shard (restored +
+// fresh), so a resumed run reports from where the crash left off.
+type Progress struct {
+	// CellsDone / CellsTotal count this shard's completed and assigned
+	// cells; FreshCells is how many of CellsDone this process ran itself.
+	CellsDone  int `json:"cells_done"`
+	CellsTotal int `json:"cells_total"`
+	FreshCells int `json:"fresh_cells"`
+	// ReplicasDone counts journal-visible replicas of cells still in
+	// flight (only meaningful under per-replica checkpointing).
+	ReplicasDone int `json:"replicas_done,omitempty"`
+	// Interactions and Transmissions total everything simulated so far,
+	// including in-flight cells' completed replicas.
+	Interactions  float64 `json:"interactions"`
+	Transmissions int     `json:"transmissions"`
+	// ElapsedMs is this process's wall time since its run started —
+	// paired with FreshCells it yields a live cells/sec estimate.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Done marks the shard complete; the final flush sets it.
+	Done bool `json:"done,omitempty"`
+}
+
+// writeProgress atomically replaces dir's progress record: crc-framed
+// like a segment line, written to a unique tmp and renamed. No fsync —
+// losing the file costs a dashboard update, not data. Errors are
+// returned for the caller to ignore or count; a full disk must not be
+// able to kill a sweep via its progress ticker.
+func writeProgress(dir string, p Progress) error {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, progressPrefix+"-*"+tmpSuffix)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(encodeLine(body)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, progressName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadProgress reads dir's advisory progress record. A missing, torn or
+// otherwise unreadable file reads as (nil, nil): progress is best-effort
+// and a reader must never fail a dashboard over it.
+func ReadProgress(dir string) (*Progress, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, progressName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lines, torn := splitLines(raw)
+	if torn || len(lines) != 1 {
+		return nil, nil
+	}
+	body, err := decodeLine(lines[0])
+	if err != nil {
+		return nil, nil
+	}
+	var p Progress
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, nil
+	}
+	return &p, nil
+}

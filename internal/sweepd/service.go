@@ -3,6 +3,8 @@ package sweepd
 import (
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"doda/internal/sweep"
 )
@@ -39,7 +41,33 @@ type Options struct {
 	// error aborts the sweep at that cell boundary — the hook the
 	// crash-resume tests use to kill a sweep deterministically.
 	AfterCheckpoint func(done, total int) error
+	// PerReplica selects replica-granularity durability: every completed
+	// replica of an in-flight cell is journaled in its own fsynced
+	// segment, so a crash mid-cell resumes from the last replica instead
+	// of re-running the whole cell. Resume stays byte-identical either
+	// way (the journaled prefix replays through the same fold, and the
+	// remaining replicas draw the same seed stream). Worth it only when
+	// a single cell's replicas dwarf a segment fsync — huge-n cells.
+	PerReplica bool
+	// AfterReplica, when non-nil, runs after each fresh replica is
+	// journaled (PerReplica only), with the cell index and that cell's
+	// completed-replica count so far. A non-nil error aborts the sweep at
+	// that replica boundary — the mid-cell crash tests' kill hook.
+	AfterReplica func(cellIndex, repsDone int) error
+	// OnProgress, when non-nil, observes every progress record flushed to
+	// the checkpoint directory (called under the progress lock; keep it
+	// cheap). The CLI's stderr progress line hangs off it.
+	OnProgress func(Progress)
+	// ProgressEvery throttles progress flushes: at most one per interval
+	// (plus a final one marking the shard done). Zero means a 500ms
+	// default; negative disables the progress layer entirely — no
+	// progress.json, no OnProgress calls.
+	ProgressEvery time.Duration
 }
+
+// defaultProgressEvery is the progress flush throttle when Options leaves
+// ProgressEvery zero.
+const defaultProgressEvery = 500 * time.Millisecond
 
 // Run executes one shard of the grid with per-cell checkpointing in dir.
 // It returns the shard's cell results in cell-index order plus the
@@ -72,11 +100,12 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 	}
 
 	var (
-		j    *Journal
-		recs []CellRecord
+		j     *Journal
+		recs  []CellRecord
+		prior map[int][]sweep.ReplicaOutcome
 	)
 	if opt.Resume {
-		j, recs, err = Open(dir, grid, opt.ShardIndex, shards)
+		j, recs, prior, err = OpenResume(dir, grid, opt.ShardIndex, shards)
 	} else {
 		j, err = Create(dir, grid, opt.ShardIndex, shards)
 	}
@@ -98,6 +127,42 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 			return nil, sweep.Totals{}, err
 		}
 		restored[rec.Index] = rec.Restore()
+	}
+	for idx, outs := range prior {
+		if idx < 0 || idx >= len(cells) {
+			return nil, sweep.Totals{}, fmt.Errorf("%w: replica cell index %d outside grid of %d cells",
+				ErrStaleCheckpoint, idx, len(cells))
+		}
+		if sweep.ShardOf(idx, shards) != opt.ShardIndex {
+			return nil, sweep.Totals{}, fmt.Errorf("%w: replica cell %d belongs to shard %d, not %d",
+				ErrStaleCheckpoint, idx, sweep.ShardOf(idx, shards), opt.ShardIndex)
+		}
+		if len(outs) > grid.Replicas {
+			return nil, sweep.Totals{}, fmt.Errorf("%w: cell %d has %d journaled replicas, grid configures %d",
+				ErrStaleCheckpoint, idx, len(outs), grid.Replicas)
+		}
+	}
+
+	// Observability state. The journal mutex serialises the two paths
+	// that write segments — per-replica appends from worker goroutines
+	// and per-cell appends from the emitter lock. Wall times ride a side
+	// channel from OnCellWall (which fires before the cell's OnResult)
+	// to the journal write, keeping machine speed out of CellResult.
+	var (
+		jmu    sync.Mutex
+		wallMu sync.Mutex
+		walls  = make(map[int]float64)
+	)
+	progressOn := opt.ProgressEvery >= 0
+	var prog *progressTracker
+	if progressOn {
+		prog = newProgressTracker(dir, opt.ProgressEvery, opt.OnProgress, len(mine))
+		for _, rec := range recs {
+			prog.addRestoredCell(rec)
+		}
+		for idx, outs := range prior {
+			prog.addRestoredReplicas(idx, outs)
+		}
 	}
 
 	// The emit path: fresh results arrive in increasing cell-index order
@@ -125,7 +190,7 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 		return nil
 	}
 
-	_, _, err = sweep.Run(grid, sweep.Options{
+	sopt := sweep.Options{
 		Workers:     opt.Workers,
 		ForceScalar: opt.ForceScalar,
 		Select: func(c sweep.Cell) bool {
@@ -134,6 +199,11 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 			}
 			_, skip := restored[c.Index]
 			return !skip
+		},
+		OnCellWall: func(c sweep.Cell, wall time.Duration) {
+			wallMu.Lock()
+			walls[c.Index] = float64(wall.Nanoseconds()) / 1e6
+			wallMu.Unlock()
 		},
 		OnResult: func(r sweep.CellResult) error {
 			if err := flushThrough(r.Index); err != nil {
@@ -146,11 +216,21 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 			// nothing (the resumed run re-emits the whole stream anyway),
 			// while the opposite order could emit a cell that was never
 			// made durable.
-			j.Append(r)
-			if err := j.Checkpoint(); err != nil {
-				return err
+			wallMu.Lock()
+			wms := walls[r.Index]
+			delete(walls, r.Index)
+			wallMu.Unlock()
+			jmu.Lock()
+			j.AppendTimed(r, wms)
+			cerr := j.Checkpoint()
+			jmu.Unlock()
+			if cerr != nil {
+				return cerr
 			}
 			fresh[r.Index] = r
+			if prog != nil {
+				prog.cellDone(r)
+			}
 			if opt.OnResult != nil {
 				if err := opt.OnResult(r); err != nil {
 					return err
@@ -165,12 +245,46 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 			}
 			return nil
 		},
-	})
+	}
+	if len(prior) > 0 {
+		// The map is read-only for the whole run, so worker goroutines
+		// can consult it without locking.
+		sopt.ResumeReplicas = func(c sweep.Cell) []sweep.ReplicaOutcome {
+			return prior[c.Index]
+		}
+	}
+	if opt.PerReplica || prog != nil {
+		sopt.OnReplica = func(c sweep.Cell, rep int, out sweep.ReplicaOutcome) error {
+			if opt.PerReplica && rep < grid.Replicas-1 {
+				// The final replica is never journaled on its own: the
+				// cell record that follows immediately folds it, and a
+				// crash in the gap merely re-runs that one replica.
+				jmu.Lock()
+				j.AppendReplica(c.Index, rep, out)
+				cerr := j.Checkpoint()
+				jmu.Unlock()
+				if cerr != nil {
+					return cerr
+				}
+			}
+			if prog != nil {
+				prog.replicaDone(c.Index, out)
+			}
+			if opt.PerReplica && opt.AfterReplica != nil {
+				return opt.AfterReplica(c.Index, rep+1)
+			}
+			return nil
+		}
+	}
+	_, _, err = sweep.Run(grid, sopt)
 	if err != nil {
 		return nil, sweep.Totals{}, err
 	}
 	if err := flushThrough(math.MaxInt); err != nil {
 		return nil, sweep.Totals{}, err
+	}
+	if prog != nil {
+		prog.finish()
 	}
 
 	out := make([]sweep.CellResult, len(mine))
@@ -182,6 +296,120 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 		out[i] = r
 	}
 	return out, sweep.TotalsOf(out), nil
+}
+
+// progressTracker accumulates the shard's observability counters and
+// flushes them — throttled — as the advisory progress record. In-flight
+// cells' replica contributions are tracked per cell so a finished cell
+// swaps its replica-level sums for its exact cell-level totals.
+type progressTracker struct {
+	mu    sync.Mutex
+	dir   string
+	start time.Time
+	every time.Duration
+	last  time.Time
+	on    func(Progress)
+	p     Progress
+	// Per-cell sums of in-flight replica contributions, removed when the
+	// cell completes.
+	infInts  map[int]float64
+	infTrans map[int]int
+	infReps  map[int]int
+}
+
+func newProgressTracker(dir string, every time.Duration, on func(Progress), total int) *progressTracker {
+	if every == 0 {
+		every = defaultProgressEvery
+	}
+	now := time.Now()
+	// last starts at now, not zero: the first record flushes one throttle
+	// interval in, like every later one. Sweeps shorter than the interval
+	// write only the final record — the fixed cost of being observable
+	// must not register on runs too short to observe.
+	return &progressTracker{
+		dir: dir, start: now, every: every, last: now, on: on,
+		p:       Progress{CellsTotal: total},
+		infInts: map[int]float64{}, infTrans: map[int]int{}, infReps: map[int]int{},
+	}
+}
+
+// addRestoredCell seeds the counters with one journaled complete cell.
+// Called before the sweep starts; no locking needed.
+func (t *progressTracker) addRestoredCell(rec CellRecord) {
+	m := rec.Result.Interactions
+	t.p.CellsDone++
+	t.p.Interactions += m.Mean * float64(m.Count)
+	t.p.Transmissions += rec.Result.Transmissions
+}
+
+// addRestoredReplicas seeds the counters with a journaled mid-cell
+// replica prefix. Called before the sweep starts; no locking needed.
+func (t *progressTracker) addRestoredReplicas(idx int, outs []sweep.ReplicaOutcome) {
+	for _, o := range outs {
+		t.p.ReplicasDone++
+		t.p.Interactions += o.Interactions
+		t.p.Transmissions += o.Transmissions
+		t.infInts[idx] += o.Interactions
+		t.infTrans[idx] += o.Transmissions
+		t.infReps[idx]++
+	}
+}
+
+func (t *progressTracker) replicaDone(idx int, out sweep.ReplicaOutcome) {
+	t.mu.Lock()
+	t.p.ReplicasDone++
+	t.p.Interactions += out.Interactions
+	t.p.Transmissions += out.Transmissions
+	t.infInts[idx] += out.Interactions
+	t.infTrans[idx] += out.Transmissions
+	t.infReps[idx]++
+	t.maybeFlush()
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) cellDone(r sweep.CellResult) {
+	m := r.Interactions
+	t.mu.Lock()
+	t.p.CellsDone++
+	t.p.FreshCells++
+	t.p.ReplicasDone -= t.infReps[r.Index]
+	t.p.Interactions += m.Mean*float64(m.Count) - t.infInts[r.Index]
+	t.p.Transmissions += r.Transmissions - t.infTrans[r.Index]
+	delete(t.infReps, r.Index)
+	delete(t.infInts, r.Index)
+	delete(t.infTrans, r.Index)
+	t.maybeFlush()
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) maybeFlush() {
+	now := time.Now()
+	if now.Sub(t.last) < t.every {
+		return
+	}
+	t.last = now
+	t.flushLocked()
+}
+
+// flushLocked writes the progress record. The write is best-effort by
+// contract: an advisory file must never be able to abort a sweep, so its
+// error is dropped.
+func (t *progressTracker) flushLocked() {
+	t.p.ElapsedMs = float64(time.Since(t.start).Nanoseconds()) / 1e6
+	p := t.p
+	_ = writeProgress(t.dir, p)
+	if t.on != nil {
+		t.on(p)
+	}
+}
+
+// finish flushes the final record, marking the shard done when every
+// assigned cell is journaled.
+func (t *progressTracker) finish() {
+	t.mu.Lock()
+	t.p.Done = t.p.CellsDone == t.p.CellsTotal
+	t.flushLocked()
+	t.mu.Unlock()
 }
 
 // cellMatches verifies a journaled cell's identity against the grid's
@@ -220,8 +448,57 @@ func Merge(dirs []string) ([]sweep.CellResult, sweep.Totals, error) {
 // one-directory case) and returns the fleet's identity header plus all
 // cell results in cell-index order and the exact fleet totals.
 func LoadFleet(dirs []string) (Header, []sweep.CellResult, sweep.Totals, error) {
+	base, results, haveCell, err := loadFleet(dirs, false)
+	if err != nil {
+		return Header{}, nil, sweep.Totals{}, err
+	}
+	missing := 0
+	firstMissing := -1
+	for i, ok := range haveCell {
+		if !ok {
+			missing++
+			if firstMissing < 0 {
+				firstMissing = i
+			}
+		}
+	}
+	if missing > 0 {
+		return Header{}, nil, sweep.Totals{}, fmt.Errorf(
+			"sweepd: %d cell(s) missing (first: cell %d, shard %d not finished — resume it before merging or analyzing)",
+			missing, firstMissing, sweep.ShardOf(firstMissing, base.ShardCount))
+	}
+	return base, results, sweep.TotalsOf(results), nil
+}
+
+// LoadFleetPartial reads however much of a fleet exists right now: the
+// directories may cover only some shards, and any shard may be mid-run.
+// Validation is the same as LoadFleet minus the completeness checks —
+// fingerprints must agree, no shard or cell may appear twice, every
+// journaled cell must match the grid. It returns the fleet identity, the
+// complete cells present (in cell-index order), and the grid's total
+// cell count, so callers can annotate coverage. Partial analysis builds
+// on it.
+func LoadFleetPartial(dirs []string) (Header, []sweep.CellResult, int, error) {
+	base, results, haveCell, err := loadFleet(dirs, true)
+	if err != nil {
+		return Header{}, nil, 0, err
+	}
+	present := make([]sweep.CellResult, 0, len(results))
+	for i, ok := range haveCell {
+		if ok {
+			present = append(present, results[i])
+		}
+	}
+	return base, present, len(haveCell), nil
+}
+
+// loadFleet is the shared walk behind LoadFleet and LoadFleetPartial:
+// it reads every directory, cross-validates identities, and returns the
+// grid-indexed results plus the per-cell presence mask. partial relaxes
+// only the directories-must-cover-every-shard check.
+func loadFleet(dirs []string, partial bool) (Header, []sweep.CellResult, []bool, error) {
 	if len(dirs) == 0 {
-		return Header{}, nil, sweep.Totals{}, fmt.Errorf("sweepd: need at least one checkpoint directory")
+		return Header{}, nil, nil, fmt.Errorf("sweepd: need at least one checkpoint directory")
 	}
 	var (
 		base     Header
@@ -230,8 +507,8 @@ func LoadFleet(dirs []string) (Header, []sweep.CellResult, sweep.Totals, error) 
 		cells    []sweep.Cell
 		seenDir  []string
 	)
-	fail := func(err error) (Header, []sweep.CellResult, sweep.Totals, error) {
-		return Header{}, nil, sweep.Totals{}, err
+	fail := func(err error) (Header, []sweep.CellResult, []bool, error) {
+		return Header{}, nil, nil, err
 	}
 	for di, dir := range dirs {
 		h, recs, err := ReadCheckpoint(dir)
@@ -253,7 +530,11 @@ func LoadFleet(dirs []string) (Header, []sweep.CellResult, sweep.Totals, error) 
 			if cells, err = h.Grid.Cells(); err != nil {
 				return fail(fmt.Errorf("sweepd: fleet %s: %w", dir, err))
 			}
-			if h.ShardCount != len(dirs) {
+			if !partial && h.ShardCount != len(dirs) {
+				return fail(fmt.Errorf("sweepd: checkpoint declares %d shard(s), got %d directories",
+					h.ShardCount, len(dirs)))
+			}
+			if partial && len(dirs) > h.ShardCount {
 				return fail(fmt.Errorf("sweepd: checkpoint declares %d shard(s), got %d directories",
 					h.ShardCount, len(dirs)))
 			}
@@ -297,20 +578,5 @@ func LoadFleet(dirs []string) (Header, []sweep.CellResult, sweep.Totals, error) 
 			haveCell[rec.Index] = true
 		}
 	}
-	missing := 0
-	firstMissing := -1
-	for i, ok := range haveCell {
-		if !ok {
-			missing++
-			if firstMissing < 0 {
-				firstMissing = i
-			}
-		}
-	}
-	if missing > 0 {
-		return fail(fmt.Errorf(
-			"sweepd: %d cell(s) missing (first: cell %d, shard %d not finished — resume it before merging or analyzing)",
-			missing, firstMissing, sweep.ShardOf(firstMissing, base.ShardCount)))
-	}
-	return base, results, sweep.TotalsOf(results), nil
+	return base, results, haveCell, nil
 }

@@ -1,0 +1,286 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"doda/internal/sweep"
+)
+
+// Watcher tails one shard's live checkpoint directory read-only. It
+// never writes, repairs, or locks anything, so it can run against a
+// directory another process is actively journaling into. Safety comes
+// from the journal's publication discipline — segments appear atomically
+// (tmp + rename) and are immutable once published — plus deliberate
+// tolerance for the two transient shapes a live or crashed writer can
+// leave: a torn tail (the valid prefix is counted, the tail ignored;
+// a resumed writer's repair keeps exactly that prefix, so the view never
+// regresses) and in-progress tmp files (skipped entirely). Semantic
+// corruption on intact lines — duplicate cells, disagreeing headers —
+// still surfaces as an error, exactly like ReadCheckpoint.
+//
+// Parsed segments are cached keyed by (size, mtime), so a poll of an
+// N-segment directory reads only the segments that changed since the
+// last poll — normally just the newly published ones.
+//
+// A Watcher is not goroutine-safe; poll it from one goroutine.
+type Watcher struct {
+	dir  string
+	segs map[string]*segView
+	// shardCells caches the shard's assigned-cell count once the header
+	// is known (computing it enumerates the grid).
+	shardCells int
+	haveCells  bool
+}
+
+// segView is one cached parsed segment: totals only, never raw records,
+// so a long-running watch holds O(cells) tiny structs.
+type segView struct {
+	size    int64
+	mtimeNs int64
+	header  Header
+	cells   []cellView
+	reps    []repView
+}
+
+type cellView struct {
+	index         int
+	interactions  float64
+	transmissions int
+	wallMs        float64
+}
+
+type repView struct {
+	cell, rep     int
+	interactions  float64
+	transmissions int
+}
+
+// Snapshot is one consistent view of a shard's progress.
+type Snapshot struct {
+	// Header identifies the shard (valid once at least segment 0 has
+	// been published and read intact).
+	Header Header
+	// CellsDone / CellsTotal count journaled complete cells against the
+	// shard's assignment.
+	CellsDone  int
+	CellsTotal int
+	// ReplicasDone counts journaled replicas of cells still in flight
+	// (nonzero only under per-replica checkpointing).
+	ReplicasDone int
+	// Interactions / Transmissions total everything journaled so far,
+	// including in-flight cells' replica records.
+	Interactions  float64
+	Transmissions int
+	// WallMsSum is the summed journaled per-cell wall time — the basis
+	// for cells/sec and ETA estimates that survive process restarts.
+	WallMsSum float64
+	// DoneIndexes lists the journaled complete cell indexes in journal
+	// order (partial analysis and merge previews build on it).
+	DoneIndexes []int
+	// Progress is the shard's advisory progress record, if present and
+	// intact; nil otherwise.
+	Progress *Progress
+}
+
+// NewWatcher tails the checkpoint directory at dir.
+func NewWatcher(dir string) *Watcher {
+	return &Watcher{dir: dir, segs: make(map[string]*segView)}
+}
+
+// Snapshot polls the directory and returns the current progress view.
+// A directory with no published segments yet is ErrNoCheckpoint.
+func (w *Watcher) Snapshot() (*Snapshot, error) {
+	names, err := segmentNames(w.dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, w.dir)
+	}
+	current := make(map[string]bool, len(names))
+	for _, name := range names {
+		current[name] = true
+		if err := w.refresh(name); err != nil {
+			return nil, err
+		}
+	}
+	// Drop cache entries for segments a repair removed outright.
+	for name := range w.segs {
+		if !current[name] {
+			delete(w.segs, name)
+		}
+	}
+	return w.assemble(names)
+}
+
+// refresh (re)parses one segment if its (size, mtime) changed since the
+// cached parse. A segment that vanishes between listing and stat — a
+// repair racing the poll — is treated as unchanged-this-poll; the next
+// poll's listing drops it.
+func (w *Watcher) refresh(name string) error {
+	path := filepath.Join(w.dir, name)
+	fi, err := os.Stat(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if sv, ok := w.segs[name]; ok && sv.size == fi.Size() && sv.mtimeNs == fi.ModTime().UnixNano() {
+		return nil
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	sv := &segView{size: fi.Size(), mtimeNs: fi.ModTime().UnixNano()}
+	lines, _ := splitLines(raw)
+	for li, line := range lines {
+		body, err := decodeLine(line)
+		if err != nil {
+			// A frame/crc failure is a torn write: count the valid
+			// prefix, ignore the rest. Unlike readCheckpoint, a live
+			// reader tolerates this in any segment — it may hold a stale
+			// listing while the writer repairs and appends, and the
+			// valid prefix is correct either way.
+			break
+		}
+		if li == 0 {
+			var h Header
+			if err := json.Unmarshal(body, &h); err != nil {
+				break // torn-looking header: treat segment as empty for now
+			}
+			if h.Version != recordVersion {
+				return fmt.Errorf("%w: segment %s has version %d, this reader speaks %d",
+					ErrStaleCheckpoint, name, h.Version, recordVersion)
+			}
+			sv.header = h
+			continue
+		}
+		var probe struct {
+			Result *json.RawMessage `json:"result"`
+			Out    *json.RawMessage `json:"out"`
+		}
+		if err := json.Unmarshal(body, &probe); err != nil {
+			return fmt.Errorf("%w: segment %s record %d: %v", ErrCorrupt, name, li, err)
+		}
+		switch {
+		case probe.Result != nil:
+			var rec CellRecord
+			if err := json.Unmarshal(body, &rec); err != nil {
+				return fmt.Errorf("%w: segment %s record %d: %v", ErrCorrupt, name, li, err)
+			}
+			cv := cellView{
+				index:         rec.Index,
+				transmissions: rec.Result.Transmissions,
+				wallMs:        rec.WallMs,
+			}
+			m := rec.Result.Interactions
+			cv.interactions = m.Mean * float64(m.Count)
+			sv.cells = append(sv.cells, cv)
+		case probe.Out != nil:
+			var rec ReplicaRecord
+			if err := json.Unmarshal(body, &rec); err != nil {
+				return fmt.Errorf("%w: segment %s record %d: %v", ErrCorrupt, name, li, err)
+			}
+			sv.reps = append(sv.reps, repView{
+				cell: rec.CellIndex, rep: rec.Rep,
+				interactions:  rec.Out.Interactions,
+				transmissions: rec.Out.Transmissions,
+			})
+		default:
+			return fmt.Errorf("%w: segment %s record %d: neither a cell nor a replica record", ErrCorrupt, name, li)
+		}
+	}
+	w.segs[name] = sv
+	return nil
+}
+
+// assemble folds the cached segment views, in segment order, into one
+// snapshot, enforcing the same semantic invariants as readCheckpoint:
+// one header identity, no duplicate cells, contiguous replica prefixes.
+func (w *Watcher) assemble(names []string) (*Snapshot, error) {
+	snap := &Snapshot{}
+	headerKnown := false
+	done := make(map[int]string)
+	repSeen := make(map[int]int)
+	repInts := make(map[int]float64)
+	repTrans := make(map[int]int)
+	for _, name := range names {
+		sv, ok := w.segs[name]
+		if !ok {
+			continue // vanished mid-poll; next poll settles it
+		}
+		if sv.header.Version != 0 {
+			if !headerKnown {
+				snap.Header = sv.header
+				headerKnown = true
+			} else if !snap.Header.matches(sv.header) {
+				return nil, fmt.Errorf("%w: segment %s header disagrees with earlier segments", ErrStaleCheckpoint, name)
+			}
+		}
+		for _, rv := range sv.reps {
+			if prev, isDone := done[rv.cell]; isDone {
+				return nil, fmt.Errorf("%w: replica record for cell %d in %s after its cell record in %s",
+					ErrCorrupt, rv.cell, name, prev)
+			}
+			if rv.rep != repSeen[rv.cell] {
+				return nil, fmt.Errorf("%w: cell %d replica %d in %s but %d replica(s) precede it",
+					ErrCorrupt, rv.cell, rv.rep, name, repSeen[rv.cell])
+			}
+			repSeen[rv.cell]++
+			repInts[rv.cell] += rv.interactions
+			repTrans[rv.cell] += rv.transmissions
+		}
+		for _, cv := range sv.cells {
+			if prev, dup := done[cv.index]; dup {
+				return nil, fmt.Errorf("%w: cell %d journaled in both %s and %s", ErrCorrupt, cv.index, prev, name)
+			}
+			done[cv.index] = name
+			snap.DoneIndexes = append(snap.DoneIndexes, cv.index)
+			snap.Interactions += cv.interactions
+			snap.Transmissions += cv.transmissions
+			snap.WallMsSum += cv.wallMs
+			// The cell record folds its replica prefix; drop the prefix
+			// so only in-flight cells contribute replica-level counts.
+			delete(repSeen, cv.index)
+			delete(repInts, cv.index)
+			delete(repTrans, cv.index)
+		}
+	}
+	if !headerKnown {
+		return nil, fmt.Errorf("%w: no readable header yet", ErrNoCheckpoint)
+	}
+	snap.CellsDone = len(done)
+	for idx, n := range repSeen {
+		snap.ReplicasDone += n
+		snap.Interactions += repInts[idx]
+		snap.Transmissions += repTrans[idx]
+	}
+	if !w.haveCells {
+		cells, err := snap.Header.Grid.Cells()
+		if err != nil {
+			return nil, err
+		}
+		count := 0
+		for i := range cells {
+			if sweep.ShardOf(i, snap.Header.ShardCount) == snap.Header.ShardIndex {
+				count++
+			}
+		}
+		w.shardCells = count
+		w.haveCells = true
+	}
+	snap.CellsTotal = w.shardCells
+	if p, err := ReadProgress(w.dir); err == nil {
+		snap.Progress = p
+	}
+	return snap, nil
+}
