@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"doda/internal/chaos"
 	"doda/internal/fleet"
 	"doda/internal/sweep"
 	"doda/internal/sweepd"
@@ -116,9 +118,10 @@ func runCoordinate(args []string, out, errw io.Writer) error {
 		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (workers and scripts discover the coordinator through it)")
 		ttl      = fs.Duration("lease-ttl", 30*time.Second, "lease time-to-live without a heartbeat; must comfortably exceed the slowest cell's wall time")
 		summary  = fs.Bool("summary", false, "also print the fleet totals as a final JSON line on stdout")
+		resume   = fs.Bool("resume", false, "rebuild the partition table of a crashed coordinator from dir/coord.log and the shard checkpoints")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(errw, "usage: dodasweep coordinate -shards M -dir fleet/ [grid flags] [-addr host:port] [-addr-file f] [-lease-ttl d]")
+		fmt.Fprintln(errw, "usage: dodasweep coordinate -shards M -dir fleet/ [grid flags] [-addr host:port] [-addr-file f] [-lease-ttl d] [-resume]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -135,6 +138,10 @@ func runCoordinate(args []string, out, errw io.Writer) error {
 		ShardCount: *shards,
 		Dir:        *dir,
 		LeaseTTL:   *ttl,
+		Resume:     *resume,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(errw, "dodasweep coordinate: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return err
@@ -145,7 +152,7 @@ func runCoordinate(args []string, out, errw io.Writer) error {
 	}
 	defer c.Close()
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+		if err := writeFileAtomic(*addrFile, []byte(bound+"\n")); err != nil {
 			return err
 		}
 	}
@@ -187,9 +194,15 @@ func runWork(args []string, out, errw io.Writer) error {
 		perReplica  = fs.Bool("per-replica", false, "checkpoint every completed replica of the leased shards")
 		name        = fs.String("name", "", "worker name in leases and dashboards (default host:pid)")
 		quiet       = fs.Bool("quiet", false, "suppress the per-shard progress lines")
+		retryN      = fs.Int("retry-attempts", 0, "attempts per coordinator call before giving up (0 = default 8)")
+		retryBase   = fs.Duration("retry-base", 0, "initial retry backoff, doubling per attempt (0 = default 100ms)")
+		retryMax    = fs.Duration("retry-max", 0, "retry backoff cap (0 = default 5s)")
+		chaosFS     = fs.Uint64("chaos-fs", 0, "seed deterministic filesystem fault injection into the journal write path (0 = off; testing only)")
+		chaosHTTP   = fs.Uint64("chaos-http", 0, "seed deterministic transport fault injection into coordinator calls (0 = off; testing only)")
+		chaosMax    = fs.Int("chaos-max", 8, "fault budget per chaos seam; after it drains the seam is a passthrough")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(errw, "usage: dodasweep work (-coord URL | -addr-file f) [-workers N] [-per-replica] [-name s]")
+		fmt.Fprintln(errw, "usage: dodasweep work (-coord URL | -addr-file f) [-workers N] [-per-replica] [-name s] [-retry-attempts N] [-chaos-fs seed] [-chaos-http seed]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -203,6 +216,28 @@ func runWork(args []string, out, errw io.Writer) error {
 		Name:       *name,
 		Workers:    *workers,
 		PerReplica: *perReplica,
+		Retry:      fleet.RetryPolicy{Attempts: *retryN, Base: *retryBase, Max: *retryMax},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(errw, "dodasweep work: "+format+"\n", args...)
+		},
+	}
+	var faultFS *chaos.FaultFS
+	if *chaosFS != 0 {
+		faultFS = chaos.NewFaultFS(chaos.Disk, chaos.FSOptions{
+			Seed: *chaosFS, WriteFail: 0.05, SyncFail: 0.05, RenameFail: 0.03, TornRename: 0.02,
+			MaxFaults: *chaosMax,
+		})
+		opt.FS = faultFS
+	}
+	if *chaosHTTP != 0 {
+		opt.Client = &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: chaos.NewTransport(nil, chaos.TransportOptions{
+				Seed: *chaosHTTP, Latency: 0.1, MaxLatency: 50 * time.Millisecond,
+				Reset: 0.05, Err5xx: 0.05, DropResponse: 0.03,
+				MaxFaults: *chaosMax,
+			}),
+		}
 	}
 	if !*quiet {
 		opt.OnProgress = func(shard int, p sweepd.Progress) {
@@ -210,7 +245,38 @@ func runWork(args []string, out, errw io.Writer) error {
 				shard, p.CellsDone, p.CellsTotal, p.Interactions)
 		}
 	}
-	return fleet.Work(context.Background(), url, opt)
+	err = fleet.Work(context.Background(), url, opt)
+	if err != nil && faultFS != nil && faultFS.Crashed() {
+		// An injected torn-rename "power cut": report it distinctly so a
+		// supervising script (or the chaos e2e) can restart the worker,
+		// which models the reboot.
+		return fmt.Errorf("work: injected crash (restart to continue): %w", err)
+	}
+	return err
+}
+
+// writeFileAtomic publishes path via tmp+rename, so a reader polling
+// for it (coordinatorURL) can never observe a half-written address.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // coordinatorURL resolves the coordinator base URL from -coord or

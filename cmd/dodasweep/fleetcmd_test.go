@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -97,6 +98,129 @@ func TestCoordinateWorkEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(md.String(), "Partial analysis") {
 		t.Errorf("partial analysis lacks its banner:\n%.400s", md.String())
+	}
+}
+
+// TestChaosWorkEndToEnd reruns the fleet e2e with both chaos seams
+// armed on every worker: the merged stdout must still be byte-identical
+// to a clean single-process sweep. Workers that die of an injected
+// "power cut" are restarted, like the real supervisor loop would.
+func TestChaosWorkEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	fleetDir := filepath.Join(dir, "fleet")
+
+	var coordOut bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var coordErr error
+	go func() {
+		defer wg.Done()
+		coordErr = run(append([]string{
+			"coordinate", "-shards", "3", "-dir", fleetDir,
+			"-addr-file", addrFile, "-summary", "-lease-ttl", "2s",
+		}, fleetGridArgs...), &coordOut, io.Discard)
+	}()
+
+	workErrs := make([]error, 2)
+	for i := range workErrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seed := strconv.Itoa(5000 + i)
+			for attempt := 0; attempt < 30; attempt++ {
+				workErrs[i] = run([]string{
+					"work", "-addr-file", addrFile, "-workers", "2", "-quiet",
+					"-chaos-fs", seed, "-chaos-http", seed, "-chaos-max", "4",
+					"-retry-attempts", "10", "-retry-base", "5ms", "-retry-max", "100ms",
+				}, io.Discard, io.Discard)
+				if workErrs[i] == nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if coordErr != nil {
+		t.Fatalf("coordinate: %v", coordErr)
+	}
+	for i, err := range workErrs {
+		if err != nil && !strings.Contains(err.Error(), "cannot reach coordinator") {
+			t.Fatalf("chaos worker %d never converged: %v", i, err)
+		}
+	}
+
+	want := sweepOut(t, append([]string{"-workers", "1", "-summary", "-quiet"}, fleetGridArgs...))
+	if got := coordOut.String(); got != want {
+		t.Errorf("chaos fleet output differs from single-process run:\n--- fleet ---\n%s\n--- single ---\n%s", got, want)
+	}
+}
+
+// TestCoordinateRefusesDirtyDirAndResumesIt: a fleet directory that
+// already has a coord.log refuses a fresh coordinate, and -resume on a
+// finished fleet re-merges the same bytes instead of redoing work.
+func TestCoordinateRefusesDirtyDirAndResumesIt(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	fleetDir := filepath.Join(dir, "fleet")
+
+	var firstOut bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var coordErr, workErr error
+	go func() {
+		defer wg.Done()
+		coordErr = run(append([]string{
+			"coordinate", "-shards", "2", "-dir", fleetDir, "-addr-file", addrFile, "-summary",
+		}, fleetGridArgs...), &firstOut, io.Discard)
+	}()
+	go func() {
+		defer wg.Done()
+		workErr = run([]string{"work", "-addr-file", addrFile, "-workers", "2", "-quiet"}, io.Discard, io.Discard)
+	}()
+	wg.Wait()
+	if coordErr != nil || (workErr != nil && !strings.Contains(workErr.Error(), "cannot reach coordinator")) {
+		t.Fatalf("first fleet: coord=%v work=%v", coordErr, workErr)
+	}
+
+	err := run(append([]string{
+		"coordinate", "-shards", "2", "-dir", fleetDir,
+	}, fleetGridArgs...), io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "exists") {
+		t.Fatalf("fresh coordinate over a used dir: want refusal, got %v", err)
+	}
+
+	var resumedOut bytes.Buffer
+	if err := run(append([]string{
+		"coordinate", "-shards", "2", "-dir", fleetDir, "-summary", "-resume",
+	}, fleetGridArgs...), &resumedOut, io.Discard); err != nil {
+		t.Fatalf("coordinate -resume on a finished fleet: %v", err)
+	}
+	if resumedOut.String() != firstOut.String() {
+		t.Error("resumed merge differs from the original fleet output")
+	}
+}
+
+// TestWriteFileAtomic pins the tmp+rename publish of -addr-file.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr")
+	if err := writeFileAtomic(path, []byte("first\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("second\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "second\n" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("tmp files left behind: %v", entries)
 	}
 }
 

@@ -28,9 +28,16 @@
 // completes; work leases shards, heartbeats, and checkpoints until the
 // fleet is done (a worker that dies silently has its lease requeued);
 // status and watch render a live dashboard from the checkpoint journals
-// without disturbing the writers. The merged output stays byte-identical
-// to a single-process run regardless of worker count, scheduling, or
-// mid-shard retries — see internal/fleet for the protocol contract.
+// without disturbing the writers. The coordinator journals grants and
+// completions to <dir>/coord.log, so coordinate -resume rebuilds the
+// partition table after a coordinator crash; workers retry transient
+// protocol failures with jittered exponential backoff (-retry-attempts,
+// -retry-base, -retry-max) and can inject deterministic filesystem and
+// network faults for hardening runs (-chaos-fs, -chaos-http,
+// -chaos-max). The merged output stays byte-identical to a
+// single-process run regardless of worker count, scheduling, crashes,
+// or mid-shard retries — see internal/fleet for the protocol contract
+// and internal/chaos for the fault model.
 //
 // Usage:
 //
@@ -46,6 +53,8 @@
 //	dodasweep analyze -json s0/ s1/ s2/              # same analysis over a whole shard fleet
 //	dodasweep coordinate -shards 4 -dir fleet/ -addr-file fleet/addr ... > out.jsonl
 //	dodasweep work -addr-file fleet/addr             # as many of these as you have cores/hosts
+//	dodasweep coordinate -resume -dir fleet/ ...     # coordinator crashed: replay coord.log, keep going
+//	dodasweep work -addr-file fleet/addr -chaos-fs 7 -chaos-http 9   # hardening run with injected faults
 //	dodasweep status fleet/ -addr-file fleet/addr    # one dashboard snapshot
 //	dodasweep watch -every 2s fleet/                 # refresh until the fleet is done
 //	dodasweep analyze -partial fleet/                # scaling laws over the cells done so far

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+)
+
+// Sentinel errors callers branch on. Every injected failure wraps
+// ErrInjected; a torn rename additionally latches the injector into
+// ErrCrashed until Revive.
+var (
+	// ErrInjected marks an error as a scheduled fault rather than a
+	// genuine one.
+	ErrInjected = errors.New("chaos: injected fault")
+	// ErrCrashed is returned by every filesystem operation after a torn
+	// rename simulated a power cut; Revive clears it.
+	ErrCrashed = errors.New("chaos: simulated machine crash (call Revive to reboot)")
+)
+
+// Fault kinds, used as the decision stream discriminator so one
+// operation can consult several independent draws.
+const (
+	kindWrite uint64 = iota + 1
+	kindSync
+	kindRename
+	kindTorn
+	kindTornCut
+	kindLatency
+	kindLatencyScale
+	kindReset
+	kind5xx
+	kindDrop
+)
+
+// mix64 is the splitmix64 finalizer — the same avalanche the repo's rng
+// package seeds through, so nearby seeds give unrelated schedules.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// roll returns a deterministic uniform draw in [0,1) for (seed, kind,
+// operation index) — the whole fault schedule is a pure function of
+// these three.
+func roll(seed, kind, idx uint64) float64 {
+	h := mix64(mix64(seed^kind*0x9e3779b97f4a7c15) + idx)
+	return float64(h>>11) / (1 << 53)
+}
+
+// schedule is the shared decision core of both injectors: an operation
+// counter, a fault budget, and the seed the draws derive from.
+type schedule struct {
+	mu     sync.Mutex
+	seed   uint64
+	max    int // 0 = unlimited
+	ops    uint64
+	faults int
+}
+
+// next claims the next operation index.
+func (s *schedule) next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.ops
+	s.ops++
+	return idx
+}
+
+// fire reports whether fault kind should strike at operation idx, and
+// charges the budget when it does.
+func (s *schedule) fire(kind, idx uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.max > 0 && s.faults >= s.max {
+		return false
+	}
+	if roll(s.seed, kind, idx) >= p {
+		return false
+	}
+	s.faults++
+	return true
+}
+
+// count returns how many faults fired so far.
+func (s *schedule) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}

@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// publish writes one file through fsys with the journal's tmp+rename
+// idiom and returns every error along the way.
+func publish(fsys FS, dir, name string, body []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// faultTrace runs a fixed operation sequence against a fresh FaultFS
+// and records which operations failed and how.
+func faultTrace(t *testing.T, dir string, opt FSOptions) []string {
+	t.Helper()
+	fsys := NewFaultFS(Disk, opt)
+	var trace []string
+	for i := 0; i < 60; i++ {
+		err := publish(fsys, dir, fmt.Sprintf("f-%03d", i), []byte(strings.Repeat("x", 200)))
+		switch {
+		case err == nil:
+			trace = append(trace, "ok")
+		case errors.Is(err, ErrCrashed):
+			trace = append(trace, "crash")
+			fsys.Revive()
+		case errors.Is(err, syscall.ENOSPC):
+			trace = append(trace, "enospc")
+		default:
+			trace = append(trace, "err")
+		}
+	}
+	return trace
+}
+
+// TestFSScheduleDeterministic is the acceptance contract: the same seed
+// reproduces the same fault sequence on every run, and a different
+// seed produces a different one.
+func TestFSScheduleDeterministic(t *testing.T) {
+	opt := FSOptions{Seed: 42, WriteFail: 0.1, SyncFail: 0.1, RenameFail: 0.1, TornRename: 0.05}
+	a := faultTrace(t, t.TempDir(), opt)
+	b := faultTrace(t, t.TempDir(), opt)
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	faults := 0
+	for _, s := range a {
+		if s != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("schedule injected no faults at these rates")
+	}
+	opt.Seed = 43
+	c := faultTrace(t, t.TempDir(), opt)
+	if strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestFSMaxFaultsBoundsTheSchedule: after the budget is spent the FS is
+// a passthrough, so retried runs converge.
+func TestFSMaxFaultsBoundsTheSchedule(t *testing.T) {
+	fsys := NewFaultFS(Disk, FSOptions{Seed: 7, WriteFail: 1, MaxFaults: 3})
+	dir := t.TempDir()
+	failures := 0
+	for i := 0; i < 10; i++ {
+		if err := publish(fsys, dir, fmt.Sprintf("g-%d", i), []byte("hello world")); err != nil {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("want exactly MaxFaults=3 failures, got %d", failures)
+	}
+	if fsys.Faults() != 3 {
+		t.Fatalf("Faults() = %d, want 3", fsys.Faults())
+	}
+}
+
+// TestTornRenameTearsAndCrashes: the destination exists with a
+// truncated tail, every later operation fails until Revive.
+func TestTornRenameTearsAndCrashes(t *testing.T) {
+	fsys := NewFaultFS(Disk, FSOptions{Seed: 1, TornRename: 1, MaxFaults: 1})
+	dir := t.TempDir()
+	body := []byte(strings.Repeat("line of journal bytes\n", 20))
+	err := publish(fsys, dir, "seg", body)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("FS should be latched crashed")
+	}
+	got, rerr := os.ReadFile(filepath.Join(dir, "seg"))
+	if rerr != nil {
+		t.Fatalf("torn rename must still publish the file: %v", rerr)
+	}
+	if len(got) >= len(body) || len(got) < len(body)-128 {
+		t.Fatalf("torn file is %d bytes, want a 1-128 byte cut off %d", len(got), len(body))
+	}
+	if _, err := fsys.OpenFile(filepath.Join(dir, "other"), os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op: want ErrCrashed, got %v", err)
+	}
+	fsys.Revive()
+	if err := publish(fsys, dir, "after", []byte("back up")); err != nil {
+		t.Fatalf("revived FS should pass through (budget spent): %v", err)
+	}
+}
+
+// TestShortWriteWrapsENOSPC: the injected write error reads as a real
+// full disk to errors.Is, and persists only a prefix.
+func TestShortWriteWrapsENOSPC(t *testing.T) {
+	fsys := NewFaultFS(Disk, FSOptions{Seed: 5, WriteFail: 1, MaxFaults: 1})
+	f, err := fsys.OpenFile(filepath.Join(t.TempDir(), "w"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected ENOSPC, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write persisted %d bytes, want half (5)", n)
+	}
+}
+
+// transportTrace runs n requests against a live server through a fresh
+// Transport and records each outcome.
+func transportTrace(t *testing.T, url string, opt TransportOptions, n int) []string {
+	t.Helper()
+	client := &http.Client{Transport: NewTransport(nil, opt), Timeout: 5 * time.Second}
+	var trace []string
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(url)
+		switch {
+		case err != nil && strings.Contains(err.Error(), "response lost"):
+			trace = append(trace, "drop")
+		case err != nil:
+			trace = append(trace, "reset")
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			trace = append(trace, "503")
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			trace = append(trace, "ok")
+		}
+	}
+	return trace
+}
+
+// TestTransportScheduleDeterministic mirrors the FS determinism
+// contract for the HTTP seam.
+func TestTransportScheduleDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+	opt := TransportOptions{Seed: 99, Reset: 0.15, Err5xx: 0.15, DropResponse: 0.1}
+	a := transportTrace(t, srv.URL, opt, 50)
+	b := transportTrace(t, srv.URL, opt, 50)
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("same seed, different transport schedules:\n%v\n%v", a, b)
+	}
+	kinds := map[string]int{}
+	for _, s := range a {
+		kinds[s]++
+	}
+	if kinds["reset"]+kinds["503"]+kinds["drop"] == 0 {
+		t.Fatal("transport schedule injected nothing at these rates")
+	}
+	opt.Seed = 100
+	c := transportTrace(t, srv.URL, opt, 50)
+	if strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Fatal("different seeds produced identical transport schedules")
+	}
+}
+
+// TestTransportDropDeliversThenFails: a dropped response must have
+// reached the server — that is what distinguishes it from a reset.
+func TestTransportDropDeliversThenFails(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fmt.Fprintln(w, "ok")
+	}))
+	defer srv.Close()
+	client := &http.Client{
+		Transport: NewTransport(nil, TransportOptions{Seed: 3, DropResponse: 1, MaxFaults: 1}),
+	}
+	if _, err := client.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "response lost") {
+		t.Fatalf("want a response-lost error, got %v", err)
+	}
+	if hits != 1 {
+		t.Fatalf("dropped request must still reach the server: hits=%d", hits)
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("after MaxFaults the transport should pass through: %v", err)
+	}
+	resp.Body.Close()
+	if hits != 2 {
+		t.Fatalf("passthrough request lost: hits=%d", hits)
+	}
+}
+
+// TestTransportLatencyDelays: with Latency=1 every request waits, and
+// the injected delay respects context cancellation.
+func TestTransportLatencyDelays(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	defer srv.Close()
+	tr := NewTransport(nil, TransportOptions{Seed: 8, Latency: 1, MaxLatency: 20 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tr.Faults() != 0 {
+		t.Fatalf("latency must not charge the fault budget, got %d", tr.Faults())
+	}
+}

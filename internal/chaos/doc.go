@@ -1,0 +1,44 @@
+// Package chaos provides deterministic, seedable fault injection for
+// the sweep stack's two failure seams: the filesystem the checkpoint
+// journal writes through, and the HTTP transport the fleet protocol
+// rides on.
+//
+// # Determinism
+//
+// Every fault decision is a pure function of (seed, fault kind,
+// operation index): operation k of a given injector consults
+// splitmix64-derived uniform draws, so the same seed produces the same
+// fault schedule on every run. Concurrent callers may interleave
+// differently — which goroutine lands on operation k is scheduling —
+// but the schedule itself (which operation indexes fault, and how) is
+// fixed by the seed. MaxFaults bounds the total injected faults, so a
+// retried or resumed computation always converges once the schedule
+// is exhausted.
+//
+// # Filesystem faults
+//
+// FS is the write-path seam the sweepd journal publishes segments
+// through; Disk is the passthrough implementation. NewFaultFS wraps
+// any FS and injects, per the FSOptions rates:
+//
+//   - short writes that fail with ENOSPC (a full disk mid-segment),
+//   - fsync failures (an I/O error at the durability barrier),
+//   - rename failures (the publish step itself erroring), and
+//   - torn renames: the rename succeeds but the destination loses a
+//     deterministic slice of its tail and every subsequent operation
+//     fails with ErrCrashed — a power cut on a non-atomic filesystem,
+//     the exact scenario the journal's torn-tail repair exists for.
+//     Revive clears the crash ("the machine reboots"); the bytes on
+//     disk are whatever the crash left.
+//
+// # Transport faults
+//
+// Transport is an http.RoundTripper wrapper injecting latency,
+// connection resets (the request never reaches the server), synthesized
+// 5xx responses, and dropped responses (the request IS delivered, its
+// response lost) — the last being the nasty case that exercises
+// retry idempotency for real.
+//
+// All injected errors wrap ErrInjected so tests and harnesses can tell
+// scheduled faults from genuine ones.
+package chaos

@@ -1,0 +1,274 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FS is the write-path filesystem seam the sweepd journal publishes
+// segments and progress records through. Disk is the passthrough
+// implementation; NewFaultFS wraps any FS with an injected fault
+// schedule. Read-side helpers (ReadFile) exist so wrappers can inspect
+// what they damage; the journal's readers stay on plain os.
+type FS interface {
+	// OpenFile opens a file for writing (the journal passes O_EXCL
+	// tmp-creation flags through it).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp mirrors os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically publishes a tmp file under its final name.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs a directory so a just-renamed entry is durable.
+	// Filesystems that refuse directory fsync outright (EINVAL/ENOTSUP)
+	// are tolerated — the rename is still atomic there.
+	SyncDir(dir string) error
+}
+
+// File is the writable-file surface the journal needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// diskFS is the real filesystem.
+type diskFS struct{}
+
+// Disk is the passthrough FS every production path writes through.
+var Disk FS = diskFS{}
+
+func (diskFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (diskFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (diskFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (diskFS) Remove(name string) error             { return os.Remove(name) }
+func (diskFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (diskFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// FSOptions configures one FaultFS schedule. Each rate is the per-
+// operation probability of that fault kind; MaxFaults bounds the total
+// injected faults (0 = unlimited) so retried runs converge.
+type FSOptions struct {
+	// Seed fixes the fault schedule; the same seed reproduces the same
+	// decisions at the same operation indexes on every run.
+	Seed uint64
+	// WriteFail is the chance a Write persists only half its bytes and
+	// fails with an injected ENOSPC.
+	WriteFail float64
+	// SyncFail is the chance a file Sync (or directory sync) fails with
+	// an injected I/O error.
+	SyncFail float64
+	// RenameFail is the chance a Rename fails outright, leaving the tmp
+	// file in place.
+	RenameFail float64
+	// TornRename is the chance a Rename succeeds but the destination
+	// loses 1–128 trailing bytes and the FS latches into ErrCrashed — a
+	// power cut on a non-atomic filesystem. Revive reboots.
+	TornRename float64
+	// MaxFaults stops injecting after this many faults (0 = unlimited).
+	MaxFaults int
+}
+
+// FaultFS wraps an FS with a deterministic fault schedule.
+type FaultFS struct {
+	inner FS
+	opt   FSOptions
+	sched schedule
+
+	mu      sync.Mutex
+	crashed bool
+}
+
+// NewFaultFS wraps inner (nil = Disk) with the schedule opt describes.
+func NewFaultFS(inner FS, opt FSOptions) *FaultFS {
+	if inner == nil {
+		inner = Disk
+	}
+	return &FaultFS{inner: inner, opt: opt, sched: schedule{seed: opt.Seed, max: opt.MaxFaults}}
+}
+
+// Faults returns how many faults have fired so far.
+func (f *FaultFS) Faults() int { return f.sched.count() }
+
+// Crashed reports whether a torn rename latched the simulated power cut.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Revive clears the simulated crash: the "machine" reboots and the
+// bytes on disk are whatever the crash left. The schedule continues
+// from where it stopped, so the fault budget still bounds the run.
+func (f *FaultFS) Revive() {
+	f.mu.Lock()
+	f.crashed = false
+	f.mu.Unlock()
+}
+
+// dead reports the latched crash as the error every post-crash
+// operation returns.
+func (f *FaultFS) dead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	idx := f.sched.next()
+	if f.sched.fire(kindRename, idx, f.opt.RenameFail) {
+		return fmt.Errorf("%w: rename %s: %w", ErrInjected, newpath, syscall.EIO)
+	}
+	if f.sched.fire(kindTorn, idx, f.opt.TornRename) {
+		if err := f.inner.Rename(oldpath, newpath); err != nil {
+			return err
+		}
+		f.tear(newpath, idx)
+		f.mu.Lock()
+		f.crashed = true
+		f.mu.Unlock()
+		return fmt.Errorf("%w: power cut after renaming %s", ErrCrashed, newpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// tear drops a deterministic 1–128 byte slice off newpath's tail,
+// simulating the unsynced tail a power cut loses after the rename's
+// directory entry made it to disk.
+func (f *FaultFS) tear(newpath string, idx uint64) {
+	raw, err := f.inner.ReadFile(newpath)
+	if err != nil {
+		return
+	}
+	cut := 1 + int(roll(f.opt.Seed, kindTornCut, idx)*127)
+	if cut > len(raw) {
+		cut = len(raw)
+	}
+	w, err := f.inner.OpenFile(newpath, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	w.Write(raw[:len(raw)-cut])
+	w.Close()
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	if f.sched.fire(kindSync, f.sched.next(), f.opt.SyncFail) {
+		return fmt.Errorf("%w: fsync dir %s: %w", ErrInjected, dir, syscall.EIO)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile applies the write/sync schedule to one open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.dead(); err != nil {
+		return 0, err
+	}
+	if f.fs.sched.fire(kindWrite, f.fs.sched.next(), f.fs.opt.WriteFail) {
+		n, _ := f.inner.Write(p[:len(p)/2])
+		return n, fmt.Errorf("%w: short write to %s: %w", ErrInjected, f.inner.Name(), syscall.ENOSPC)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.dead(); err != nil {
+		return err
+	}
+	if f.fs.sched.fire(kindSync, f.fs.sched.next(), f.fs.opt.SyncFail) {
+		return fmt.Errorf("%w: fsync %s: %w", ErrInjected, f.inner.Name(), syscall.EIO)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	// Close always reaches the real file: leaking descriptors would make
+	// the injected world less recoverable than a real crash.
+	return f.inner.Close()
+}

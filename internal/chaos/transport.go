@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// TransportOptions configures one Transport schedule. Each rate is the
+// per-request probability of that fault; MaxFaults bounds the total
+// injected failures (latency is delay, not failure, and is not charged
+// against the budget).
+type TransportOptions struct {
+	// Seed fixes the fault schedule.
+	Seed uint64
+	// Latency is the chance a request is delayed by a deterministic
+	// fraction of MaxLatency before being forwarded.
+	Latency float64
+	// MaxLatency caps an injected delay (default 50ms).
+	MaxLatency time.Duration
+	// Reset is the chance the request fails before reaching the server —
+	// a connection reset on dial or send.
+	Reset float64
+	// Err5xx is the chance the request is answered with a synthesized
+	// 503 without reaching the server.
+	Err5xx float64
+	// DropResponse is the chance the request IS delivered to the server
+	// but its response is discarded and an error returned — the case
+	// that makes non-idempotent retries dangerous.
+	DropResponse float64
+	// MaxFaults stops injecting failures after this many (0 = unlimited).
+	MaxFaults int
+}
+
+// Transport is an http.RoundTripper injecting the TransportOptions
+// schedule in front of a base transport.
+type Transport struct {
+	base  http.RoundTripper
+	opt   TransportOptions
+	sched schedule
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the
+// schedule opt describes.
+func NewTransport(base http.RoundTripper, opt TransportOptions) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if opt.MaxLatency <= 0 {
+		opt.MaxLatency = 50 * time.Millisecond
+	}
+	return &Transport{base: base, opt: opt, sched: schedule{seed: opt.Seed, max: opt.MaxFaults}}
+}
+
+// Faults returns how many failures have fired so far (latency excluded).
+func (t *Transport) Faults() int { return t.sched.count() }
+
+// RoundTrip applies the schedule to one request. Injected failures
+// close the request body, per the RoundTripper contract.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	idx := t.sched.next()
+	if t.opt.Latency > 0 && roll(t.opt.Seed, kindLatency, idx) < t.opt.Latency {
+		delay := time.Duration(roll(t.opt.Seed, kindLatencyScale, idx) * float64(t.opt.MaxLatency))
+		select {
+		case <-req.Context().Done():
+			closeBody(req)
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	if t.sched.fire(kindReset, idx, t.opt.Reset) {
+		closeBody(req)
+		return nil, fmt.Errorf("%w: %s %s: %w", ErrInjected, req.Method, req.URL, syscall.ECONNRESET)
+	}
+	if t.sched.fire(kind5xx, idx, t.opt.Err5xx) {
+		closeBody(req)
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("chaos: injected 503\n")),
+			Request: req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.sched.fire(kindDrop, idx, t.opt.DropResponse) {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: %s %s: response lost: %w", ErrInjected, req.Method, req.URL, syscall.ECONNRESET)
+	}
+	return resp, nil
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"doda/internal/sweep"
+	"doda/internal/sweepd"
 )
 
 // CoordinatorOptions tunes a fleet coordinator.
@@ -21,7 +23,8 @@ type CoordinatorOptions struct {
 	// (each worker runs one shard at a time).
 	ShardCount int
 	// Dir is the fleet's root directory; shard i checkpoints into
-	// Dir/shard-<i>.
+	// Dir/shard-<i>, and the coordinator's own event log is
+	// Dir/coord.log.
 	Dir string
 	// LeaseTTL is how long a lease survives without a heartbeat before
 	// its shard is requeued (default 30s). It must comfortably exceed
@@ -31,6 +34,14 @@ type CoordinatorOptions struct {
 	// RetryEvery is the backoff hint returned when all shards are leased
 	// (default LeaseTTL/4).
 	RetryEvery time.Duration
+	// Resume rebuilds the partition table of a crashed coordinator from
+	// Dir/coord.log and the shards' own checkpoints instead of starting
+	// fresh. Grants whose workers survived keep their lease IDs (with a
+	// fresh TTL), so running workers reconnect without losing work.
+	Resume bool
+	// Logf, when non-nil, receives coordinator lifecycle lines (resume
+	// summary, shards recovered from checkpoints). Printf semantics.
+	Logf func(format string, args ...any)
 }
 
 // shard lease states.
@@ -62,12 +73,15 @@ type Coordinator struct {
 	shards   []*shardState
 	byLease  map[string]int
 	leaseSeq int
+	log      *coordLog
 	doneOnce sync.Once
 	doneCh   chan struct{}
 
-	srv    *http.Server
-	lis    net.Listener
-	stopHB chan struct{}
+	srv       *http.Server
+	lis       net.Listener
+	stopHB    chan struct{}
+	closeOnce sync.Once
+	logf      func(format string, args ...any)
 }
 
 // NewCoordinator validates the grid and builds the partition table.
@@ -99,6 +113,10 @@ func NewCoordinator(grid sweep.Grid, opt CoordinatorOptions) (*Coordinator, erro
 		byLease:     make(map[string]int),
 		doneCh:      make(chan struct{}),
 		stopHB:      make(chan struct{}),
+		logf:        opt.Logf,
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
 	}
 	for i := range c.shards {
 		c.shards[i] = &shardState{
@@ -106,7 +124,163 @@ func NewCoordinator(grid sweep.Grid, opt CoordinatorOptions) (*Coordinator, erro
 			dir:   filepath.Join(opt.Dir, fmt.Sprintf("shard-%03d", i)),
 		}
 	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opt.Resume {
+		if err := c.resume(); err != nil {
+			return nil, err
+		}
+	} else {
+		log, err := createCoordLog(opt.Dir, coordRecord{
+			Kind:        recHeader,
+			Version:     coordLogVersion,
+			Fingerprint: fp,
+			ShardCount:  opt.ShardCount,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.log = log
+	}
 	return c, nil
+}
+
+// resume rebuilds the partition table from the event log and the shard
+// checkpoints. Replay is sequential, so a later grant of a shard
+// supersedes an earlier one and a missing requeue record self-heals.
+// Leased shards come back with their lease IDs intact and a fresh TTL:
+// a worker that survived the coordinator crash heartbeats on and its
+// eventual completion is honored. Finally, every not-yet-done shard's
+// checkpoint directory is scanned — a shard that finished but whose
+// completion call was lost with the old coordinator is detected by its
+// full journal and marked done.
+func (c *Coordinator) resume() error {
+	log, recs, err := openCoordLog(c.opt.Dir)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 || recs[0].Kind != recHeader {
+		log.Close()
+		return fmt.Errorf("fleet: %s/%s: missing header record", c.opt.Dir, coordLogName)
+	}
+	hdr := recs[0]
+	if hdr.Version != coordLogVersion {
+		log.Close()
+		return fmt.Errorf("fleet: coord.log version %d, want %d", hdr.Version, coordLogVersion)
+	}
+	if hdr.Fingerprint != c.fingerprint {
+		log.Close()
+		return fmt.Errorf("fleet: coord.log is for a different grid (fingerprint %.12s, want %.12s)", hdr.Fingerprint, c.fingerprint)
+	}
+	if hdr.ShardCount != len(c.shards) {
+		log.Close()
+		return fmt.Errorf("fleet: coord.log has %d shards, want %d", hdr.ShardCount, len(c.shards))
+	}
+	now := time.Now()
+	for _, rec := range recs[1:] {
+		if rec.Shard < 0 || rec.Shard >= len(c.shards) {
+			log.Close()
+			return fmt.Errorf("fleet: coord.log references shard %d of %d", rec.Shard, len(c.shards))
+		}
+		s := c.shards[rec.Shard]
+		switch rec.Kind {
+		case recGrant:
+			if s.leaseID != "" {
+				delete(c.byLease, s.leaseID)
+			}
+			s.state = stateLeased
+			s.worker = rec.Worker
+			s.leaseID = rec.LeaseID
+			s.expires = now.Add(c.opt.LeaseTTL)
+			s.lastBeat = now
+			c.byLease[rec.LeaseID] = rec.Shard
+			if rec.Seq > c.leaseSeq {
+				c.leaseSeq = rec.Seq
+			}
+		case recRequeue:
+			if s.leaseID != "" {
+				delete(c.byLease, s.leaseID)
+			}
+			s.state = statePending
+			s.worker = ""
+			s.leaseID = ""
+			s.retries++
+		case recComplete:
+			if s.leaseID != "" {
+				delete(c.byLease, s.leaseID)
+			}
+			s.state = stateDone
+			s.worker = ""
+			s.leaseID = ""
+			if rec.Dir != "" {
+				s.dir = rec.Dir
+			}
+		default:
+			log.Close()
+			return fmt.Errorf("fleet: coord.log record kind %q", rec.Kind)
+		}
+	}
+	c.log = log
+	recovered := c.adoptFinishedCheckpoints()
+	done := 0
+	for _, s := range c.shards {
+		if s.state == stateDone {
+			done++
+		}
+	}
+	c.logf("fleet: resumed from coord.log: %d/%d shards done (%d recovered from checkpoints), %d leases live",
+		done, len(c.shards), recovered, len(c.byLease))
+	if done == len(c.shards) {
+		c.doneOnce.Do(func() { close(c.doneCh) })
+	}
+	return nil
+}
+
+// adoptFinishedCheckpoints scans every not-yet-done shard's checkpoint
+// directory and marks as done those whose journal already holds every
+// cell of the shard — work that finished while no coordinator was
+// listening. Returns how many shards it recovered.
+func (c *Coordinator) adoptFinishedCheckpoints() int {
+	cells, err := c.grid.Cells()
+	if err != nil {
+		return 0
+	}
+	want := make([]int, len(c.shards))
+	for _, cell := range cells {
+		want[sweep.ShardOf(cell.Index, len(c.shards))]++
+	}
+	recovered := 0
+	for i, s := range c.shards {
+		if s.state == stateDone {
+			continue
+		}
+		hdr, recs, err := sweepd.ReadCheckpoint(s.dir)
+		if err != nil {
+			continue // no/partial checkpoint: the shard really is unfinished
+		}
+		if hdr.Fingerprint != c.fingerprint || hdr.ShardIndex != i || hdr.ShardCount != len(c.shards) {
+			continue
+		}
+		seen := make(map[int]bool, len(recs))
+		for _, r := range recs {
+			seen[r.Index] = true
+		}
+		if len(seen) < want[i] {
+			continue
+		}
+		if err := c.log.append(coordRecord{Kind: recComplete, Shard: i, Dir: s.dir, Reason: "checkpoint scan"}); err != nil {
+			continue
+		}
+		if s.leaseID != "" {
+			delete(c.byLease, s.leaseID)
+		}
+		s.state = stateDone
+		s.worker = ""
+		s.leaseID = ""
+		recovered++
+	}
+	return recovered
 }
 
 // Handler returns the coordinator's HTTP API.
@@ -115,6 +289,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/lease", c.handleLease)
 	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("/v1/complete", c.handleComplete)
+	mux.HandleFunc("/v1/release", c.handleRelease)
 	mux.HandleFunc("/v1/status", c.handleStatus)
 	return mux
 }
@@ -160,16 +335,25 @@ func (c *Coordinator) expiryLoop() {
 }
 
 // expireLocked requeues every leased shard whose lease has expired.
+// The requeue record is journaled best-effort, unsynced: replay
+// tolerates its loss because the superseding grant re-leases the shard.
 func (c *Coordinator) expireLocked(now time.Time) {
-	for _, s := range c.shards {
+	for i, s := range c.shards {
 		if s.state == stateLeased && now.After(s.expires) {
-			delete(c.byLease, s.leaseID)
-			s.state = statePending
-			s.worker = ""
-			s.leaseID = ""
-			s.retries++
+			c.requeueLocked(i, "lease expired")
 		}
 	}
+}
+
+// requeueLocked returns shard i to the pending pool.
+func (c *Coordinator) requeueLocked(i int, reason string) {
+	s := c.shards[i]
+	c.log.appendNoSync(coordRecord{Kind: recRequeue, Shard: i, Worker: s.worker, LeaseID: s.leaseID, Reason: reason})
+	delete(c.byLease, s.leaseID)
+	s.state = statePending
+	s.worker = ""
+	s.leaseID = ""
+	s.retries++
 }
 
 // Wait blocks until every shard completes or the context is cancelled.
@@ -182,13 +366,18 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 	}
 }
 
-// Close stops the server and the expiry loop.
+// Close stops the server and the expiry loop and releases the event
+// log. Safe to call more than once.
 func (c *Coordinator) Close() error {
-	close(c.stopHB)
-	if c.srv != nil {
-		return c.srv.Close()
-	}
-	return nil
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.stopHB)
+		if c.srv != nil {
+			err = c.srv.Close()
+		}
+		c.log.Close()
+	})
+	return err
 }
 
 // ShardDirs lists every shard's checkpoint directory in shard order —
@@ -250,10 +439,20 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		if s.state != statePending {
 			continue
 		}
-		c.leaseSeq++
+		seq := c.leaseSeq + 1
+		leaseID := fmt.Sprintf("s%d-e%d", i, seq)
+		// The grant is journaled (and fsynced) before it is committed or
+		// acknowledged: a coordinator that crashes right after answering
+		// still knows about the lease on resume.
+		if err := c.log.append(coordRecord{Kind: recGrant, Shard: i, Worker: req.Worker, LeaseID: leaseID, Seq: seq}); err != nil {
+			c.mu.Unlock()
+			http.Error(w, fmt.Sprintf("journal: %v", err), http.StatusInternalServerError)
+			return
+		}
+		c.leaseSeq = seq
 		s.state = stateLeased
 		s.worker = req.Worker
-		s.leaseID = fmt.Sprintf("s%d-e%d", i, c.leaseSeq)
+		s.leaseID = leaseID
 		s.expires = now.Add(c.opt.LeaseTTL)
 		s.lastBeat = now
 		c.byLease[s.leaseID] = i
@@ -310,6 +509,13 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	i, ok := c.byLease[req.LeaseID]
 	if ok {
 		s := c.shards[i]
+		// Journal first: an unacknowledged completion is retried by the
+		// worker, an acknowledged one must survive a coordinator crash.
+		if err := c.log.append(coordRecord{Kind: recComplete, Shard: i, Worker: s.worker, LeaseID: s.leaseID, Dir: req.Dir}); err != nil {
+			c.mu.Unlock()
+			http.Error(w, fmt.Sprintf("journal: %v", err), http.StatusInternalServerError)
+			return
+		}
 		delete(c.byLease, s.leaseID)
 		s.state = stateDone
 		s.worker = ""
@@ -326,6 +532,33 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		if done == len(c.shards) {
 			c.doneOnce.Do(func() { close(c.doneCh) })
 		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusGone, OKResponse{Status: "revoked"})
+		return
+	}
+	writeJSON(w, http.StatusOK, OKResponse{Status: "ok"})
+}
+
+// handleRelease returns a still-valid lease to the pending pool at the
+// worker's request — it hit a run error and wants the shard retried
+// (possibly elsewhere) without waiting out the TTL.
+func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.expireLocked(now)
+	i, ok := c.byLease[req.LeaseID]
+	if ok {
+		reason := req.Reason
+		if reason == "" {
+			reason = "released"
+		}
+		c.requeueLocked(i, reason)
 	}
 	c.mu.Unlock()
 	if !ok {

@@ -18,13 +18,45 @@
 //	POST /v1/complete   {"lease_id": id, "dir": path}
 //	  → 200 {"status":"ok"}                      shard recorded complete
 //	  → 410                                      lease revoked or unknown
+//	POST /v1/release    {"lease_id": id, "reason": s}
+//	  → 200 {"status":"ok"}                      shard requeued immediately
+//	  → 410                                      lease revoked or unknown
 //	GET  /v1/status
 //	  → FleetStatus                              per-shard state dashboard
 //
 // A lease expires when no heartbeat arrives for one TTL; the coordinator
 // then requeues the shard and every later heartbeat or complete carrying
 // the old lease id gets 410, which tells the stale worker to abandon the
-// shard at its next checkpoint boundary.
+// shard at its next checkpoint boundary. A worker whose run errors hands
+// the lease back through /v1/release instead of making the shard wait
+// out the TTL.
+//
+// # Durability and retries
+//
+// The coordinator journals its own state to Dir/coord.log, an
+// append-only event log in the sweepd record framing (crc32c-guarded
+// JSONL). Grants and completions are fsynced before they are committed
+// in memory or acknowledged on the wire; requeues are appended
+// best-effort, because replay order makes a later grant of the same
+// shard supersede a lost requeue. CoordinatorOptions.Resume rebuilds
+// the partition table from that log: completed shards stay done,
+// granted leases come back with their lease IDs intact and a fresh TTL
+// (so workers that outlived the coordinator just keep heartbeating),
+// and every other shard's checkpoint directory is scanned so work that
+// finished while no coordinator was listening is adopted rather than
+// redone.
+//
+// On the worker side every protocol call distinguishes transient
+// failures (connection errors, timeouts, 5xx answers, garbled response
+// bodies) from deliberate ones (410 Gone and other 4xx). Transient
+// failures retry under WorkerOptions.Retry with exponential backoff and
+// deterministic jitter — a pure function of the worker's retry seed, so
+// a chaos schedule reproduces exactly — and only an exhausted budget
+// against a coordinator the worker had already reached ends the loop
+// (logged, exit nil: journaled work is durable and a resumed
+// coordinator re-leases or adopts it). Response decoding is bounded and
+// all-or-nothing: a hostile or truncated body errors without
+// half-writing worker state.
 //
 // # Determinism
 //

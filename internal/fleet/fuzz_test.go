@@ -1,0 +1,57 @@
+package fleet
+
+// Fuzzing the client side of the protocol: whatever bytes and status a
+// coordinator (or an impostor on its port) answers with, the worker's
+// decode path must neither panic nor half-write its state.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzProtocolResponses drives postJSON and FetchStatus with arbitrary
+// response bodies and statuses.
+func FuzzProtocolResponses(f *testing.F) {
+	f.Add(200, []byte(`{"status":"lease","shard":1,"lease_id":"s1-e1"}`))
+	f.Add(200, []byte(`{"status":"lease","shard":`))
+	f.Add(200, []byte(``))
+	f.Add(200, []byte(`null`))
+	f.Add(200, []byte(`[]`))
+	f.Add(200, []byte(`{"shards": "not-an-array"}`))
+	f.Add(500, []byte(`<html>gateway error</html>`))
+	f.Add(410, []byte(`{"status":"revoked"}`))
+	f.Add(204, []byte("\x00\xff\xfe"))
+	f.Fuzz(func(t *testing.T, status int, body []byte) {
+		if status < 200 || status > 599 {
+			status = 200 + (abs(status) % 400)
+		}
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(status)
+			w.Write(body)
+		}))
+		defer srv.Close()
+
+		lease := LeaseResponse{Status: "sentinel", Shard: -1}
+		if _, err := postJSON(context.Background(), srv.Client(), srv.URL, LeaseRequest{Worker: "fuzz"}, &lease); err != nil {
+			// On any decode error the destination must be untouched.
+			if lease.Status != "sentinel" || lease.Shard != -1 {
+				t.Fatalf("error %v left dst half-written: %+v", err, lease)
+			}
+		}
+		var ack OKResponse
+		postJSON(context.Background(), srv.Client(), srv.URL, HeartbeatRequest{LeaseID: "x"}, &ack)
+		FetchStatus(context.Background(), srv.Client(), srv.URL)
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v { // math.MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}

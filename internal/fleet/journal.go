@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"doda/internal/sweepd"
+)
+
+// coordLogName is the coordinator's append-only event log inside the
+// fleet directory. Records reuse the sweepd journal framing (crc32c,
+// space, JSON, newline), so the same torn-tail rules apply: only the
+// final record may be damaged, and only by truncation.
+const coordLogName = "coord.log"
+
+// coordRecord kinds.
+const (
+	recHeader   = "header"
+	recGrant    = "grant"
+	recComplete = "complete"
+	recRequeue  = "requeue"
+)
+
+// coordLogVersion guards the log format.
+const coordLogVersion = 1
+
+// coordRecord is one event in the coordinator log. The first record is
+// always a header carrying the fleet's identity; every later record
+// moves one shard. Replay order is authoritative: a later grant of the
+// same shard supersedes an earlier one, so losing a requeue record (they
+// are written best-effort from the expiry loop) cannot corrupt the
+// table — the superseding grant re-leases the shard either way.
+type coordRecord struct {
+	Kind        string `json:"kind"`
+	Version     int    `json:"version,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	ShardCount  int    `json:"shard_count,omitempty"`
+	// Shard has no omitempty: shard 0 is a real value.
+	Shard   int    `json:"shard"`
+	Worker  string `json:"worker,omitempty"`
+	LeaseID string `json:"lease_id,omitempty"`
+	Seq     int    `json:"seq,omitempty"`
+	Dir     string `json:"dir,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// coordLog is the open append handle. Grants and completions are
+// fsynced before the coordinator commits them in memory (and before the
+// worker sees an acknowledgement); requeues are appended without fsync.
+type coordLog struct {
+	f    *os.File
+	path string
+}
+
+// createCoordLog starts a fresh log, refusing to clobber an existing
+// one — a fleet directory with a coord.log is a crashed fleet, and
+// overwriting it silently would destroy the resume evidence.
+func createCoordLog(dir string, header coordRecord) (*coordLog, error) {
+	path := filepath.Join(dir, coordLogName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("fleet: %s exists — a previous coordinator ran here; use resume or a fresh directory", path)
+		}
+		return nil, err
+	}
+	l := &coordLog{f: f, path: path}
+	if err := l.append(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// openCoordLog reads an existing log for resume: it returns every
+// intact record and reopens the file for appending, first truncating
+// away a torn or corrupt final record (the only damage an append+fsync
+// log can legally carry). Corruption before the final record is fatal.
+func openCoordLog(dir string) (*coordLog, []coordRecord, error) {
+	path := filepath.Join(dir, coordLogName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, fmt.Errorf("fleet: no %s in %s — nothing to resume", coordLogName, dir)
+		}
+		return nil, nil, err
+	}
+	lines, torn := sweepd.SplitRecords(raw)
+	var recs []coordRecord
+	keep := 0
+	for i, line := range lines {
+		body, err := sweepd.DecodeRecord(line)
+		if err != nil {
+			if i == len(lines)-1 && !torn {
+				torn = true // damaged final record: drop it like a torn tail
+				break
+			}
+			return nil, nil, fmt.Errorf("fleet: %s record %d: %w", path, i, err)
+		}
+		var rec coordRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return nil, nil, fmt.Errorf("fleet: %s record %d: %w", path, i, err)
+		}
+		recs = append(recs, rec)
+		keep += len(line) + 1
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if torn {
+		if err := f.Truncate(int64(keep)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(keep), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &coordLog{f: f, path: path}, recs, nil
+}
+
+// append journals one record and fsyncs. An error means the event is
+// not durable and must not be acknowledged.
+func (l *coordLog) append(rec coordRecord) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(sweepd.EncodeRecord(body)); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// appendNoSync journals one record without forcing it to disk — for
+// best-effort events (requeues) whose loss replay tolerates.
+func (l *coordLog) appendNoSync(rec coordRecord) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = l.f.Write(sweepd.EncodeRecord(body))
+	return err
+}
+
+func (l *coordLog) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}

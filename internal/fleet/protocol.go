@@ -39,7 +39,15 @@ type CompleteRequest struct {
 	Dir     string `json:"dir"`
 }
 
-// OKResponse acknowledges a heartbeat or completion.
+// ReleaseRequest hands a still-valid lease back to the coordinator
+// because the worker cannot finish it (run error, shutdown). The shard
+// requeues immediately instead of waiting out the TTL.
+type ReleaseRequest struct {
+	LeaseID string `json:"lease_id"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// OKResponse acknowledges a heartbeat, completion, or release.
 type OKResponse struct {
 	Status string `json:"status"`
 }

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"time"
+
+	"doda/internal/rng"
+)
+
+// maxResponseBytes bounds how much of a (possibly hostile or confused)
+// peer response a client will read before deciding.
+const maxResponseBytes = 8 << 20
+
+// RetryPolicy bounds and paces re-attempts of one protocol call after a
+// transient failure (connection reset, timeout, 5xx, garbled response
+// body). The zero value means the defaults: 8 attempts, 100ms initial
+// backoff doubling to a 5s cap, each delay jittered deterministically
+// into [d/2, d) so a fleet of workers never retries in lockstep.
+type RetryPolicy struct {
+	// Attempts is the total tries per call (default 8).
+	Attempts int
+	// Base is the backoff before the second attempt (default 100ms);
+	// it doubles per attempt.
+	Base time.Duration
+	// Max caps the backoff (default 5s).
+	Max time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 8
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered delay before retry k (k ≥ 1 failures so
+// far) of call number call: d = min(Max, Base·2^(k-1)), scaled into
+// [d/2, d) by a uniform draw that is a pure function of (seed, call, k)
+// — deterministic per worker, decorrelated across workers.
+func (p RetryPolicy) backoff(seed, call uint64, k int) time.Duration {
+	d := p.Max
+	if k-1 < 32 {
+		if exp := p.Base << (k - 1); exp > 0 && exp < p.Max {
+			d = exp
+		}
+	}
+	u := rng.New(seed ^ (call << 20) ^ uint64(k)).Float64()
+	return d/2 + time.Duration(u*float64(d/2))
+}
+
+// transient reports whether one call outcome is worth retrying:
+// transport errors (resets, timeouts) and garbled response bodies
+// surface as err != nil, and any 5xx answer is a server that may heal —
+// all transient. Every other HTTP status (410 Gone above all) is a
+// deliberate answer and terminal.
+func transient(code int, err error) bool {
+	if err != nil {
+		return true
+	}
+	return code >= 500
+}
+
+// postJSONRetry is postJSON under a RetryPolicy: transient failures are
+// retried with deterministic jittered backoff until the budget is
+// exhausted; terminal outcomes (2xx, 410, other 4xx, context
+// cancellation) return immediately. The returned error wraps the last
+// transient failure so callers can report why the budget died.
+func postJSONRetry(ctx context.Context, client *http.Client, url string, body, dst any, p RetryPolicy, seed, call uint64) (int, error) {
+	p = p.withDefaults()
+	var (
+		code int
+		err  error
+	)
+	for k := 0; k < p.Attempts; k++ {
+		if k > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(p.backoff(seed, call, k)):
+			}
+		}
+		code, err = postJSON(ctx, client, url, body, dst)
+		if !transient(code, err) {
+			return code, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("HTTP %d", code)
+	}
+	return code, fmt.Errorf("fleet: %s: retry budget exhausted after %d attempts: %w", url, p.Attempts, err)
+}
+
+// postJSON posts a JSON body and decodes the JSON response, returning
+// the HTTP status code. The response read is bounded, only 2xx bodies
+// are decoded, and decoding goes through a fresh value that is copied
+// into dst only on full success — a truncated or hostile body can error
+// but never panic or leave dst half-written.
+func postJSON(ctx context.Context, client *http.Client, url string, body, dst any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, decodeBody(resp, url, dst)
+}
+
+// decodeBody applies the hardened response-decoding contract shared by
+// postJSON and FetchStatus.
+func decodeBody(resp *http.Response, url string, dst any) error {
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return fmt.Errorf("fleet: reading response from %s: %w", url, err)
+	}
+	if dst == nil || resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil // an empty body reads as the zero value
+	}
+	fresh := reflect.New(reflect.TypeOf(dst).Elem())
+	if err := json.Unmarshal(data, fresh.Interface()); err != nil {
+		return fmt.Errorf("fleet: decoding response from %s: %w", url, err)
+	}
+	reflect.ValueOf(dst).Elem().Set(fresh.Elem())
+	return nil
+}

@@ -11,11 +11,22 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"syscall"
 
+	"doda/internal/chaos"
 	"doda/internal/stats"
 	"doda/internal/sweep"
 )
+
+// fsOf resolves the filesystem seam: nil means the real disk. The seam
+// covers the journal's write path (segment publish, torn-tail repair,
+// progress records) — the deterministic chaos.FaultFS injects disk
+// faults through it; readers stay on plain os.
+func fsOf(f chaos.FS) chaos.FS {
+	if f == nil {
+		return chaos.Disk
+	}
+	return f
+}
 
 // Sentinel errors callers branch on.
 var (
@@ -97,6 +108,19 @@ func (c CellRecord) Restore() sweep.CellResult {
 	return r
 }
 
+// EncodeRecord frames one journal record line — the crc-guarded framing
+// every doda journal shares (checkpoint segments, progress records, and
+// the fleet coordinator's event log reuse it).
+func EncodeRecord(body []byte) []byte { return encodeLine(body) }
+
+// DecodeRecord verifies a record line's frame and crc and returns the
+// JSON body; failures wrap ErrCorrupt.
+func DecodeRecord(line []byte) ([]byte, error) { return decodeLine(line) }
+
+// SplitRecords splits raw journal bytes into newline-terminated record
+// lines, reporting whether a torn (unterminated) tail was dropped.
+func SplitRecords(raw []byte) ([][]byte, bool) { return splitLines(raw) }
+
 // encodeLine frames one record: 8 lowercase hex digits of the CRC-32C of
 // the JSON body, one space, the body, '\n'. The body is JSON, so it can
 // never contain a raw newline — the line is the record boundary.
@@ -159,6 +183,7 @@ func (h Header) matches(o Header) bool {
 // keep crash recovery trivial. Callers with very cheap cells can batch
 // several Appends per Checkpoint to amortise the cost.
 type Journal struct {
+	fs      chaos.FS
 	dir     string
 	header  Header
 	nextSeg int
@@ -191,9 +216,9 @@ func segNumber(name string) (int, bool) {
 // leftovers are cleaned by Create/Open first), so an existing tmp means a
 // concurrent process is journaling into the same directory — fail loudly
 // rather than let two writers corrupt each other's segments.
-func writeSegment(dir, name string, lines [][]byte) error {
+func writeSegment(fsys chaos.FS, dir, name string, lines [][]byte) error {
 	tmp := filepath.Join(dir, name+tmpSuffix)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		if errors.Is(err, os.ErrExist) {
 			return fmt.Errorf("sweepd: %s already exists — another live process is writing this checkpoint (it has exactly one writer; shard to separate directories instead)", tmp)
@@ -203,42 +228,28 @@ func writeSegment(dir, name string, lines [][]byte) error {
 	for _, line := range lines {
 		if _, err := f.Write(line); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 			return err
 		}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a just-renamed segment's directory entry
-// is durable. Filesystems that refuse directory fsync outright (EINVAL /
-// ENOTSUP) are tolerated — the rename is still atomic there — but a real
-// I/O failure must surface: swallowing it would let Checkpoint report
-// durability it does not have.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil &&
-		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		return err
-	}
-	return nil
+	// Directory fsync makes the rename durable; filesystems that refuse
+	// it outright are tolerated inside chaos.Disk, but a real I/O failure
+	// must surface — swallowing it would let Checkpoint report durability
+	// it does not have.
+	return fsys.SyncDir(dir)
 }
 
 // Create starts a fresh checkpoint in dir for one shard of the grid. The
@@ -248,6 +259,11 @@ func syncDir(dir string) error {
 // written immediately so even a run killed before its first cell leaves a
 // resumable, identity-checked checkpoint behind.
 func Create(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, error) {
+	return createFS(chaos.Disk, dir, grid, shardIndex, shardCount)
+}
+
+// createFS is Create through an explicit filesystem seam.
+func createFS(fsys chaos.FS, dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, error) {
 	h, err := headerFor(grid, shardIndex, shardCount)
 	if err != nil {
 		return nil, err
@@ -262,7 +278,7 @@ func Create(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, 
 	if len(names) > 0 {
 		return nil, fmt.Errorf("%w: %s has %d segment(s)", ErrCheckpointExists, dir, len(names))
 	}
-	j := &Journal{dir: dir, header: h, nextSeg: 0}
+	j := &Journal{fs: fsys, dir: dir, header: h, nextSeg: 0}
 	if err := j.writeRecords(nil); err != nil {
 		return nil, err
 	}
@@ -286,13 +302,32 @@ func Open(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, []
 // have not completed: cell index → outcomes in replica order, ready to
 // hand to sweep.Options.ResumeReplicas.
 func OpenResume(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, []CellRecord, map[int][]sweep.ReplicaOutcome, error) {
+	return openResumeFS(chaos.Disk, dir, grid, shardIndex, shardCount)
+}
+
+// openResumeFS is OpenResume through an explicit filesystem seam.
+func openResumeFS(fsys chaos.FS, dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journal, []CellRecord, map[int][]sweep.ReplicaOutcome, error) {
 	h, err := headerFor(grid, shardIndex, shardCount)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	cp, err := readCheckpoint(dir)
 	if errors.Is(err, ErrNoCheckpoint) {
-		j, err := Create(dir, grid, shardIndex, shardCount)
+		if errors.Is(err, errGenesisTorn) {
+			names, nerr := segmentNames(dir, true)
+			if nerr != nil {
+				return nil, nil, nil, nerr
+			}
+			for _, name := range names {
+				if rerr := fsys.Remove(filepath.Join(dir, name)); rerr != nil {
+					return nil, nil, nil, rerr
+				}
+			}
+			if serr := fsys.SyncDir(dir); serr != nil {
+				return nil, nil, nil, serr
+			}
+		}
+		j, err := createFS(fsys, dir, grid, shardIndex, shardCount)
 		return j, nil, nil, err
 	}
 	if err != nil {
@@ -308,10 +343,10 @@ func OpenResume(dir string, grid sweep.Grid, shardIndex, shardCount int) (*Journ
 			ErrStaleCheckpoint, cp.header.Fingerprint, cp.header.ShardIndex, cp.header.ShardCount,
 			h.Fingerprint, shardIndex, shardCount)
 	}
-	if err := cp.repair(dir); err != nil {
+	if err := cp.repair(fsys, dir); err != nil {
 		return nil, nil, nil, err
 	}
-	j := &Journal{dir: dir, header: cp.header, nextSeg: cp.nextSeg}
+	j := &Journal{fs: fsys, dir: dir, header: cp.header, nextSeg: cp.nextSeg}
 	var prior map[int][]sweep.ReplicaOutcome
 	if len(cp.replicas) > 0 {
 		prior = make(map[int][]sweep.ReplicaOutcome, len(cp.replicas))
@@ -376,7 +411,7 @@ func (j *Journal) writeRecords(recs []any) error {
 		}
 		lines = append(lines, encodeLine(b))
 	}
-	if err := writeSegment(j.dir, segName(j.nextSeg), lines); err != nil {
+	if err := writeSegment(fsOf(j.fs), j.dir, segName(j.nextSeg), lines); err != nil {
 		return err
 	}
 	j.nextSeg++
@@ -404,17 +439,17 @@ type checkpoint struct {
 
 // repair rewrites (or removes) a torn final segment so the checkpoint
 // reads clean from now on. No-op for clean checkpoints.
-func (cp *checkpoint) repair(dir string) error {
+func (cp *checkpoint) repair(fsys chaos.FS, dir string) error {
 	if cp.tornSeg == "" {
 		return nil
 	}
 	if len(cp.tornLines) == 0 {
-		if err := os.Remove(filepath.Join(dir, cp.tornSeg)); err != nil {
+		if err := fsys.Remove(filepath.Join(dir, cp.tornSeg)); err != nil {
 			return err
 		}
-		return syncDir(dir)
+		return fsys.SyncDir(dir)
 	}
-	return writeSegment(dir, cp.tornSeg, cp.tornLines)
+	return writeSegment(fsys, dir, cp.tornSeg, cp.tornLines)
 }
 
 // segmentNames lists the final (non-tmp) segment file names in dir in
@@ -524,10 +559,22 @@ func readCheckpoint(dir string) (*checkpoint, error) {
 		}
 	}
 	if cp.header.Version == 0 {
+		if len(names) == 1 && cp.tornSeg != "" && len(cp.tornLines) == 0 {
+			// The only segment tore before its header record survived: the
+			// crash hit the very first publish, so nothing was ever durable.
+			// That is an empty checkpoint, not corruption — the opener
+			// sweeps the torn file and starts fresh.
+			return nil, fmt.Errorf("%w: %s: %w", ErrNoCheckpoint, dir, errGenesisTorn)
+		}
 		return nil, fmt.Errorf("%w: no readable header", ErrCorrupt)
 	}
 	return cp, nil
 }
+
+// errGenesisTorn marks the no-checkpoint subcase where a torn first
+// publish left a damaged segment file behind that must be swept before
+// creating fresh.
+var errGenesisTorn = errors.New("only segment torn before its header")
 
 // readHeader parses and validates one segment's header record.
 func (cp *checkpoint) readHeader(si int, name string, body []byte) error {

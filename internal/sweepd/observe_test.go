@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"doda/internal/chaos"
 	"doda/internal/sweep"
 )
 
@@ -283,7 +284,7 @@ func TestProgressRecordLifecycle(t *testing.T) {
 		t.Fatalf("missing record: got %+v, %v", p, err)
 	}
 	want := Progress{CellsDone: 3, CellsTotal: 12, FreshCells: 2, Interactions: 44.5, Transmissions: 17, ElapsedMs: 1250}
-	if err := writeProgress(dir, want); err != nil {
+	if err := writeProgress(chaos.Disk, dir, want); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadProgress(dir)
@@ -309,7 +310,7 @@ func TestProgressRecordLifecycle(t *testing.T) {
 		}
 	}
 	// A fresh write replaces the damage.
-	if err := writeProgress(dir, want); err != nil {
+	if err := writeProgress(chaos.Disk, dir, want); err != nil {
 		t.Fatal(err)
 	}
 	if p, _ := ReadProgress(dir); p == nil || !strings.Contains(fmt.Sprint(*p), "44.5") {

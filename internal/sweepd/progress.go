@@ -5,6 +5,8 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+
+	"doda/internal/chaos"
 )
 
 // progressName is the advisory progress record's file name inside a
@@ -46,27 +48,27 @@ type Progress struct {
 // losing the file costs a dashboard update, not data. Errors are
 // returned for the caller to ignore or count; a full disk must not be
 // able to kill a sweep via its progress ticker.
-func writeProgress(dir string, p Progress) error {
+func writeProgress(fsys chaos.FS, dir string, p Progress) error {
 	body, err := json.Marshal(p)
 	if err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(dir, progressPrefix+"-*"+tmpSuffix)
+	f, err := fsys.CreateTemp(dir, progressPrefix+"-*"+tmpSuffix)
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	if _, err := f.Write(encodeLine(body)); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, progressName)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, progressName)); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"doda/internal/chaos"
 	"doda/internal/sweep"
 )
 
@@ -63,6 +64,10 @@ type Options struct {
 	// default; negative disables the progress layer entirely — no
 	// progress.json, no OnProgress calls.
 	ProgressEvery time.Duration
+	// FS is the filesystem the journal's write path publishes through
+	// (nil = the real disk). Chaos tests and the CLI's fault-injection
+	// flags hand a chaos.FaultFS in here; everything else leaves it nil.
+	FS chaos.FS
 }
 
 // defaultProgressEvery is the progress flush throttle when Options leaves
@@ -104,10 +109,11 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 		recs  []CellRecord
 		prior map[int][]sweep.ReplicaOutcome
 	)
+	fsys := fsOf(opt.FS)
 	if opt.Resume {
-		j, recs, prior, err = OpenResume(dir, grid, opt.ShardIndex, shards)
+		j, recs, prior, err = openResumeFS(fsys, dir, grid, opt.ShardIndex, shards)
 	} else {
-		j, err = Create(dir, grid, opt.ShardIndex, shards)
+		j, err = createFS(fsys, dir, grid, opt.ShardIndex, shards)
 	}
 	if err != nil {
 		return nil, sweep.Totals{}, err
@@ -156,7 +162,7 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 	progressOn := opt.ProgressEvery >= 0
 	var prog *progressTracker
 	if progressOn {
-		prog = newProgressTracker(dir, opt.ProgressEvery, opt.OnProgress, len(mine))
+		prog = newProgressTracker(fsys, dir, opt.ProgressEvery, opt.OnProgress, len(mine))
 		for _, rec := range recs {
 			prog.addRestoredCell(rec)
 		}
@@ -304,6 +310,7 @@ func Run(grid sweep.Grid, dir string, opt Options) ([]sweep.CellResult, sweep.To
 // swaps its replica-level sums for its exact cell-level totals.
 type progressTracker struct {
 	mu    sync.Mutex
+	fs    chaos.FS
 	dir   string
 	start time.Time
 	every time.Duration
@@ -317,7 +324,7 @@ type progressTracker struct {
 	infReps  map[int]int
 }
 
-func newProgressTracker(dir string, every time.Duration, on func(Progress), total int) *progressTracker {
+func newProgressTracker(fsys chaos.FS, dir string, every time.Duration, on func(Progress), total int) *progressTracker {
 	if every == 0 {
 		every = defaultProgressEvery
 	}
@@ -327,7 +334,7 @@ func newProgressTracker(dir string, every time.Duration, on func(Progress), tota
 	// write only the final record — the fixed cost of being observable
 	// must not register on runs too short to observe.
 	return &progressTracker{
-		dir: dir, start: now, every: every, last: now, on: on,
+		fs: fsOf(fsys), dir: dir, start: now, every: every, last: now, on: on,
 		p:       Progress{CellsTotal: total},
 		infInts: map[int]float64{}, infTrans: map[int]int{}, infReps: map[int]int{},
 	}
@@ -397,7 +404,7 @@ func (t *progressTracker) maybeFlush() {
 func (t *progressTracker) flushLocked() {
 	t.p.ElapsedMs = float64(time.Since(t.start).Nanoseconds()) / 1e6
 	p := t.p
-	_ = writeProgress(t.dir, p)
+	_ = writeProgress(t.fs, t.dir, p)
 	if t.on != nil {
 		t.on(p)
 	}
