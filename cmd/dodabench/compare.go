@@ -26,6 +26,9 @@ func trackedMetrics(rep *hotpathReport) map[string]float64 {
 		"alias_sampler.ns_per_draw":                rep.AliasSampler.NsPerDraw,
 		"weighted_gen.ns_per_draw":                 rep.WeightedGen.NsPerDraw,
 		"large_n.batched_count_ns_per_interaction": rep.LargeN.BatchedCountNs,
+		// The no-WAL configuration isolates admission+queue+apply cost;
+		// the durable figures (fsync-bound) are recorded but not gated.
+		"serve_load.ephemeral_ns_per_op": rep.ServeLoad.EphemeralNsPerOp,
 	}
 }
 

@@ -109,6 +109,7 @@ type hotpathReport struct {
 	Sweep         sweepThroughput       `json:"sweep"`
 	SweepLargeN   sweepLargeNReport     `json:"sweep_large_n"`
 	SweepProgress sweepProgressOverhead `json:"sweep_progress_overhead"`
+	ServeLoad     serveLoadReport       `json:"serve_load"`
 }
 
 // benchEngine measures the sequential engine's steady-state interaction
@@ -490,6 +491,9 @@ func collectHotpath() (*hotpathReport, error) {
 	}
 	if rep.SweepProgress, err = benchSweepProgress(); err != nil {
 		return nil, fmt.Errorf("sweep progress-overhead benchmark: %w", err)
+	}
+	if rep.ServeLoad, err = benchServeLoad(); err != nil {
+		return nil, fmt.Errorf("serve load benchmark: %w", err)
 	}
 	return &rep, nil
 }

@@ -115,7 +115,13 @@ func TestHotpathJSON(t *testing.T) {
 		rep.SweepProgress.BaseMs <= 0 || rep.SweepProgress.InstrumentedMs <= 0 {
 		t.Errorf("progress-overhead section bad: %+v", rep.SweepProgress)
 	}
+	if rep.ServeLoad.Instances == 0 || rep.ServeLoad.EphemeralNsPerOp <= 0 ||
+		rep.ServeLoad.DurablePerSec <= 0 || rep.ServeLoad.DurableP99Ms <= 0 ||
+		rep.ServeLoad.DurableP99Ms < rep.ServeLoad.DurableP50Ms {
+		t.Errorf("serve-load section bad: %+v", rep.ServeLoad)
+	}
 	t.Logf("sweep_progress_overhead: %+v", rep.SweepProgress)
+	t.Logf("serve_load: %+v", rep.ServeLoad)
 }
 
 // TestCompareBaseline unit-tests the regression guard against synthetic

@@ -1,0 +1,185 @@
+package main
+
+// The serve load generator behind the hot-path suite: drives an
+// in-process serve.Server the way dodaserve's HTTP handler does —
+// concurrent instances, batched Ingest, acknowledged handles — and
+// reports ingest throughput and tail latency. The ephemeral (no-WAL)
+// ns/op figure is regression-gated; the durable figures carry fsync and
+// filesystem variance, so they are recorded but not gated.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"doda/internal/graph"
+	"doda/internal/rng"
+	"doda/internal/seq"
+	"doda/internal/serve"
+)
+
+// serveLoadReport is the serve_load section of BENCH_hotpath.json.
+type serveLoadReport struct {
+	Instances        int     `json:"instances"`
+	BatchesPerInst   int     `json:"batches_per_instance"`
+	OpsPerBatch      int     `json:"ops_per_batch"`
+	TotalOps         int     `json:"total_ops"`
+	EphemeralNsPerOp float64 `json:"ephemeral_ns_per_op"`
+	EphemeralPerSec  float64 `json:"ephemeral_ops_per_sec"`
+	DurablePerSec    float64 `json:"durable_ops_per_sec"`
+	DurableP50Ms     float64 `json:"durable_p50_ms"`
+	DurableP99Ms     float64 `json:"durable_p99_ms"`
+}
+
+// serveWorkload builds batches of off-sink interactions: the waiting
+// algorithm transfers only at sink meetings, so these instances ingest
+// forever without terminating — a steady-state ingest treadmill.
+func serveWorkload(n, batches, perBatch int, seed uint64) [][]seq.Interaction {
+	r := rng.New(seed)
+	out := make([][]seq.Interaction, batches)
+	for b := range out {
+		batch := make([]seq.Interaction, perBatch)
+		for i := range batch {
+			u := 1 + int(r.Uint64()%uint64(n-1))
+			v := 1 + int(r.Uint64()%uint64(n-2))
+			if v >= u {
+				v++
+			}
+			batch[i] = seq.Interaction{U: graph.NodeID(u), V: graph.NodeID(v)}
+		}
+		out[b] = batch
+	}
+	return out
+}
+
+// serveLoadTrial feeds every instance its workload concurrently and
+// returns the elapsed wall time plus each batch's ack latency.
+func serveLoadTrial(srv *serve.Server, instances int, workload [][]seq.Interaction) (time.Duration, []time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	insts := make([]*serve.Instance, instances)
+	for i := range insts {
+		inst, err := srv.Register(serve.InstanceConfig{
+			Name: fmt.Sprintf("load-%d", i), N: 256, Algorithm: "waiting", Agg: "min",
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		insts[i] = inst
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for _, inst := range insts {
+		wg.Add(1)
+		go func(inst *serve.Instance) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, len(workload))
+			for _, batch := range workload {
+				t0 := time.Now()
+				h, err := inst.Ingest(ctx, batch, 0)
+				if err == nil {
+					err = h.Wait(ctx)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			mu.Unlock()
+		}(inst)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, nil, firstErr
+	}
+	return elapsed, latencies, nil
+}
+
+func percentile(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, k int) bool { return lats[i] < lats[k] })
+	idx := int(p * float64(len(lats)-1))
+	return float64(lats[idx].Microseconds()) / 1000
+}
+
+// benchServeLoad measures the continuous-aggregation server under
+// concurrent load: instances × batches through the full admission →
+// (journal) → apply → ack path. The ephemeral side runs min-of-trials
+// for a stable gated ns/op; the durable side runs once and reports
+// throughput plus p50/p99 ack latency.
+func benchServeLoad() (serveLoadReport, error) {
+	const (
+		instances = 4
+		batches   = 150
+		perBatch  = 64
+		trials    = 3
+	)
+	workload := serveWorkload(256, batches, perBatch, 9)
+	totalOps := instances * batches * perBatch
+
+	minEphemeral := time.Duration(1 << 62)
+	for i := 0; i < trials; i++ {
+		srv, err := serve.NewServer(serve.Options{})
+		if err != nil {
+			return serveLoadReport{}, err
+		}
+		elapsed, _, err := serveLoadTrial(srv, instances, workload)
+		srv.Close()
+		if err != nil {
+			return serveLoadReport{}, fmt.Errorf("ephemeral trial: %w", err)
+		}
+		if elapsed < minEphemeral {
+			minEphemeral = elapsed
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "dodabench-serve-")
+	if err != nil {
+		return serveLoadReport{}, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := serve.NewServer(serve.Options{Dir: dir})
+	if err != nil {
+		return serveLoadReport{}, err
+	}
+	durElapsed, lats, err := serveLoadTrial(srv, instances, workload)
+	srv.Close()
+	if err != nil {
+		return serveLoadReport{}, fmt.Errorf("durable trial: %w", err)
+	}
+
+	rep := serveLoadReport{
+		Instances:      instances,
+		BatchesPerInst: batches,
+		OpsPerBatch:    perBatch,
+		TotalOps:       totalOps,
+	}
+	if minEphemeral > 0 {
+		rep.EphemeralNsPerOp = float64(minEphemeral.Nanoseconds()) / float64(totalOps)
+		rep.EphemeralPerSec = float64(totalOps) / minEphemeral.Seconds()
+	}
+	if durElapsed > 0 {
+		rep.DurablePerSec = float64(totalOps) / durElapsed.Seconds()
+	}
+	rep.DurableP50Ms = percentile(lats, 0.50)
+	rep.DurableP99Ms = percentile(lats, 0.99)
+	return rep, nil
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the server goroutine
+// writes log lines while the test reads them.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// launch starts run() in the background on an ephemeral port and returns
+// the base URL, a signal channel to stop it, and a channel carrying its
+// exit error.
+func launch(t *testing.T, args ...string) (base string, stop chan os.Signal, done chan error, out *syncBuffer) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	stop = make(chan os.Signal, 1)
+	done = make(chan error, 1)
+	out = &syncBuffer{}
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), out,
+			func(a string) { addrCh <- a }, stop)
+	}()
+	select {
+	case a := <-addrCh:
+		return "http://" + a, stop, done, out
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v\n%s", err, out)
+		return "", nil, nil, nil
+	}
+}
+
+func waitExit(t *testing.T, done chan error) error {
+	t.Helper()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit")
+		return nil
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func post(t *testing.T, url, ctype, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, ctype, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func TestFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"stray"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("stray argument accepted")
+	}
+	if err := run([]string{"-addr", "not a real address::"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+func TestServeLifecycleAndSigtermDrain(t *testing.T) {
+	dir := t.TempDir()
+	base, stop, done, out := launch(t, "-dir", dir, "-snapshot-every", "8")
+
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
+	}
+
+	code, body := post(t, base+"/v1/instances", "application/json",
+		`{"name":"g","n":4,"algorithm":"gathering","agg":"sum"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("register = %d: %s", code, body)
+	}
+
+	// Drive gathering on n=4 to termination: a star on the sink collects
+	// everything in three meetings.
+	code, body = post(t, base+"/v1/instances/g/ingest?wait=1", "application/jsonl",
+		"{\"u\":0,\"v\":1}\n{\"u\":0,\"v\":2}\n{\"u\":0,\"v\":3}\n")
+	if code != http.StatusAccepted {
+		t.Fatalf("ingest = %d: %s", code, body)
+	}
+
+	var st struct {
+		Result struct {
+			Terminated bool `json:"terminated"`
+		} `json:"result"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body = get(t, base+"/v1/instances/g/state")
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("state decode: %v: %s", err, body)
+		}
+		if st.Result.Terminated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance never terminated: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, wantState := get(t, base+"/v1/instances/g/state")
+
+	code, body = get(t, base+"/v1/status")
+	if code != http.StatusOK || !strings.Contains(body, `"g"`) {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+
+	stop <- syscall.SIGTERM
+	if err := waitExit(t, done); err != nil {
+		t.Fatalf("drain exit: %v\n%s", err, out)
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("no clean-drain line in output:\n%s", out)
+	}
+
+	// Restart over the same directory: the instance comes back with the
+	// exact same state bytes.
+	base2, stop2, done2, out2 := launch(t, "-dir", dir)
+	if !strings.Contains(out2.String(), "recovered 1 instance(s)") {
+		t.Fatalf("no recovery line:\n%s", out2)
+	}
+	_, gotState := get(t, base2+"/v1/instances/g/state")
+	if gotState != wantState {
+		t.Fatalf("recovered state diverged:\n got %s\nwant %s", gotState, wantState)
+	}
+	stop2 <- syscall.SIGTERM
+	if err := waitExit(t, done2); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func TestServeEphemeralModeAndBackpressure(t *testing.T) {
+	base, stop, done, _ := launch(t, "-max-pending", "4")
+
+	code, body := post(t, base+"/v1/instances", "application/json",
+		`{"name":"w","n":64,"algorithm":"waiting","agg":"min"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("register = %d: %s", code, body)
+	}
+
+	// Flood without wait=1 until the admission budget fills: the server
+	// must answer 429 with a Retry-After rather than queueing unboundedly.
+	var batch strings.Builder
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&batch, "{\"u\":%d,\"v\":%d}\n", 1+i%62, 2+i%61)
+	}
+	saw429 := false
+	for i := 0; i < 200 && !saw429; i++ {
+		code, body = post(t, base+"/v1/instances/w/ingest", "application/jsonl", batch.String())
+		switch code {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			saw429 = true
+			if !strings.Contains(body, "retry_after_ms") {
+				t.Fatalf("429 without retry_after_ms: %s", body)
+			}
+		default:
+			t.Fatalf("ingest = %d: %s", code, body)
+		}
+	}
+	if !saw429 {
+		t.Fatal("never saw backpressure despite max-pending 4")
+	}
+
+	stop <- syscall.SIGTERM
+	if err := waitExit(t, done); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -119,6 +119,7 @@ func runCoordinate(args []string, out, errw io.Writer) error {
 		ttl      = fs.Duration("lease-ttl", 30*time.Second, "lease time-to-live without a heartbeat; must comfortably exceed the slowest cell's wall time")
 		summary  = fs.Bool("summary", false, "also print the fleet totals as a final JSON line on stdout")
 		resume   = fs.Bool("resume", false, "rebuild the partition table of a crashed coordinator from dir/coord.log and the shard checkpoints")
+		maxRetry = fs.Int("max-shard-retries", 8, "permanently fail a shard after this many requeues (expiries and releases); the coordinate exit is then non-zero (0 = retry forever)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(errw, "usage: dodasweep coordinate -shards M -dir fleet/ [grid flags] [-addr host:port] [-addr-file f] [-lease-ttl d] [-resume]")
@@ -135,10 +136,11 @@ func runCoordinate(args []string, out, errw io.Writer) error {
 		return err
 	}
 	c, err := fleet.NewCoordinator(grid, fleet.CoordinatorOptions{
-		ShardCount: *shards,
-		Dir:        *dir,
-		LeaseTTL:   *ttl,
-		Resume:     *resume,
+		ShardCount:      *shards,
+		Dir:             *dir,
+		LeaseTTL:        *ttl,
+		Resume:          *resume,
+		MaxShardRetries: *maxRetry,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(errw, "dodasweep coordinate: "+format+"\n", args...)
 		},
@@ -356,8 +358,20 @@ func runStatus(args []string, out, errw io.Writer) error {
 		return fmt.Errorf("status: no checkpoint directories given")
 	}
 	watchers := make(map[string]*sweepd.Watcher, len(dirs))
-	_, err := renderStatus(out, dirs, watchers, *coord, *addrFile)
-	return err
+	_, failed, err := renderStatus(out, dirs, watchers, *coord, *addrFile)
+	if err != nil {
+		return err
+	}
+	return failedShardsErr("status", failed)
+}
+
+// failedShardsErr turns a permanently-failed shard list into the
+// non-zero exit that lets scripts detect a wedged fleet.
+func failedShardsErr(cmd string, failed []int) error {
+	if len(failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s: %d shard(s) permanently failed: %v", cmd, len(failed), failed)
 }
 
 // runWatch implements the watch subcommand: the status snapshot,
@@ -386,9 +400,14 @@ func runWatch(args []string, out, errw io.Writer) error {
 	watchers := make(map[string]*sweepd.Watcher, len(dirs))
 	for i := 0; ; i++ {
 		fmt.Fprintf(out, "--- %s\n", time.Now().Format("15:04:05"))
-		done, err := renderStatus(out, dirs, watchers, *coord, *addrFile)
+		done, failed, err := renderStatus(out, dirs, watchers, *coord, *addrFile)
 		if err != nil {
 			return err
+		}
+		if len(failed) > 0 {
+			// A permanently failed shard never recovers on its own: stop
+			// watching and report the wedge instead of refreshing forever.
+			return failedShardsErr("watch", failed)
 		}
 		if done || (*count > 0 && i+1 >= *count) {
 			return nil
@@ -398,9 +417,10 @@ func runWatch(args []string, out, errw io.Writer) error {
 }
 
 // renderStatus prints one dashboard snapshot and reports whether every
-// watched shard is complete. Watchers are reused across refreshes so
+// watched shard is complete, plus any shards the coordinator has marked
+// permanently failed. Watchers are reused across refreshes so
 // already-parsed immutable segments are never re-read.
-func renderStatus(out io.Writer, dirs []string, watchers map[string]*sweepd.Watcher, coord, addrFile string) (bool, error) {
+func renderStatus(out io.Writer, dirs []string, watchers map[string]*sweepd.Watcher, coord, addrFile string) (bool, []int, error) {
 	allDone := len(dirs) > 0
 	var cellsDone, cellsTotal, transmissions int
 	var interactions float64
@@ -417,7 +437,7 @@ func renderStatus(out io.Writer, dirs []string, watchers map[string]*sweepd.Watc
 			continue
 		}
 		if err != nil {
-			return false, fmt.Errorf("status: %s: %w", dir, err)
+			return false, nil, fmt.Errorf("status: %s: %w", dir, err)
 		}
 		cellsDone += snap.CellsDone
 		cellsTotal += snap.CellsTotal
@@ -447,10 +467,11 @@ func renderStatus(out io.Writer, dirs []string, watchers map[string]*sweepd.Watc
 		fmt.Fprintf(out, "fleet: %d/%d cells, %.3g interactions, %d transmissions\n",
 			cellsDone, cellsTotal, interactions, transmissions)
 	}
+	var failed []int
 	if coord != "" || addrFile != "" {
 		url, err := coordinatorURL(coord, addrFile, time.Second)
 		if err != nil {
-			return false, err
+			return false, nil, err
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		st, err := fleet.FetchStatus(ctx, nil, url)
@@ -458,6 +479,7 @@ func renderStatus(out io.Writer, dirs []string, watchers map[string]*sweepd.Watc
 		if err != nil {
 			fmt.Fprintf(out, "coordinator: unreachable (%v)\n", err)
 		} else {
+			failed = st.Failed
 			fmt.Fprintf(out, "coordinator: fingerprint %.12s, %d/%d shards done\n",
 				st.Fingerprint, st.Done, st.ShardCount)
 			for _, s := range st.Shards {
@@ -473,7 +495,10 @@ func renderStatus(out io.Writer, dirs []string, watchers map[string]*sweepd.Watc
 				}
 				fmt.Fprintln(out, row)
 			}
+			if len(failed) > 0 {
+				fmt.Fprintf(out, "coordinator: FAILED shards (retry budget spent): %v\n", failed)
+			}
 		}
 	}
-	return allDone, nil
+	return allDone, failed, nil
 }

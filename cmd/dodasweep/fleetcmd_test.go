@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -10,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"doda/internal/fleet"
 )
 
 // fleetGridArgs is a small multi-scenario grid used by the fleet CLI
@@ -344,3 +348,67 @@ func TestQuietSuppressesProgress(t *testing.T) {
 		t.Errorf("-quiet still printed progress:\n%s", errw.String())
 	}
 }
+
+// TestStatusWatchExitNonZeroOnFailedShards: a fleet wedged by
+// permanently failed shards must make status and watch exit non-zero
+// and print the failed shard list, so scripts can detect the wedge.
+func TestStatusWatchExitNonZeroOnFailedShards(t *testing.T) {
+	grid, err := (&gridFlags{
+		scenarios: strp("uniform"), algs: strp("gathering"), sizes: strp("4,6"),
+		reps: intp(2), seed: u64p(321), max: intp(0), prov: strp("auto"),
+	}).grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := fleet.NewCoordinator(grid, fleet.CoordinatorOptions{
+		ShardCount: 2, Dir: t.TempDir(), LeaseTTL: time.Minute, MaxShardRetries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := c.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Wedge shard 0: one lease + release exhausts MaxShardRetries=1.
+	resp, err := http.Post("http://"+url+"/v1/lease", "application/json",
+		strings.NewReader(`{"worker":"flaky"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lease fleet.LeaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lease.Status != fleet.StatusLease {
+		t.Fatalf("lease status %q", lease.Status)
+	}
+	resp, err = http.Post("http://"+url+"/v1/release", "application/json",
+		strings.NewReader(`{"lease_id":"`+lease.LeaseID+`","reason":"boom"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"status", "-coord", "http://" + url}, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "permanently failed") {
+		t.Fatalf("status on wedged fleet: want failed-shards error, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "FAILED shards") || !strings.Contains(out.String(), "failed") {
+		t.Errorf("status output missing failed shard list:\n%s", out.String())
+	}
+
+	out.Reset()
+	err = run([]string{"watch", "-every", "50ms", "-coord", "http://" + url, t.TempDir()}, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "permanently failed") {
+		t.Fatalf("watch on wedged fleet: want failed-shards error, got %v\n%s", err, out.String())
+	}
+}
+
+func strp(s string) *string { return &s }
+func intp(i int) *int       { return &i }
+func u64p(u uint64) *uint64 { return &u }

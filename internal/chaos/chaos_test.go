@@ -256,3 +256,79 @@ func TestTransportLatencyDelays(t *testing.T) {
 		t.Fatalf("latency must not charge the fault budget, got %d", tr.Faults())
 	}
 }
+
+// TestTransportPropertySeedAndBudget is the property-test form of the
+// transport contract, swept across many seeds and rates rather than one
+// hand-picked schedule:
+//
+//  1. the fault schedule is a pure function of the seed — two transports
+//     built from the same options produce byte-identical outcome traces;
+//  2. MaxFaults is a hard budget — across a whole run the transport
+//     never injects more than MaxFaults failures, so a caller that
+//     retries each request up to MaxFaults+1 times ALWAYS gets through.
+//
+// Property 2 is what makes the injector usable in liveness tests: a
+// retry loop under chaos terminates by construction instead of by luck.
+func TestTransportPropertySeedAndBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	defer srv.Close()
+
+	const seeds = 25
+	for seed := uint64(1); seed <= seeds; seed++ {
+		// Vary the mix with the seed so the sweep covers lopsided
+		// schedules (all resets, all drops, ...) as well as blends.
+		opt := TransportOptions{
+			Seed:         seed,
+			Reset:        float64(seed%4) * 0.1,
+			Err5xx:       float64((seed/4)%4) * 0.1,
+			DropResponse: float64((seed/16)%4) * 0.1,
+		}
+
+		a := transportTrace(t, srv.URL, opt, 40)
+		b := transportTrace(t, srv.URL, opt, 40)
+		if strings.Join(a, ",") != strings.Join(b, ",") {
+			t.Fatalf("seed %d: same options, different schedules:\n%v\n%v", seed, a, b)
+		}
+
+		// Budget property: with MaxFaults=3, every request succeeds
+		// within 4 attempts, and once the budget is spent nothing fails
+		// again.
+		const budget = 3
+		opt.MaxFaults = budget
+		tr := NewTransport(nil, opt)
+		client := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+		for call := 0; call < 20; call++ {
+			exhausted := tr.Faults() >= budget
+			ok := false
+			for attempt := 0; attempt <= budget; attempt++ {
+				resp, err := client.Get(srv.URL)
+				if err != nil {
+					if exhausted {
+						t.Fatalf("seed %d call %d: fault after budget exhausted: %v", seed, call, err)
+					}
+					continue
+				}
+				code := resp.StatusCode
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if code == http.StatusServiceUnavailable {
+					if exhausted {
+						t.Fatalf("seed %d call %d: injected 503 after budget exhausted", seed, call)
+					}
+					continue
+				}
+				ok = true
+				break
+			}
+			if !ok {
+				t.Fatalf("seed %d call %d: no success in %d attempts (faults=%d, budget=%d)",
+					seed, call, budget+1, tr.Faults(), budget)
+			}
+		}
+		if tr.Faults() > budget {
+			t.Fatalf("seed %d: injected %d faults, budget %d", seed, tr.Faults(), budget)
+		}
+	}
+}

@@ -335,6 +335,10 @@ type Engine struct {
 	// batch is the reusable BatchAdversary drain buffer, allocated on
 	// the first batched run and recycled across Resets.
 	batch []seq.Interaction
+
+	// str holds push-mode (Begin/Feed/Finish) execution state; see
+	// stream.go.
+	str stream
 }
 
 var _ ExecView = (*Engine)(nil)
@@ -435,6 +439,7 @@ func (e *Engine) Reset(cfg Config) error {
 	e.cfg = cfg
 	e.nOwn = cfg.N
 	e.used = false
+	e.str = stream{}
 	return nil
 }
 

@@ -39,6 +39,11 @@ type CoordinatorOptions struct {
 	// fresh. Grants whose workers survived keep their lease IDs (with a
 	// fresh TTL), so running workers reconnect without losing work.
 	Resume bool
+	// MaxShardRetries permanently fails a shard once it has been requeued
+	// this many times (lease expiries and releases both count): a shard
+	// that keeps killing its workers stops being handed out, and Wait
+	// reports the fleet wedged instead of spinning forever. 0 = unlimited.
+	MaxShardRetries int
 	// Logf, when non-nil, receives coordinator lifecycle lines (resume
 	// summary, shards recovered from checkpoints). Printf semantics.
 	Logf func(format string, args ...any)
@@ -49,6 +54,7 @@ const (
 	statePending = "pending"
 	stateLeased  = "leased"
 	stateDone    = "done"
+	stateFailed  = "failed"
 )
 
 // shardState is the coordinator's record of one shard.
@@ -156,31 +162,29 @@ func NewCoordinator(grid sweep.Grid, opt CoordinatorOptions) (*Coordinator, erro
 // completion call was lost with the old coordinator is detected by its
 // full journal and marked done.
 func (c *Coordinator) resume() error {
-	log, recs, err := openCoordLog(c.opt.Dir)
-	if err != nil {
-		return err
-	}
-	if len(recs) == 0 || recs[0].Kind != recHeader {
-		log.Close()
-		return fmt.Errorf("fleet: %s/%s: missing header record", c.opt.Dir, coordLogName)
-	}
-	hdr := recs[0]
-	if hdr.Version != coordLogVersion {
-		log.Close()
-		return fmt.Errorf("fleet: coord.log version %d, want %d", hdr.Version, coordLogVersion)
-	}
-	if hdr.Fingerprint != c.fingerprint {
-		log.Close()
-		return fmt.Errorf("fleet: coord.log is for a different grid (fingerprint %.12s, want %.12s)", hdr.Fingerprint, c.fingerprint)
-	}
-	if hdr.ShardCount != len(c.shards) {
-		log.Close()
-		return fmt.Errorf("fleet: coord.log has %d shards, want %d", hdr.ShardCount, len(c.shards))
-	}
 	now := time.Now()
-	for _, rec := range recs[1:] {
+	sawHeader := false
+	// Records are applied as they stream off disk — the log is never
+	// held in memory whole, so a multi-MB log from a long fleet replays
+	// in O(one record) space.
+	log, err := openCoordLog(c.opt.Dir, func(i int, rec coordRecord) error {
+		if i == 0 {
+			if rec.Kind != recHeader {
+				return fmt.Errorf("fleet: %s/%s: missing header record", c.opt.Dir, coordLogName)
+			}
+			if rec.Version != coordLogVersion {
+				return fmt.Errorf("fleet: coord.log version %d, want %d", rec.Version, coordLogVersion)
+			}
+			if rec.Fingerprint != c.fingerprint {
+				return fmt.Errorf("fleet: coord.log is for a different grid (fingerprint %.12s, want %.12s)", rec.Fingerprint, c.fingerprint)
+			}
+			if rec.ShardCount != len(c.shards) {
+				return fmt.Errorf("fleet: coord.log has %d shards, want %d", rec.ShardCount, len(c.shards))
+			}
+			sawHeader = true
+			return nil
+		}
 		if rec.Shard < 0 || rec.Shard >= len(c.shards) {
-			log.Close()
 			return fmt.Errorf("fleet: coord.log references shard %d of %d", rec.Shard, len(c.shards))
 		}
 		s := c.shards[rec.Shard]
@@ -206,6 +210,18 @@ func (c *Coordinator) resume() error {
 			s.worker = ""
 			s.leaseID = ""
 			s.retries++
+			// Re-derive permanent failure from the requeue count: the fail
+			// record itself is unsynced and may not have survived.
+			if c.opt.MaxShardRetries > 0 && s.retries >= c.opt.MaxShardRetries {
+				s.state = stateFailed
+			}
+		case recFail:
+			if s.leaseID != "" {
+				delete(c.byLease, s.leaseID)
+			}
+			s.state = stateFailed
+			s.worker = ""
+			s.leaseID = ""
 		case recComplete:
 			if s.leaseID != "" {
 				delete(c.byLease, s.leaseID)
@@ -217,9 +233,16 @@ func (c *Coordinator) resume() error {
 				s.dir = rec.Dir
 			}
 		default:
-			log.Close()
 			return fmt.Errorf("fleet: coord.log record kind %q", rec.Kind)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !sawHeader {
+		log.Close()
+		return fmt.Errorf("fleet: %s/%s: missing header record", c.opt.Dir, coordLogName)
 	}
 	c.log = log
 	recovered := c.adoptFinishedCheckpoints()
@@ -229,11 +252,9 @@ func (c *Coordinator) resume() error {
 			done++
 		}
 	}
-	c.logf("fleet: resumed from coord.log: %d/%d shards done (%d recovered from checkpoints), %d leases live",
-		done, len(c.shards), recovered, len(c.byLease))
-	if done == len(c.shards) {
-		c.doneOnce.Do(func() { close(c.doneCh) })
-	}
+	c.logf("fleet: resumed from coord.log: %d/%d shards done (%d recovered from checkpoints), %d leases live, %d failed",
+		done, len(c.shards), recovered, len(c.byLease), len(c.failedShardsLocked()))
+	c.maybeFinishedLocked()
 	return nil
 }
 
@@ -345,7 +366,8 @@ func (c *Coordinator) expireLocked(now time.Time) {
 	}
 }
 
-// requeueLocked returns shard i to the pending pool.
+// requeueLocked returns shard i to the pending pool — or, when the
+// retry budget is spent, marks it permanently failed.
 func (c *Coordinator) requeueLocked(i int, reason string) {
 	s := c.shards[i]
 	c.log.appendNoSync(coordRecord{Kind: recRequeue, Shard: i, Worker: s.worker, LeaseID: s.leaseID, Reason: reason})
@@ -354,16 +376,60 @@ func (c *Coordinator) requeueLocked(i int, reason string) {
 	s.worker = ""
 	s.leaseID = ""
 	s.retries++
+	if c.opt.MaxShardRetries > 0 && s.retries >= c.opt.MaxShardRetries {
+		// The fail record is advisory (replay re-derives failure from the
+		// requeue count), so an unsynced append is enough.
+		c.log.appendNoSync(coordRecord{Kind: recFail, Shard: i, Reason: fmt.Sprintf("%d retries", s.retries)})
+		s.state = stateFailed
+		c.logf("fleet: shard %d permanently failed after %d retries (last: %s)", i, s.retries, reason)
+		c.maybeFinishedLocked()
+	}
 }
 
-// Wait blocks until every shard completes or the context is cancelled.
+// maybeFinishedLocked closes the done channel once no shard can make
+// further progress: every shard is done or permanently failed. Wait
+// distinguishes the two outcomes.
+func (c *Coordinator) maybeFinishedLocked() {
+	for _, s := range c.shards {
+		if s.state != stateDone && s.state != stateFailed {
+			return
+		}
+	}
+	c.doneOnce.Do(func() { close(c.doneCh) })
+}
+
+// failedShardsLocked lists the permanently failed shards in order.
+func (c *Coordinator) failedShardsLocked() []int {
+	var failed []int
+	for i, s := range c.shards {
+		if s.state == stateFailed {
+			failed = append(failed, i)
+		}
+	}
+	return failed
+}
+
+// FailedShards lists the permanently failed shards (retry budget spent).
+func (c *Coordinator) FailedShards() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failedShardsLocked()
+}
+
+// Wait blocks until no shard can make further progress or the context is
+// cancelled. A fleet whose every shard completed returns nil; a fleet
+// wedged by permanently failed shards returns an error naming them.
 func (c *Coordinator) Wait(ctx context.Context) error {
 	select {
 	case <-c.doneCh:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	if failed := c.FailedShards(); len(failed) > 0 {
+		return fmt.Errorf("fleet: %d shard(s) permanently failed after exhausting %d retries: %v",
+			len(failed), c.opt.MaxShardRetries, failed)
+	}
+	return nil
 }
 
 // Close stops the server and the expiry loop and releases the event
@@ -416,6 +482,9 @@ func (c *Coordinator) Status() FleetStatus {
 		if s.state == stateDone {
 			st.Done++
 		}
+		if s.state == stateFailed {
+			st.Failed = append(st.Failed, i)
+		}
 		st.Shards[i] = row
 	}
 	return st
@@ -432,7 +501,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	resp := LeaseResponse{Status: StatusDone}
 	allDone := true
 	for i, s := range c.shards {
-		if s.state == stateDone {
+		// Failed shards are terminal too: once everything is done or
+		// failed, workers are told the fleet is over so they exit instead
+		// of polling a wedged coordinator forever.
+		if s.state == stateDone || s.state == stateFailed {
 			continue
 		}
 		allDone = false
@@ -523,15 +595,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		if req.Dir != "" {
 			s.dir = req.Dir
 		}
-		done := 0
-		for _, sh := range c.shards {
-			if sh.state == stateDone {
-				done++
-			}
-		}
-		if done == len(c.shards) {
-			c.doneOnce.Do(func() { close(c.doneCh) })
-		}
+		c.maybeFinishedLocked()
 	}
 	c.mu.Unlock()
 	if !ok {

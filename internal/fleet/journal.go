@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ const (
 	recGrant    = "grant"
 	recComplete = "complete"
 	recRequeue  = "requeue"
+	recFail     = "fail"
 )
 
 // coordLogVersion guards the log format.
@@ -76,53 +78,111 @@ func createCoordLog(dir string, header coordRecord) (*coordLog, error) {
 	return l, nil
 }
 
-// openCoordLog reads an existing log for resume: it returns every
-// intact record and reopens the file for appending, first truncating
+// maxCoordRecord bounds one journal line. Real records are a few hundred
+// bytes of JSON; a "line" longer than this is corruption, not data, and
+// refusing it keeps replay memory O(1) instead of O(line).
+const maxCoordRecord = 1 << 20
+
+// openCoordLog streams an existing log for resume: apply is called once
+// per intact record, in order, so replay memory stays bounded by one
+// record no matter how large the log grew (a long fleet appends a grant
+// and a completion per lease, plus a requeue per expiry — multi-MB logs
+// are routine). The file is reopened for appending, first truncating
 // away a torn or corrupt final record (the only damage an append+fsync
-// log can legally carry). Corruption before the final record is fatal.
-func openCoordLog(dir string) (*coordLog, []coordRecord, error) {
+// log can legally carry). Corruption before the final record is fatal,
+// as is an error from apply.
+func openCoordLog(dir string, apply func(i int, rec coordRecord) error) (*coordLog, error) {
 	path := filepath.Join(dir, coordLogName)
-	raw, err := os.ReadFile(path)
+	rf, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, nil, fmt.Errorf("fleet: no %s in %s — nothing to resume", coordLogName, dir)
+			return nil, fmt.Errorf("fleet: no %s in %s — nothing to resume", coordLogName, dir)
 		}
-		return nil, nil, err
+		return nil, err
 	}
-	lines, torn := sweepd.SplitRecords(raw)
-	var recs []coordRecord
-	keep := 0
-	for i, line := range lines {
-		body, err := sweepd.DecodeRecord(line)
-		if err != nil {
-			if i == len(lines)-1 && !torn {
-				torn = true // damaged final record: drop it like a torn tail
-				break
-			}
-			return nil, nil, fmt.Errorf("fleet: %s record %d: %w", path, i, err)
+	br := bufio.NewReaderSize(rf, 64<<10)
+	var keep int64
+	for i := 0; ; i++ {
+		line, err := readCoordLine(br)
+		if errors.Is(err, io.EOF) && len(line) == 0 {
+			break
 		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			rf.Close()
+			return nil, fmt.Errorf("fleet: %s record %d: %w", path, i, err)
+		}
+		// err == io.EOF here means the final line lacks its newline — a
+		// torn append. It can only be the last iteration.
+		torn := errors.Is(err, io.EOF)
+		body, derr := sweepd.DecodeRecord(line)
 		var rec coordRecord
-		if err := json.Unmarshal(body, &rec); err != nil {
-			return nil, nil, fmt.Errorf("fleet: %s record %d: %w", path, i, err)
+		if derr == nil {
+			derr = json.Unmarshal(body, &rec)
 		}
-		recs = append(recs, rec)
-		keep += len(line) + 1
+		if derr != nil {
+			// A damaged record is legal only at the tail: nothing may
+			// follow it.
+			if _, peekErr := br.Peek(1); !torn && peekErr == nil {
+				rf.Close()
+				return nil, fmt.Errorf("fleet: %s record %d: %w", path, i, derr)
+			}
+			break // drop the torn/corrupt final record
+		}
+		if torn {
+			break // intact bytes but no newline: the append still tore
+		}
+		if err := apply(i, rec); err != nil {
+			rf.Close()
+			return nil, err
+		}
+		keep += int64(len(line)) + 1
 	}
+	rf.Close()
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	if torn {
-		if err := f.Truncate(int64(keep)); err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-	}
-	if _, err := f.Seek(int64(keep), io.SeekStart); err != nil {
+	if err := f.Truncate(keep); err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, err
 	}
-	return &coordLog{f: f, path: path}, recs, nil
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &coordLog{f: f, path: path}, nil
+}
+
+// readCoordLine reads one newline-terminated record line (newline
+// stripped), enforcing maxCoordRecord. Returns io.EOF alongside any
+// trailing bytes that lack their newline. The returned slice aliases
+// the reader's buffer in the common case and is valid only until the
+// next call — callers decode before reading again.
+func readCoordLine(br *bufio.Reader) ([]byte, error) {
+	chunk, err := br.ReadSlice('\n')
+	if err == nil {
+		return chunk[:len(chunk)-1], nil
+	}
+	if !errors.Is(err, bufio.ErrBufferFull) {
+		return chunk, err // io.EOF with a partial line, or a read error
+	}
+	// Rare: a record longer than the reader buffer. Accumulate, still
+	// refusing anything over the record bound.
+	line := append([]byte(nil), chunk...)
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		if errors.Is(err, bufio.ErrBufferFull) {
+			if len(line) > maxCoordRecord {
+				return nil, fmt.Errorf("record exceeds %d bytes", maxCoordRecord)
+			}
+			continue
+		}
+		if err != nil {
+			return line, err
+		}
+		return line[:len(line)-1], nil
+	}
 }
 
 // append journals one record and fsyncs. An error means the event is

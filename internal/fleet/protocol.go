@@ -55,7 +55,8 @@ type OKResponse struct {
 // ShardStatus is one shard's row in the fleet dashboard.
 type ShardStatus struct {
 	Shard int `json:"shard"`
-	// State is "pending", "leased", or "done".
+	// State is "pending", "leased", "done", or "failed" (retry budget
+	// permanently exhausted).
 	State  string `json:"state"`
 	Worker string `json:"worker,omitempty"`
 	// HeartbeatAgeMs is the age of the lease's last heartbeat (leased
@@ -69,8 +70,11 @@ type ShardStatus struct {
 
 // FleetStatus is the GET /v1/status payload.
 type FleetStatus struct {
-	Fingerprint string        `json:"fingerprint"`
-	ShardCount  int           `json:"shard_count"`
-	Done        int           `json:"done"`
-	Shards      []ShardStatus `json:"shards"`
+	Fingerprint string `json:"fingerprint"`
+	ShardCount  int    `json:"shard_count"`
+	Done        int    `json:"done"`
+	// Failed lists permanently failed shards: the fleet can never
+	// complete without intervention. Dashboards exit non-zero on it.
+	Failed []int         `json:"failed,omitempty"`
+	Shards []ShardStatus `json:"shards"`
 }

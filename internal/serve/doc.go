@@ -1,0 +1,63 @@
+// Package serve is the continuous aggregation service: a long-running
+// server multiplexing many concurrent DODA aggregation instances over the
+// push-mode engine (core.Begin/Feed/Finish), in the style of continuous
+// aggregate queries over a dynamic graph. Interactions arrive as a live
+// stream — JSONL over HTTP or in-process Ingest calls — are journaled,
+// queued, and applied asynchronously by one worker goroutine per
+// instance, which acknowledges completion through a Handle.
+//
+// # Durability contract
+//
+// Every instance owns a write-ahead log of crc-guarded record lines (the
+// same framing the sweepd checkpoint journal uses) in its own directory:
+// a header record naming the instance configuration, a state record
+// holding a core.EngineState snapshot, then one record per accepted
+// ingest batch. The acknowledgement order is strict:
+//
+//	admission (queue slot reserved) → WAL append + fsync → enqueue → ack
+//
+// so an acknowledged batch is durable before the caller learns about it,
+// and a batch that was refused admission is never journaled. Periodically
+// the worker rotates the log: a new generation file is written atomically
+// (tmp + fsync + rename + directory fsync, sweepd-style) holding the
+// current engine snapshot plus all journaled-but-unapplied batches, and
+// only after the new generation is durable are older generations deleted.
+// Recovery therefore always finds a complete generation: the newest one
+// that parses wins, a torn tail (the unsynced last append of a crash) is
+// dropped and repaired, and a generation damaged mid-rotation falls back
+// to its still-present predecessor. Replaying the snapshot plus the
+// ingest tail reproduces the engine state byte-for-byte — Feed is
+// deterministic — which the chaos tests assert by diffing EngineState
+// JSON against an uninterrupted run.
+//
+// Exactly-once across retries: callers may stamp batches with a
+// contiguous sequence number. A batch at or below the journaled sequence
+// is acknowledged idempotently without re-journaling (the retry after a
+// lost ack), a gap is rejected. Unstamped batches are assigned the next
+// sequence and are at-least-once under retries.
+//
+// # Backpressure and admission control
+//
+// Each instance has a bounded pending-operation budget (Options
+// MaxPending). Admission is per instance, so one hot instance exhausts
+// only its own budget and cannot starve the rest. When the budget is
+// full, TryIngest fails fast with ErrBackpressure — the HTTP ingest
+// endpoint translates it to 429 Too Many Requests with a Retry-After
+// header — while the in-process Ingest blocks until a slot frees or its
+// context expires. Nothing is silently dropped: every accepted batch is
+// acknowledged, every refused batch is refused loudly.
+//
+// # Failure model
+//
+// A panic in an instance worker is recovered: the instance is marked
+// failed (its queued handles resolve with the failure), the server and
+// every other instance keep running. A watchdog marks instances that
+// hold pending work without progress for Options.StallTimeout as
+// stalled in the status report. A WAL append failure (e.g. injected
+// ENOSPC) wedges only the write path: the instance refuses further
+// admissions with ErrWAL until the worker rewrites the log as a fresh
+// generation, after which admission resumes — the torn tail it leaves
+// behind was never acknowledged, so recovery semantics are unchanged.
+// Drain performs the graceful SIGTERM sequence: stop admissions, flush
+// every queue, take a final snapshot rotation, close the logs.
+package serve

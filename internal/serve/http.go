@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"doda/internal/graph"
+	"doda/internal/seq"
+)
+
+// ingestLine is one JSONL ingest body line.
+type ingestLine struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// maxIngestBody bounds one ingest request (16 MiB of JSONL).
+const maxIngestBody = 16 << 20
+
+// retryAfter is the client back-off hint sent with 429 responses.
+const retryAfter = 1 * time.Second
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/instances              register (InstanceConfig JSON body)
+//	GET    /v1/instances/{name}       instance status
+//	DELETE /v1/instances/{name}       remove instance
+//	POST   /v1/instances/{name}/ingest JSONL {"u":..,"v":..} lines;
+//	       ?seq=N stamps the batch, ?wait=1 blocks until applied
+//	GET    /v1/instances/{name}/state  deterministic EngineState JSON
+//	GET    /v1/status                 all-instance snapshot
+//	GET    /healthz                   process liveness (always 200)
+//	GET    /readyz                    admission readiness (503 draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+	mux.HandleFunc("POST /v1/instances", s.handleRegister)
+	mux.HandleFunc("GET /v1/instances/{name}", s.handleInstanceStatus)
+	mux.HandleFunc("DELETE /v1/instances/{name}", s.handleRemove)
+	mux.HandleFunc("POST /v1/instances/{name}/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/instances/{name}/state", s.handleState)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var cfg InstanceConfig
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&cfg); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad config: %v", err)})
+		return
+	}
+	inst, err := s.Register(cfg)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, inst.Status())
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) instanceOf(w http.ResponseWriter, r *http.Request) (*Instance, bool) {
+	name := r.PathValue("name")
+	inst, ok := s.Get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no instance %q", name)})
+		return nil, false
+	}
+	return inst, true
+}
+
+func (s *Server) handleInstanceStatus(w http.ResponseWriter, r *http.Request) {
+	if inst, ok := s.instanceOf(w, r); ok {
+		writeJSON(w, http.StatusOK, inst.Status())
+	}
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceOf(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Remove(inst.Name()); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleIngest is the JSONL ingest endpoint. Backpressure is explicit:
+// a full instance queue answers 429 Too Many Requests with a Retry-After
+// header — the client retries, nothing is dropped silently.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceOf(w, r)
+	if !ok {
+		return
+	}
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: ErrDraining.Error()})
+		return
+	}
+	var seqNo uint64
+	if q := r.URL.Query().Get("seq"); q != "" {
+		var err error
+		seqNo, err = strconv.ParseUint(q, 10, 64)
+		if err != nil || seqNo == 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "seq must be a positive integer"})
+			return
+		}
+	}
+	var its []seq.Interaction
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec ingestLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad ingest line %q: %v", line, err)})
+			return
+		}
+		its = append(its, seq.Interaction{U: graph.NodeID(rec.U), V: graph.NodeID(rec.V)})
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	h, err := inst.TryIngest(its, seqNo)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBackpressure) || errors.Is(err, ErrWAL):
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:        err.Error(),
+			RetryAfterMs: retryAfter.Milliseconds(),
+		})
+		return
+	case errors.Is(err, ErrInstanceDone):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrInstanceFailed), errors.Is(err, ErrInstanceClosed):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrSequenceGap):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	if r.URL.Query().Get("wait") != "" {
+		if err := h.Wait(r.Context()); err != nil {
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"ops": len(its)})
+}
+
+// handleState serves the deterministic engine snapshot the recovery
+// tests diff byte-for-byte.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instanceOf(w, r)
+	if !ok {
+		return
+	}
+	st, err := inst.State(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

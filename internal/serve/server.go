@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"doda/internal/chaos"
+	"doda/internal/core"
+	"doda/internal/graph"
+	"doda/internal/seq"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Dir is the durability root: each instance journals into its own
+	// subdirectory. Empty means ephemeral (no WAL, nothing survives a
+	// restart).
+	Dir string
+	// FS is the write-path filesystem seam (nil = the real disk); the
+	// chaos tests inject faults through it.
+	FS chaos.FS
+	// MaxPending bounds each instance's journaled-but-unapplied
+	// interaction count — the per-instance admission budget (default
+	// 4096).
+	MaxPending int
+	// SnapshotEvery rotates an instance's WAL after this many applied
+	// interactions (default 1024).
+	SnapshotEvery int
+	// StallTimeout is how long an instance may hold pending work without
+	// applying any of it before the watchdog flags it stalled (default
+	// 10s).
+	StallTimeout time.Duration
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.MaxPending <= 0 {
+		o.MaxPending = 4096
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 1024
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 10 * time.Second
+	}
+	if o.FS == nil {
+		o.FS = chaos.Disk
+	}
+}
+
+// ErrDraining reports an operation refused because the server is
+// draining.
+var ErrDraining = errors.New("serve: server draining")
+
+// Server multiplexes aggregation instances.
+type Server struct {
+	opt Options
+
+	mu        sync.Mutex
+	instances map[string]*Instance
+	draining  bool
+
+	watchStop chan struct{}
+	watchDone chan struct{}
+}
+
+// NewServer builds a server and, when opt.Dir holds instance journals
+// from a previous process, recovers every one of them before returning:
+// a restarted server resumes exactly where the crash left it.
+func NewServer(opt Options) (*Server, error) {
+	opt.fill()
+	s := &Server{
+		opt:       opt,
+		instances: make(map[string]*Instance),
+		watchStop: make(chan struct{}),
+		watchDone: make(chan struct{}),
+	}
+	if opt.Dir != "" {
+		if err := os.MkdirAll(opt.Dir, walDirPerm); err != nil {
+			return nil, err
+		}
+		if err := s.recoverAll(); err != nil {
+			return nil, err
+		}
+	}
+	go s.watchdog()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// recoverAll replays every instance directory under Dir.
+func (s *Server) recoverAll() error {
+	entries, err := os.ReadDir(s.opt.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if !nameRE.MatchString(name) {
+			continue
+		}
+		inst, err := s.recoverInstance(name)
+		if errors.Is(err, errNoWAL) {
+			// A torn genesis: the registration was never acknowledged
+			// (Create only acks after the first generation is durable), so
+			// the directory holds no instance — sweep it and move on.
+			s.logf("serve: sweeping %s: %v", name, err)
+			if rerr := os.RemoveAll(filepath.Join(s.opt.Dir, name)); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("serve: recover %s: %w", name, err)
+		}
+		s.instances[name] = inst
+		go inst.worker()
+	}
+	return nil
+}
+
+// recoverInstance rebuilds one instance from its WAL: restore the
+// snapshot, replay the journaled tail, reopen for appends.
+func (s *Server) recoverInstance(name string) (*Instance, error) {
+	dir := filepath.Join(s.opt.Dir, name)
+	log, rec, err := recoverWAL(s.opt.FS, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rec.cfg.Name != name {
+		return nil, fmt.Errorf("wal names instance %q, directory is %q", rec.cfg.Name, name)
+	}
+	cfg, alg, err := rec.cfg.engineConfig()
+	if err != nil {
+		return nil, err
+	}
+	eng := &core.Engine{}
+	if err := eng.RestoreStream(cfg, alg, rec.state); err != nil {
+		return nil, err
+	}
+	// Replay the journaled-but-unsnapshotted tail. Feed is deterministic
+	// and ignores post-done batches, so the replayed engine is
+	// byte-identical to the pre-crash one.
+	for _, in := range rec.tail {
+		for _, uv := range in.Its {
+			if _, err := eng.Feed(seq.Interaction{U: graph.NodeID(uv[0]), V: graph.NodeID(uv[1])}); err != nil {
+				return nil, fmt.Errorf("replay batch %d: %w", in.Seq, err)
+			}
+		}
+	}
+	lastSeq := rec.lastSeq()
+	inst := newInstance(s, rec.cfg, eng, log, lastSeq, lastSeq)
+	if eng.StreamDone() {
+		res, err := eng.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("replay verification: %w", err)
+		}
+		inst.result = res
+		inst.state = stateDone
+	}
+	s.logf("serve: recovered instance %s (seq %d, %s)", name, lastSeq, inst.state)
+	return inst, nil
+}
+
+// Register creates a new aggregation instance.
+func (s *Server) Register(icfg InstanceConfig) (*Instance, error) {
+	icfg = icfg.normalized()
+	cfg, alg, err := icfg.engineConfig()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Begin(alg); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if _, ok := s.instances[icfg.Name]; ok {
+		return nil, fmt.Errorf("serve: instance %q already exists", icfg.Name)
+	}
+	var log *wal
+	if s.opt.Dir != "" {
+		st, err := eng.StateSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		log, err = createWAL(s.opt.FS, filepath.Join(s.opt.Dir, icfg.Name), icfg, st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inst := newInstance(s, icfg, eng, log, 0, 0)
+	s.instances[icfg.Name] = inst
+	go inst.worker()
+	return inst, nil
+}
+
+// Get returns a registered instance.
+func (s *Server) Get(name string) (*Instance, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[name]
+	return inst, ok
+}
+
+// Remove closes and forgets an instance; its journal directory is
+// deleted, so this is the explicit "query finished, release it" call.
+func (s *Server) Remove(name string) error {
+	s.mu.Lock()
+	inst, ok := s.instances[name]
+	if ok {
+		delete(s.instances, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: no instance %q", name)
+	}
+	inst.close()
+	if s.opt.Dir != "" {
+		return os.RemoveAll(filepath.Join(s.opt.Dir, name))
+	}
+	return nil
+}
+
+// Instances lists the registered instances, name-sorted.
+func (s *Server) Instances() []*Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].cfg.Name < out[k].cfg.Name })
+	return out
+}
+
+// ServerStatus is the /v1/status document.
+type ServerStatus struct {
+	Draining  bool             `json:"draining,omitempty"`
+	Instances []InstanceStatus `json:"instances"`
+}
+
+// Status snapshots every instance.
+func (s *Server) Status() ServerStatus {
+	s.mu.Lock()
+	st := ServerStatus{Draining: s.draining}
+	insts := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		insts = append(insts, inst)
+	}
+	s.mu.Unlock()
+	sort.Slice(insts, func(i, k int) bool { return insts[i].cfg.Name < insts[k].cfg.Name })
+	for _, inst := range insts {
+		st.Instances = append(st.Instances, inst.Status())
+	}
+	return st
+}
+
+// Draining reports whether a drain has begun (readyz turns 503).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// watchdog periodically flags instances that hold pending work without
+// making progress — a stuck worker shows up in the status report instead
+// of silently eating its queue's latency budget.
+func (s *Server) watchdog() {
+	defer close(s.watchDone)
+	tick := time.NewTicker(s.opt.StallTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-tick.C:
+		}
+		for _, inst := range s.Instances() {
+			inst.mu.Lock()
+			if inst.state == stateRunning && inst.pendingOps > 0 &&
+				time.Since(inst.lastMove) > s.opt.StallTimeout && !inst.stalled {
+				inst.stalled = true
+				s.logf("serve: instance %s stalled: %d pending ops, no progress for %v",
+					inst.cfg.Name, inst.pendingOps, time.Since(inst.lastMove).Round(time.Millisecond))
+			}
+			inst.mu.Unlock()
+		}
+	}
+}
+
+// Drain performs the graceful shutdown sequence: stop admissions (and
+// registrations), flush every instance queue, take final snapshots, and
+// close the journals. Bounded by ctx; instances that cannot flush in
+// time report errors but the drain still closes everything.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, inst := range s.Instances() {
+		if err := inst.drain(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	close(s.watchStop)
+	<-s.watchDone
+	return firstErr
+}
+
+// Close shuts down without flushing: journaled batches survive in the
+// WAL and apply on the next start, but nothing new is accepted and
+// pending handles fail. Drain is the graceful variant.
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	for _, inst := range s.Instances() {
+		inst.close()
+	}
+	if !already {
+		close(s.watchStop)
+		<-s.watchDone
+	}
+}

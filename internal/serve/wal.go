@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"doda/internal/chaos"
+	"doda/internal/core"
+	"doda/internal/sweepd"
+)
+
+// walVersion is the instance log schema version; readers reject others.
+const walVersion = 1
+
+const (
+	walPrefix  = "wal-"
+	walSuffix  = ".jsonl"
+	walTmpSfx  = ".tmp"
+	walDirPerm = 0o755
+)
+
+// ErrWAL reports a wedged write-ahead log: an append failed mid-record,
+// so further appends would bury valid records behind garbage. The
+// instance worker recovers by rewriting the log as a fresh generation;
+// until then admissions are refused with this error.
+var ErrWAL = errors.New("serve: write-ahead log wedged, rewrite pending")
+
+// walHeader is record 0 of every generation: the instance identity.
+type walHeader struct {
+	Version int            `json:"version"`
+	Config  InstanceConfig `json:"config"`
+}
+
+// walState is record 1: the engine snapshot the generation starts from
+// and the sequence number of the last batch folded into it.
+type walState struct {
+	AppliedSeq uint64           `json:"applied_seq"`
+	State      core.EngineState `json:"state"`
+}
+
+// walIngest journals one accepted batch.
+type walIngest struct {
+	Seq uint64   `json:"seq"`
+	Its [][2]int `json:"its"`
+}
+
+// wal is one instance's open write-ahead log. Calls are serialised by the
+// owning instance's mutex.
+type wal struct {
+	fs  chaos.FS
+	dir string
+
+	gen    int        // current generation number
+	f      chaos.File // open for append on the current generation
+	broken bool       // an append failed mid-record; see ErrWAL
+}
+
+func genName(n int) string {
+	return fmt.Sprintf("%s%08d%s", walPrefix, n, walSuffix)
+}
+
+func genNumber(name string) (int, bool) {
+	if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// genNames lists the generation files in dir, ascending, sweeping
+// leftover tmp files from a crashed rotation.
+func genNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, walTmpSfx) {
+			if _, ok := genNumber(strings.TrimSuffix(name, walTmpSfx)); ok {
+				os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		if _, ok := genNumber(name); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, k int) bool {
+		a, _ := genNumber(names[i])
+		b, _ := genNumber(names[k])
+		return a < b
+	})
+	return names, nil
+}
+
+// encodeRecords frames a generation's records: header, state, ingests.
+func encodeRecords(hdr walHeader, st walState, pending []walIngest) ([][]byte, error) {
+	recs := make([]any, 0, len(pending)+2)
+	recs = append(recs, hdr, st)
+	for _, in := range pending {
+		recs = append(recs, in)
+	}
+	lines := make([][]byte, 0, len(recs))
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, sweepd.EncodeRecord(b))
+	}
+	return lines, nil
+}
+
+// writeGen atomically publishes one generation file: tmp + fsync +
+// rename + directory fsync, so a crash at any instant leaves either the
+// old world or the complete new one.
+func writeGen(fsys chaos.FS, dir string, gen int, lines [][]byte) error {
+	name := genName(gen)
+	tmp := filepath.Join(dir, name+walTmpSfx)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			fsys.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// createWAL starts generation 0 for a freshly registered instance and
+// opens it for appends.
+func createWAL(fsys chaos.FS, dir string, cfg InstanceConfig, st core.EngineState) (*wal, error) {
+	if err := os.MkdirAll(dir, walDirPerm); err != nil {
+		return nil, err
+	}
+	names, err := genNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) > 0 {
+		return nil, fmt.Errorf("serve: %s already holds a write-ahead log", dir)
+	}
+	w := &wal{fs: fsys, dir: dir, gen: 0}
+	lines, err := encodeRecords(walHeader{Version: walVersion, Config: cfg}, walState{State: st}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeGen(fsys, dir, 0, lines); err != nil {
+		return nil, err
+	}
+	if err := w.openAppend(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// openAppend opens the current generation for appends.
+func (w *wal) openAppend() error {
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, genName(w.gen)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return nil
+}
+
+// append journals one batch and makes it durable. On failure the log is
+// wedged (ErrWAL) until rotate rewrites it: the failed write may have
+// left a partial record at the tail, and appending after it would turn
+// an unacknowledged torn tail into unrecoverable mid-log corruption.
+func (w *wal) append(rec walIngest) error {
+	if w.broken {
+		return ErrWAL
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(sweepd.EncodeRecord(b)); err != nil {
+		w.broken = true
+		return fmt.Errorf("%w: %w", ErrWAL, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = true
+		return fmt.Errorf("%w: %w", ErrWAL, err)
+	}
+	return nil
+}
+
+// rotate publishes a fresh generation holding the current snapshot plus
+// the journaled-but-unapplied batches, switches appends to it, and
+// deletes older generations. It also clears a wedged log: the new
+// generation is written whole, so the old tail's damage is left behind.
+func (w *wal) rotate(cfg InstanceConfig, st walState, pending []walIngest) error {
+	lines, err := encodeRecords(walHeader{Version: walVersion, Config: cfg}, st, pending)
+	if err != nil {
+		return err
+	}
+	next := w.gen + 1
+	if err := writeGen(w.fs, w.dir, next, lines); err != nil {
+		return err
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	old := w.gen
+	w.gen = next
+	w.broken = false
+	if err := w.openAppend(); err != nil {
+		return err
+	}
+	// The new generation is durable; older ones are now garbage. Removal
+	// failures are harmless (recovery prefers the newest valid gen) but
+	// surface through SyncDir if the directory itself is sick.
+	names, err := genNames(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if n, ok := genNumber(name); ok && n <= old {
+			w.fs.Remove(filepath.Join(w.dir, name))
+		}
+	}
+	return w.fs.SyncDir(w.dir)
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// errNoWAL reports an instance directory with no readable generation:
+// either nothing was ever published, or the only generation tore before
+// its header+state prefix became durable. Both mean the registration was
+// never acknowledged — the directory holds no instance.
+var errNoWAL = errors.New("serve: no readable write-ahead log")
+
+// errGenDamaged classifies a generation whose *content* is unusable (torn
+// before the header+state prefix, or undecodable records). Recovery may
+// fall back past such a generation. I/O errors while reading or repairing
+// are deliberately NOT this class: the bytes on disk may be fine, so
+// falling back — or worse, concluding errNoWAL and sweeping the
+// directory — would discard acknowledged data. Those abort recovery
+// instead, and the caller retries.
+var errGenDamaged = errors.New("serve: generation damaged")
+
+// recovered is the parsed durable state of one instance directory.
+type recovered struct {
+	cfg     InstanceConfig
+	state   core.EngineState
+	applied uint64
+	tail    []walIngest
+	gen     int
+}
+
+// recoverWAL reads an instance directory back: the newest generation
+// with a valid header + state prefix wins; a torn tail is dropped and
+// the file repaired; generations newer than the winner (torn mid-
+// rotation) and older than it (superseded) are deleted. Returns the
+// recovered state and an open log ready for appends.
+func recoverWAL(fsys chaos.FS, dir string) (*wal, *recovered, error) {
+	names, err := genNames(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("%w: %s", errNoWAL, dir)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		rec, _, err := parseGen(fsys, dir, names[i])
+		if errors.Is(err, errGenDamaged) {
+			// Damaged mid-rotation: fall back to the predecessor, which
+			// rotation deletes only after its successor is durable.
+			continue
+		}
+		if err != nil {
+			// An I/O failure, not damage — the generation may be perfectly
+			// good. Abort recovery rather than silently falling past it.
+			return nil, nil, err
+		}
+		// This generation wins; every other generation file is garbage.
+		for k, name := range names {
+			if k != i {
+				fsys.Remove(filepath.Join(dir, name))
+			}
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, nil, err
+		}
+		w := &wal{fs: fsys, dir: dir, gen: rec.gen}
+		if err := w.openAppend(); err != nil {
+			return nil, nil, err
+		}
+		return w, rec, nil
+	}
+	return nil, nil, fmt.Errorf("%w: %s: every generation is damaged", errNoWAL, dir)
+}
+
+// parseGen reads one generation file. A decode failure on a trailing
+// record is a torn tail: the valid prefix is kept and the file rewritten
+// without it (repaired=true). A generation without a valid header and
+// state record does not parse — that failure is errGenDamaged, letting
+// recovery fall back; I/O failures (read, repair write) are returned
+// unwrapped so recovery aborts and retries instead of discarding data.
+func parseGen(fsys chaos.FS, dir, name string) (*recovered, bool, error) {
+	raw, err := fsys.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, false, err
+	}
+	gen, _ := genNumber(name)
+	lines, torn := sweepd.SplitRecords(raw)
+	rec := &recovered{gen: gen}
+	var valid [][]byte
+	for li, line := range lines {
+		body, err := sweepd.DecodeRecord(line)
+		if err != nil {
+			// A crc failure is how a torn append looks; everything after
+			// it belongs to the same unsynced write and is dropped too.
+			torn = true
+			break
+		}
+		if err := rec.readRecord(li, body); err != nil {
+			return nil, false, fmt.Errorf("%w: %s: %w", errGenDamaged, name, err)
+		}
+		keep := make([]byte, 0, len(line)+1)
+		keep = append(append(keep, line...), '\n')
+		valid = append(valid, keep)
+	}
+	if len(valid) < 2 {
+		return nil, false, fmt.Errorf("%w: %s: generation lacks header+state", errGenDamaged, name)
+	}
+	repaired := false
+	if torn {
+		// Rewrite the file without the torn tail so future appends land
+		// after valid bytes.
+		if err := rewriteGen(fsys, dir, name, valid); err != nil {
+			return nil, false, err
+		}
+		repaired = true
+	}
+	return rec, repaired, nil
+}
+
+// rewriteGen atomically replaces name with the given record lines.
+func rewriteGen(fsys chaos.FS, dir, name string, lines [][]byte) error {
+	tmp := filepath.Join(dir, name+walTmpSfx)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			fsys.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// readRecord parses one record line by position and shape.
+func (r *recovered) readRecord(li int, body []byte) error {
+	switch li {
+	case 0:
+		var h walHeader
+		if err := json.Unmarshal(body, &h); err != nil {
+			return fmt.Errorf("serve: wal header: %w", err)
+		}
+		if h.Version != walVersion {
+			return fmt.Errorf("serve: wal version %d, this reader speaks %d", h.Version, walVersion)
+		}
+		r.cfg = h.Config
+		return nil
+	case 1:
+		var s walState
+		if err := json.Unmarshal(body, &s); err != nil {
+			return fmt.Errorf("serve: wal state: %w", err)
+		}
+		r.state = s.State
+		r.applied = s.AppliedSeq
+		return nil
+	default:
+		var in walIngest
+		if err := json.Unmarshal(body, &in); err != nil {
+			return fmt.Errorf("serve: wal ingest record %d: %w", li, err)
+		}
+		if in.Seq == 0 {
+			return fmt.Errorf("serve: wal ingest record %d: zero sequence", li)
+		}
+		if want := r.lastSeq() + 1; in.Seq != want {
+			return fmt.Errorf("serve: wal ingest record %d: sequence %d, want %d", li, in.Seq, want)
+		}
+		r.tail = append(r.tail, in)
+		return nil
+	}
+}
+
+// lastSeq is the highest journaled sequence in the recovered state.
+func (r *recovered) lastSeq() uint64 {
+	if len(r.tail) > 0 {
+		return r.tail[len(r.tail)-1].Seq
+	}
+	return r.applied
+}

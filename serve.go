@@ -1,0 +1,48 @@
+package doda
+
+// Serving subsystem re-exports: library users embed the continuous
+// aggregation server through the root package and never import
+// internal/. See internal/serve/doc.go for the durability,
+// backpressure, and failure contracts.
+
+import "doda/internal/serve"
+
+// Serving types.
+type (
+	// ServeOptions tunes one server (data directory, queue bounds,
+	// snapshot cadence, stall watchdog).
+	ServeOptions = serve.Options
+	// ServeServer multiplexes many live aggregation instances; its
+	// Handler method exposes the HTTP API cmd/dodaserve serves.
+	ServeServer = serve.Server
+	// ServeInstance is one registered aggregation instance.
+	ServeInstance = serve.Instance
+	// ServeInstanceConfig registers an instance (name, n, algorithm,
+	// aggregate, provenance).
+	ServeInstanceConfig = serve.InstanceConfig
+	// ServeHandle resolves when an accepted ingest batch is applied.
+	ServeHandle = serve.Handle
+	// ServeInstanceStatus is one instance's row in the status report.
+	ServeInstanceStatus = serve.InstanceStatus
+	// ServeServerStatus is the whole-server status report.
+	ServeServerStatus = serve.ServerStatus
+)
+
+// Serving errors callers branch on.
+var (
+	// ErrServeBackpressure means the instance's admission budget is
+	// full; retry after a backoff (HTTP surfaces this as 429).
+	ErrServeBackpressure = serve.ErrBackpressure
+	// ErrServeDraining means the server is shutting down gracefully.
+	ErrServeDraining = serve.ErrDraining
+	// ErrServeInstanceDone means the instance's aggregation terminated
+	// and takes no further ingest.
+	ErrServeInstanceDone = serve.ErrInstanceDone
+)
+
+// NewServeServer builds a continuous aggregation server. With
+// Options.Dir set, every instance write-ahead-logs its ingest and a
+// restart over the same directory recovers byte-identical state.
+func NewServeServer(opt ServeOptions) (*ServeServer, error) {
+	return serve.NewServer(opt)
+}

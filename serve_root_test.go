@@ -1,0 +1,57 @@
+package doda
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestServeReexports drives a tiny end-to-end aggregation through the
+// root-package serving surface: register, ingest a star that gathers
+// everything at the sink, and read the terminated state back.
+func TestServeReexports(t *testing.T) {
+	srv, err := NewServeServer(ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inst, err := srv.Register(ServeInstanceConfig{
+		Name: "root", N: 4, Algorithm: "gathering", Agg: "sum",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var star []Interaction
+	for v := NodeID(1); v < 4; v++ {
+		it, err := Pair(0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		star = append(star, it)
+	}
+	// The star alone may leave the last transfer pending; repeat it so
+	// the sink meets every remaining owner again.
+	for round := 0; round < 4; round++ {
+		h, err := inst.Ingest(ctx, star, 0)
+		if errors.Is(err, ErrServeInstanceDone) {
+			break // terminated before the full schedule — the goal state
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := inst.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Result.Terminated {
+		t.Fatalf("gathering on a repeated star must terminate: %+v", st.Result)
+	}
+}
