@@ -487,6 +487,7 @@ func BenchmarkA3EngineVsSim(b *testing.B) {
 				b.Fatal(err)
 			}
 			res, err := rt.Run(algorithms.NewGathering(), adv)
+			rt.Close()
 			if err != nil {
 				b.Fatal(err)
 			}

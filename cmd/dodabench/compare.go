@@ -23,6 +23,7 @@ func trackedMetrics(rep *hotpathReport) map[string]float64 {
 		"engine.ns_per_interaction":                rep.Engine.NsPerInteraction,
 		"engine_batched.ns_per_interaction":        rep.EngineBatched.NsPerInteraction,
 		"sim.ns_per_interaction":                   rep.Sim.NsPerInteraction,
+		"sim_sharded.ns_per_interaction":           rep.SimSharded.NsPerInteraction,
 		"alias_sampler.ns_per_draw":                rep.AliasSampler.NsPerDraw,
 		"weighted_gen.ns_per_draw":                 rep.WeightedGen.NsPerDraw,
 		"large_n.batched_count_ns_per_interaction": rep.LargeN.BatchedCountNs,
@@ -82,7 +83,10 @@ func compareBaseline(rep *hotpathReport, path string, tolerance float64, w io.Wr
 		return fmt.Errorf("%d tracked metric(s) regressed more than %.0f%%: %s",
 			len(regressions), tolerance*100, strings.Join(regressions, "; "))
 	}
-	return checkProgressOverhead(rep, w)
+	if err := checkProgressOverhead(rep, w); err != nil {
+		return err
+	}
+	return checkAllocGates(rep, w)
 }
 
 // progressOverheadMax is the absolute ceiling on what the observability
@@ -107,6 +111,47 @@ func checkProgressOverhead(rep *hotpathReport, w io.Writer) error {
 	if o.OverheadFrac > progressOverheadMax {
 		return fmt.Errorf("progress instrumentation costs %.1f%% of sweep throughput, ceiling is %.0f%% (base %.1fms vs instrumented %.1fms over %d cells)",
 			o.OverheadFrac*100, progressOverheadMax*100, o.BaseMs, o.InstrumentedMs, o.Cells)
+	}
+	return nil
+}
+
+// allocsPerRunMax is the absolute ceiling on steady-state heap churn in
+// the Reset-reuse interaction loops. Both engines recycle every buffer
+// across Reset, so a warmed run allocates nothing; the fractional
+// headroom only absorbs one-off growth (a map rehash, a pprof label)
+// amortized across the benchmark's many runs, not a real per-run
+// allocation. Like the progress gate this reads only the fresh report:
+// allocation counts are machine-independent, so no baseline or
+// calibration applies.
+const allocsPerRunMax = 0.5
+
+func checkAllocGates(rep *hotpathReport, w io.Writer) error {
+	sections := []struct {
+		name string
+		m    perInteraction
+	}{
+		{"engine", rep.Engine},
+		{"engine_batched", rep.EngineBatched},
+		{"sim", rep.Sim},
+		{"sim_sharded", rep.SimSharded},
+	}
+	var failures []string
+	for _, s := range sections {
+		if s.m.Runs == 0 {
+			fmt.Fprintf(w, "  %-44s (skipped: section missing)\n", s.name+".allocs_per_run")
+			continue
+		}
+		verdict := "ok"
+		if s.m.AllocsPerRun > allocsPerRunMax {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s %.1f allocs/run", s.name, s.m.AllocsPerRun))
+		}
+		fmt.Fprintf(w, "  %-44s %9.2f allocs/run (ceiling %.1f)  %s\n",
+			s.name+".allocs_per_run", s.m.AllocsPerRun, allocsPerRunMax, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("steady-state interaction loops must not allocate per run (ceiling %.1f): %s",
+			allocsPerRunMax, strings.Join(failures, "; "))
 	}
 	return nil
 }

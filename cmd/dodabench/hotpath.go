@@ -103,6 +103,7 @@ type hotpathReport struct {
 	Engine        perInteraction        `json:"engine"`
 	EngineBatched perInteraction        `json:"engine_batched"`
 	Sim           perInteraction        `json:"sim"`
+	SimSharded    perInteraction        `json:"sim_sharded"`
 	AliasSampler  perDraw               `json:"alias_sampler"`
 	WeightedGen   perDraw               `json:"weighted_gen"`
 	LargeN        largeNReport          `json:"large_n"`
@@ -151,27 +152,38 @@ func benchEngine(n int, batched bool) (perInteraction, error) {
 	return reduce(n, res, interactions), nil
 }
 
-// benchSim measures the concurrent runtime's per-interaction cost on the
-// same workload shape (fresh runtime per run: the goroutine fleet is part
-// of what it models).
-func benchSim(n int) (perInteraction, error) {
+// benchSim measures the concurrent sharded runtime's steady-state
+// per-interaction cost, mirroring benchEngine: one persistent runtime
+// (worker fleet included) re-armed via Reset per run, one endless
+// generated adversary — so the figure tracks the scheduler's hot path,
+// not per-run construction, exactly like the engine figure it is
+// compared against. shards = 0 takes the auto default.
+func benchSim(n, shards int) (perInteraction, error) {
+	cfg := sim.Config{N: n, MaxInteractions: 400*n*n + 4000, Shards: shards}
+	rt, err := sim.NewRuntime(cfg)
+	if err != nil {
+		return perInteraction{}, err
+	}
+	defer rt.Close()
+	gen, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(1)))
+	if err != nil {
+		return perInteraction{}, err
+	}
+	// Hoisted interface conversions: boxing per run would be measured as
+	// a scheduler allocation.
+	var adv core.Adversary = gen
+	var alg core.Algorithm = algorithms.NewGathering()
 	var interactions int64
 	var benchErr error
 	res := testing.Benchmark(func(b *testing.B) {
 		interactions = 0
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			adv, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(uint64(i))))
-			if err != nil {
+			if err := rt.Reset(cfg); err != nil {
 				benchErr = err
 				return
 			}
-			rt, err := sim.NewRuntime(sim.Config{N: n, MaxInteractions: 400*n*n + 4000})
-			if err != nil {
-				benchErr = err
-				return
-			}
-			out, err := rt.Run(algorithms.NewGathering(), adv)
+			out, err := rt.Run(alg, adv)
 			if err != nil {
 				benchErr = err
 				return
@@ -412,7 +424,17 @@ func benchSweepProgress() (sweepProgressOverhead, error) {
 		})
 		return time.Since(start), err
 	}
-	const trials = 4
+	// One discarded warmup pair first: the initial trial pays one-off
+	// costs (page cache, scheduler ramp-up, JIT-warmed branch predictors)
+	// that would otherwise inflate whichever side happens to run first
+	// and distort the overhead fraction.
+	if _, err := trial(-1); err != nil {
+		return sweepProgressOverhead{}, err
+	}
+	if _, err := trial(0); err != nil {
+		return sweepProgressOverhead{}, err
+	}
+	const trials = 6
 	minBase, minInst := time.Duration(1<<62), time.Duration(1<<62)
 	for i := 0; i < trials; i++ {
 		b, err := trial(-1)
@@ -471,8 +493,11 @@ func collectHotpath() (*hotpathReport, error) {
 	if rep.EngineBatched, err = benchEngine(64, true); err != nil {
 		return nil, fmt.Errorf("batched engine benchmark: %w", err)
 	}
-	if rep.Sim, err = benchSim(32); err != nil {
+	if rep.Sim, err = benchSim(32, 0); err != nil {
 		return nil, fmt.Errorf("sim benchmark: %w", err)
+	}
+	if rep.SimSharded, err = benchSim(256, 4); err != nil {
+		return nil, fmt.Errorf("sharded sim benchmark: %w", err)
 	}
 	if rep.AliasSampler, err = benchAlias(1024); err != nil {
 		return nil, fmt.Errorf("alias benchmark: %w", err)

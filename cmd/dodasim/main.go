@@ -197,6 +197,7 @@ func run(args []string) error {
 			return err
 		}
 		res, err = rt.Run(alg, adv)
+		rt.Close()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,123 @@
+package adversary
+
+// AdaptiveOwners is an adaptive online adversary that joins the engine's
+// coarse-batched fast path. The paper's adaptive adversary may read the
+// whole past execution; this one deliberately reads only the *coarse*
+// ownership state — which nodes still own data — and derives all of its
+// randomness from (seed, t). That makes every emission a pure function
+// of (t, ownership state), exactly the core.CoarseBatchAdversary purity
+// contract: the engine can drain whole batches of its interactions
+// between transfers and replay them, and discarded drains are invisible.
+
+import (
+	"doda/internal/bitset"
+	"doda/internal/core"
+	"doda/internal/graph"
+	"doda/internal/seq"
+)
+
+// AdaptiveOwners emits, at each time step, a uniformly random pair of
+// distinct *current data owners*. Against the gathering family this is
+// the strongest natural "keep the algorithm busy" schedule: every single
+// interaction is between two owners, so a gathering run terminates in
+// exactly n-1 interactions. It is also the adaptive counterpart of
+// Randomized, restricted to the still-active part of the system.
+type AdaptiveOwners struct {
+	seed uint64
+}
+
+var (
+	_ core.Adversary            = (*AdaptiveOwners)(nil)
+	_ core.CoarseBatchAdversary = (*AdaptiveOwners)(nil)
+)
+
+// NewAdaptiveOwners returns the adversary with the given random seed.
+func NewAdaptiveOwners(seed uint64) *AdaptiveOwners {
+	return &AdaptiveOwners{seed: seed}
+}
+
+// Name identifies the adversary in results and traces.
+func (a *AdaptiveOwners) Name() string { return "adaptive-owners" }
+
+// mix is the splitmix64 finalizer (the same mixing rng.New seeds
+// through): it turns (seed, t) into 64 independent-looking bits without
+// any state, which is what keeps the adversary pure.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ranks returns the owner ranks (i, j), i != j, of the pair to emit at
+// time t among nOwn owners. Both are uniform: i over [0, nOwn), j over
+// the remaining nOwn-1 ranks.
+func (a *AdaptiveOwners) ranks(t, nOwn int) (int, int) {
+	h := mix(a.seed ^ uint64(t)*0x9e3779b97f4a7c15)
+	i := int(h % uint64(nOwn))
+	j := int((h >> 32) % uint64(nOwn-1))
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// Next implements core.Adversary. ok is false once fewer than two nodes
+// own data (no valid owner pair exists; the run has terminated or failed
+// anyway). Views exposing ownership words resolve ranks word-parallel;
+// any other core.ExecView falls back to a linear owner scan with the
+// same rank order, so both resolutions emit identical pairs.
+func (a *AdaptiveOwners) Next(t int, view core.ExecView) (seq.Interaction, bool) {
+	nOwn := view.OwnerCount()
+	if nOwn < 2 {
+		return seq.Interaction{}, false
+	}
+	i, j := a.ranks(t, nOwn)
+	if wv, ok := view.(core.WordView); ok {
+		words := wv.OwnerWords()
+		return seq.Interaction{
+			U: graph.NodeID(bitset.SelectWord(words, i)),
+			V: graph.NodeID(bitset.SelectWord(words, j)),
+		}, true
+	}
+	if j < i {
+		i, j = j, i
+	}
+	var u, v graph.NodeID
+	for id, rank := graph.NodeID(0), 0; ; id++ {
+		if !view.Owns(id) {
+			continue
+		}
+		if rank == i {
+			u = id
+		}
+		if rank == j {
+			v = id
+			break
+		}
+		rank++
+	}
+	return seq.Interaction{U: u, V: v}, true
+}
+
+// NextCoarseBatch implements core.CoarseBatchAdversary: every interaction
+// for times t, t+1, ... is computed against the same frozen ownership
+// words, which is sound precisely because the engine discards the tail
+// of the batch as soon as a transfer changes that state.
+func (a *AdaptiveOwners) NextCoarseBatch(t int, view core.WordView, buf []seq.Interaction) int {
+	nOwn := view.OwnerCount()
+	if nOwn < 2 {
+		return 0
+	}
+	words := view.OwnerWords()
+	for k := range buf {
+		i, j := a.ranks(t+k, nOwn)
+		buf[k] = seq.Interaction{
+			U: graph.NodeID(bitset.SelectWord(words, i)),
+			V: graph.NodeID(bitset.SelectWord(words, j)),
+		}
+	}
+	return len(buf)
+}

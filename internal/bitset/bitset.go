@@ -28,6 +28,23 @@ func New(n int) *Set {
 // Cap returns the capacity (the n passed to New).
 func (s *Set) Cap() int { return s.n }
 
+// Words exposes the packed backing words (bit i of the set lives at
+// words[i/64] bit i%64). The slice aliases the set's storage: callers may
+// read or mutate it for word-parallel operations, but must not grow it.
+// Bits at positions >= Cap() must stay zero.
+func (s *Set) Words() []uint64 { return s.words }
+
+// SetAll sets every bit 0..n-1, leaving the tail bits of the last word
+// zero so Count and Equal stay exact.
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if tail := uint(s.n % 64); tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << tail) - 1
+	}
+}
+
 // Add sets bit i. Out-of-range indexes are ignored (they cannot be
 // represented, and callers validate node ids upstream).
 func (s *Set) Add(i int) {
@@ -127,6 +144,63 @@ func (s *Set) Members() []int {
 		}
 	}
 	return out
+}
+
+// WordsFor returns the number of 64-bit words needed to hold n bits.
+func WordsFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + 63) / 64
+}
+
+// TestWord reports whether bit i is set in a raw word slice laid out like
+// Set's backing storage. No bounds checks beyond the slice's own: callers
+// own validation.
+func TestWord(words []uint64, i int) bool {
+	return words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// SetWordBit sets bit i in a raw word slice.
+func SetWordBit(words []uint64, i int) {
+	words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// ClearWordBit clears bit i in a raw word slice.
+func ClearWordBit(words []uint64, i int) {
+	words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// CountWords returns the number of set bits across a raw word slice.
+func CountWords(words []uint64) int {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// SelectWord returns the position of the k-th set bit (0-indexed) in a
+// raw word slice, or -1 when fewer than k+1 bits are set. This is the
+// rank-select primitive adaptive adversaries use to pick the k-th owner
+// without materializing a member list.
+func SelectWord(words []uint64, k int) int {
+	if k < 0 {
+		return -1
+	}
+	for wi, w := range words {
+		n := bits.OnesCount64(w)
+		if k >= n {
+			k -= n
+			continue
+		}
+		// Select the k-th set bit inside w by peeling low bits.
+		for ; k > 0; k-- {
+			w &= w - 1
+		}
+		return wi<<6 + bits.TrailingZeros64(w)
+	}
+	return -1
 }
 
 // String renders the set as {a,b,c}.

@@ -136,6 +136,98 @@ func TestNegativeCapacity(t *testing.T) {
 	}
 }
 
+func TestSetAll(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 130} {
+		s := New(n)
+		s.SetAll()
+		if s.Count() != n {
+			t.Errorf("n=%d: SetAll Count = %d", n, s.Count())
+		}
+		if !s.Full() {
+			t.Errorf("n=%d: SetAll not Full", n)
+		}
+		if s.Has(n) {
+			t.Errorf("n=%d: tail bit set", n)
+		}
+	}
+}
+
+func TestWordsAlias(t *testing.T) {
+	s := New(70)
+	w := s.Words()
+	if len(w) != 2 {
+		t.Fatalf("len(Words) = %d", len(w))
+	}
+	SetWordBit(w, 69)
+	if !s.Has(69) {
+		t.Error("SetWordBit not visible through Set")
+	}
+	s.Add(3)
+	if !TestWord(w, 3) {
+		t.Error("Set.Add not visible through Words")
+	}
+	ClearWordBit(w, 69)
+	if s.Has(69) {
+		t.Error("ClearWordBit not visible through Set")
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{-3: 0, 0: 0, 1: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := WordsFor(n); got != want {
+			t.Errorf("WordsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSelectWord(t *testing.T) {
+	s := New(200)
+	members := []int{0, 1, 63, 64, 100, 127, 128, 199}
+	for _, m := range members {
+		s.Add(m)
+	}
+	w := s.Words()
+	for k, want := range members {
+		if got := SelectWord(w, k); got != want {
+			t.Errorf("SelectWord(k=%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got := SelectWord(w, len(members)); got != -1 {
+		t.Errorf("SelectWord past end = %d, want -1", got)
+	}
+	if got := SelectWord(w, -1); got != -1 {
+		t.Errorf("SelectWord(-1) = %d, want -1", got)
+	}
+	if got := SelectWord(nil, 0); got != -1 {
+		t.Errorf("SelectWord(nil) = %d, want -1", got)
+	}
+}
+
+func TestQuickSelectMatchesMembers(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.Intn(300) + 1
+		s := New(n)
+		for i := 0; i < 60; i++ {
+			s.Add(src.Intn(n))
+		}
+		w := s.Words()
+		if CountWords(w) != s.Count() {
+			return false
+		}
+		for k, m := range s.Members() {
+			if SelectWord(w, k) != m {
+				return false
+			}
+		}
+		return SelectWord(w, s.Count()) == -1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQuickCountMatchesMembers(t *testing.T) {
 	f := func(seed uint64) bool {
 		src := rng.New(seed)

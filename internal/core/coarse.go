@@ -1,0 +1,161 @@
+package core
+
+// Coarse-state batching: the contract that lets *adaptive* adversaries
+// join the batched fast path, plus the word-parallel ownership prescreen
+// shared with the concurrent runtime.
+//
+// The paper's adaptive online adversary may read the whole past
+// execution, which forces one Next call per interaction — the engine
+// cannot know what the adversary would have emitted after a transfer it
+// has not played yet. But several adaptive adversaries (owner-pair
+// samplers, the Theorem-1/3 families) only ever read *coarse* ownership
+// state: which nodes still own data, and how many. Between two
+// transfers that state is frozen, so every interaction the adversary
+// would emit is already determined at the previous transfer. The
+// CoarseBatchAdversary contract exploits exactly that window: the engine
+// drains a batch against the current state, consumes it until the
+// ownership state changes, then throws the rest away and re-drains. For
+// a pure implementation the replay is invisible: the consumed prefix is
+// byte-identical to what the scalar path would have played.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"doda/internal/bitset"
+	"doda/internal/seq"
+)
+
+// WordView extends ExecView with the packed ownership bitset, the coarse
+// state coarse-batching adversaries and word-parallel prescreens key on.
+// Bit u of OwnerWords() is set iff node u currently owns data.
+type WordView interface {
+	ExecView
+	// OwnerWords returns the ownership bitset as packed 64-bit words
+	// (bit u at words[u/64] bit u%64). The slice aliases live execution
+	// state: it is only valid until the next transfer, and callers must
+	// not mutate it.
+	OwnerWords() []uint64
+}
+
+// CoarseBatchAdversary is the adaptive analogue of BatchAdversary, for
+// adversaries whose emissions are a pure function of the time index and
+// the coarse ownership state (owner count / ownership words) — not of
+// the full execution history.
+//
+// The purity requirement is load-bearing: the engine consumes a drained
+// batch only up to (and including) the first interaction that changes
+// the ownership state, discards the rest, and calls NextCoarseBatch
+// again from the new state. Implementations must therefore emit the
+// same interactions for the same (t, ownership state) regardless of how
+// many times or in what batch sizes they are asked — no internal
+// counters, no caching keyed on call order, no randomness that is not
+// derived from (seed, t, state).
+type CoarseBatchAdversary interface {
+	Adversary
+	// NextCoarseBatch fills buf with the interactions at times t, t+1,
+	// ..., computed against the ownership state in view at call time,
+	// and returns how many it produced. Returning k < len(buf) means
+	// the sequence is exhausted after those k interactions *under the
+	// current state* (k may be 0). The engine may consume any prefix.
+	NextCoarseBatch(t int, view WordView, buf []seq.Interaction) int
+}
+
+// PrescreenBoth computes, word-parallel over the ownership bitset, which
+// interactions of batch still have both endpoints owning data. Bit i of
+// mask is set iff batch[i] is "active"; tail bits beyond len(batch) are
+// zeroed. It returns the number of active interactions.
+//
+// Ownership is monotone within a run (true → false only), so a batch
+// prescreened against the state at drain time stays sound as the batch
+// is consumed: an interaction screened out now can never become active
+// later. Screened-out interactions still count as interactions — they
+// are no-ops for every algorithm because Decide is only consulted when
+// both endpoints own data — which is what makes it sound to skip their
+// dispatch entirely. (Observer algorithms see every interaction and must
+// not be prescreened; callers gate on that.)
+//
+// mask must have at least (len(batch)+63)/64 words. words is indexed by
+// node id; callers guarantee batch is canonical and in range.
+func PrescreenBoth(words []uint64, batch []seq.Interaction, mask []uint64) int {
+	active := 0
+	for base := 0; base < len(batch); base += 64 {
+		end := len(batch) - base
+		if end > 64 {
+			end = 64
+		}
+		var m uint64
+		for i := 0; i < end; i++ {
+			it := batch[base+i]
+			if bitset.TestWord(words, int(it.U)) && bitset.TestWord(words, int(it.V)) {
+				m |= 1 << uint(i)
+			}
+		}
+		mask[base>>6] = m
+		active += bits.OnesCount64(m)
+	}
+	return active
+}
+
+// runCoarse drains a CoarseBatchAdversary through e.batch, replaying each
+// drained prefix until the ownership state changes (a transfer), then
+// re-draining from the new state. Differentially tested equal to the
+// scalar path for pure implementations.
+func (e *Engine) runCoarse(alg Algorithm, adv CoarseBatchAdversary, res *Result) error {
+	observer, observes := alg.(Observer)
+	events := e.cfg.Events
+	if len(e.batch) == 0 {
+		e.batch = make([]seq.Interaction, batchSize)
+	}
+	n := e.cfg.N
+	for t := 0; t < e.cfg.MaxInteractions; {
+		want := len(e.batch)
+		if rem := e.cfg.MaxInteractions - t; rem < want {
+			want = rem
+		}
+		got := adv.NextCoarseBatch(t, e, e.batch[:want])
+		if got < 0 || got > want {
+			return fmt.Errorf("core: adversary %s returned %d interactions for a %d-slot batch", adv.Name(), got, want)
+		}
+		if got == 0 {
+			return nil // exhausted under the current state
+		}
+		ownBefore := e.nOwn
+		consumed := got
+		for i := 0; i < got; i++ {
+			canon := e.batch[i]
+			if canon.U > canon.V {
+				canon.U, canon.V = canon.V, canon.U
+			}
+			if canon.U < 0 || canon.U == canon.V || int(canon.V) >= n {
+				if _, err := seq.NewInteraction(e.batch[i].U, e.batch[i].V); err != nil {
+					return fmt.Errorf("core: adversary %s at t=%d: %w", adv.Name(), t+i, err)
+				}
+				return fmt.Errorf("core: adversary %s at t=%d: interaction %v out of range", adv.Name(), t+i, canon)
+			}
+			res.Interactions++
+			done, err := e.step(alg, observer, observes, events, canon, t+i, res)
+			if err != nil || done {
+				return err
+			}
+			if e.nOwn != ownBefore {
+				// A transfer invalidated the rest of the batch: the
+				// adversary would have emitted different interactions
+				// from here. Discard and re-drain at the new state.
+				consumed = i + 1
+				break
+			}
+		}
+		t += consumed
+		if consumed == got && got < want && e.nOwn == ownBefore {
+			// The whole batch was consumed without an ownership change,
+			// so the state the adversary declared exhaustion under still
+			// holds: the scalar path's Next(t) would also return !ok. If
+			// a transfer landed on the batch's last interaction, the
+			// exhaustion claim was made under dead state — fall through
+			// and re-drain.
+			return nil
+		}
+	}
+	return nil
+}

@@ -323,6 +323,12 @@ type Engine struct {
 	nOwn int
 	used bool
 
+	// ownWords mirrors owns as a packed bitset (bit u set iff owns[u]),
+	// maintained on every transfer. It backs the WordView contract that
+	// coarse-batching adversaries and the concurrent runtime's word-
+	// parallel prescreen read.
+	ownWords []uint64
+
 	// Recycled storage, sized for the largest N seen so far. origins[i]
 	// is node i's provenance set: MergeInto unions sets in place, so the
 	// n sets allocated here are the only ones the engine ever creates.
@@ -341,7 +347,7 @@ type Engine struct {
 	str stream
 }
 
-var _ ExecView = (*Engine)(nil)
+var _ WordView = (*Engine)(nil)
 
 // NewEngine validates cfg and prepares an execution.
 func NewEngine(cfg Config) (*Engine, error) {
@@ -407,6 +413,17 @@ func (e *Engine) Reset(cfg Config) error {
 		e.origins = make([]*bitset.Set, cfg.N)
 		e.stateBuf = make([]any, cfg.N)
 	}
+	nw := bitset.WordsFor(cfg.N)
+	if cap(e.ownWords) < nw {
+		e.ownWords = make([]uint64, nw)
+	}
+	e.ownWords = e.ownWords[:nw]
+	for i := range e.ownWords {
+		e.ownWords[i] = ^uint64(0)
+	}
+	if tail := uint(cfg.N % 64); tail != 0 {
+		e.ownWords[nw-1] = (1 << tail) - 1
+	}
 	e.owns = e.owns[:cfg.N]
 	e.data = e.data[:cfg.N]
 	e.origins = e.origins[:cfg.N]
@@ -460,6 +477,11 @@ func (e *Engine) Owns(u graph.NodeID) bool {
 // OwnerCount returns the number of nodes owning data.
 func (e *Engine) OwnerCount() int { return e.nOwn }
 
+// OwnerWords returns the packed ownership bitset (bit u set iff node u
+// owns data). The slice aliases engine state: it is valid until the next
+// transfer or Reset and must not be mutated by callers.
+func (e *Engine) OwnerWords() []uint64 { return e.ownWords }
+
 // Env exposes the environment, mainly for tests and the concurrent
 // runtime, which shares algorithm state representation with the engine.
 func (e *Engine) Env() *Env { return e.env }
@@ -506,6 +528,8 @@ func (e *Engine) Run(alg Algorithm, adv Adversary) (Result, error) {
 	var err error
 	if ba, ok := adv.(BatchAdversary); ok && !e.cfg.DisableBatch {
 		err = e.runBatched(alg, ba, &res)
+	} else if ca, ok := adv.(CoarseBatchAdversary); ok && !e.cfg.DisableBatch {
+		err = e.runCoarse(alg, ca, &res)
 	} else {
 		err = e.runScalar(alg, adv, &res)
 	}
@@ -617,6 +641,7 @@ func (e *Engine) step(alg Algorithm, observer Observer, observes bool, events Ev
 			}
 			e.data[sender] = agg.Value{}
 			e.owns[sender] = false
+			bitset.ClearWordBit(e.ownWords, int(sender))
 			e.nOwn--
 			res.Transmissions++
 			res.LastGap = t - res.Duration - 1

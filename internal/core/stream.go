@@ -260,6 +260,9 @@ func (e *Engine) RestoreStream(cfg Config, alg Algorithm, st EngineState) error 
 		e.owns[u] = false
 		e.data[u] = agg.Value{}
 	}
+	for i := range e.ownWords {
+		e.ownWords[i] = 0
+	}
 	prev := -1
 	for i, u := range st.Owners {
 		if u < 0 || u >= cfg.N {
@@ -281,6 +284,7 @@ func (e *Engine) RestoreStream(cfg Config, alg Algorithm, st EngineState) error 
 			}
 		}
 		e.owns[u] = true
+		bitset.SetWordBit(e.ownWords, u)
 		e.data[u] = agg.Value{Num: st.Data[i].Num, Count: st.Data[i].Count, Origins: set}
 	}
 	e.nOwn = len(st.Owners)

@@ -1,0 +1,245 @@
+// Shard workers: the persistent goroutines that own partitions of node
+// state and realise the node-local interaction protocol.
+//
+// A dispatch hands the workers a compact array of slots — one per
+// interaction that can still matter — and a single atomic turn token
+// serialises them: slot i's protocol only starts once slot i-1 has
+// fully completed, which is exactly the model's "interactions are
+// atomic and totally ordered". Within a slot the two involved shards
+// run a three-state machine over the slot's fields: the shard owning
+// the second endpoint publishes its control information (infoReady),
+// the shard owning the first endpoint observes, decides, applies its
+// side (outcomeReady), and the publishing shard applies the other side
+// and passes the turn on. Each atomic store/load pair is a
+// release/acquire edge, so everything a shard wrote during its section
+// — node data, algorithm state, knowledge caches — is visible to the
+// next section without locks; the race detector verifies this across
+// the differential suite.
+//
+// Workers park on a buffered wake channel between dispatches and
+// acknowledge completion on a shared done channel, so the scheduler and
+// the fleet strictly alternate: shared state (the adversary, Env.State,
+// knowledge bundles) is never accessed concurrently.
+package sim
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"doda/internal/agg"
+	"doda/internal/core"
+	"doda/internal/seq"
+)
+
+// slot protocol states.
+const (
+	slotEmpty uint32 = iota
+	slotInfoReady
+	slotOutcomeReady
+)
+
+// slot carries one dispatched interaction through the shard protocol.
+// Slots are reused across dispatches; the scheduler re-initialises the
+// fields and state before each wake.
+type slot struct {
+	it             seq.Interaction
+	t              int
+	uShard, vShard int
+
+	state atomic.Uint32
+
+	// Published by the V shard at infoReady.
+	vOwns bool
+	vVal  agg.Value
+
+	// Published by the U shard at outcomeReady; decision and bothOwned
+	// are also what the scheduler integrates after the dispatch.
+	decision  core.Decision
+	bothOwned bool
+	takeMine  bool
+	gaveYours bool
+	outVal    agg.Value
+}
+
+// worker is one shard's parking spot.
+type worker struct {
+	id   int
+	wake chan int // number of slots in the dispatch
+}
+
+// ensureWorkers spawns the fleet if it is not already running. Workers
+// are spawned lazily so a Runtime that is never Run owns no goroutines.
+func (rt *Runtime) ensureWorkers() {
+	if rt.started {
+		return
+	}
+	rt.stopCh = make(chan struct{})
+	if rt.done == nil || cap(rt.done) < rt.nShards {
+		rt.done = make(chan struct{}, rt.nShards)
+	}
+	if len(rt.workers) != rt.nShards {
+		rt.workers = make([]*worker, rt.nShards)
+		for i := range rt.workers {
+			rt.workers[i] = &worker{id: i, wake: make(chan int, 1)}
+		}
+	}
+	stop := rt.stopCh
+	for _, w := range rt.workers {
+		rt.wg.Add(1)
+		go rt.runWorker(w, stop)
+	}
+	rt.started = true
+}
+
+// dispatch hands nSlots prepared slots to the involved shards and waits
+// for all of them to finish their walk. involved is a shard bitmask.
+func (rt *Runtime) dispatch(nSlots int, involved uint64) {
+	rt.turn.Store(0)
+	nInv := bits.OnesCount64(involved)
+	for s := 0; involved != 0; s++ {
+		if involved&(1<<uint(s)) != 0 {
+			involved &^= 1 << uint(s)
+			rt.workers[s].wake <- nSlots
+		}
+	}
+	for i := 0; i < nInv; i++ {
+		<-rt.done
+	}
+}
+
+// runWorker is the worker goroutine body.
+func (rt *Runtime) runWorker(w *worker, stop <-chan struct{}) {
+	defer rt.wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		case nSlots := <-w.wake:
+			rt.runShard(w.id, nSlots)
+			rt.done <- struct{}{}
+		}
+	}
+}
+
+// runShard walks the dispatched slots in order and plays this shard's
+// part in each: leader (owns the first endpoint), follower (owns the
+// second), both (same-shard interaction), or none (skip).
+func (rt *Runtime) runShard(me, nSlots int) {
+	for idx := 0; idx < nSlots; idx++ {
+		sl := &rt.slots[idx]
+		lead := sl.uShard == me
+		follow := sl.vShard == me
+		switch {
+		case lead && follow:
+			rt.awaitTurn(int32(idx))
+			rt.playLocal(sl)
+			rt.turn.Store(int32(idx) + 1)
+		case follow:
+			rt.awaitTurn(int32(idx))
+			v := sl.it.V
+			sl.vOwns = rt.owns[v]
+			sl.vVal = rt.data[v]
+			sl.state.Store(slotInfoReady)
+			rt.awaitState(sl, slotOutcomeReady)
+			switch {
+			case sl.takeMine:
+				// The leader transmitted its datum to us; the in-place
+				// merge mirrors the engine's receiver-side merge, and an
+				// overlap error leaves our value unchanged (refuse
+				// rather than corrupt), matching the engine's behaviour
+				// on the same fault.
+				_ = agg.MergeInto(rt.cfg.Agg, &rt.data[v], sl.outVal)
+			case sl.gaveYours:
+				rt.data[v] = agg.Value{}
+				rt.owns[v] = false
+			}
+			rt.turn.Store(int32(idx) + 1)
+		case lead:
+			rt.awaitState(sl, slotInfoReady)
+			rt.playLead(sl)
+			sl.state.Store(slotOutcomeReady)
+		}
+	}
+}
+
+// playLead runs the first endpoint's side of a cross-shard slot:
+// observe, decide, apply. The follower's control info is already in the
+// slot; its datum moves by value through the slot in either direction.
+func (rt *Runtime) playLead(sl *slot) {
+	u := sl.it.U
+	if rt.obsAll {
+		rt.observer.Observe(rt.env, sl.it, sl.t)
+	}
+	if rt.owns[u] && sl.vOwns {
+		sl.bothOwned = true
+		d := rt.alg.Decide(rt.env, sl.it, sl.t)
+		sl.decision = d
+		switch d {
+		case core.FirstReceives: // we receive the follower's datum
+			// In-place union into our own provenance set; the follower
+			// retires its datum on gaveYours and is blocked on the
+			// outcome until we finish, so nothing else can read the set
+			// being folded in.
+			if err := agg.MergeInto(rt.cfg.Agg, &rt.data[u], sl.vVal); err == nil {
+				sl.gaveYours = true
+			} else {
+				sl.decision = core.NoTransfer // refuse instead of corrupting
+			}
+		case core.SecondReceives: // we transmit to the follower
+			sl.takeMine = true
+			sl.outVal = rt.data[u]
+			rt.data[u] = agg.Value{}
+			rt.owns[u] = false
+		}
+	}
+}
+
+// playLocal plays a slot whose endpoints both live on this shard, with
+// the same decision and fault semantics as the cross-shard split.
+func (rt *Runtime) playLocal(sl *slot) {
+	u, v := sl.it.U, sl.it.V
+	if rt.obsAll {
+		rt.observer.Observe(rt.env, sl.it, sl.t)
+	}
+	if rt.owns[u] && rt.owns[v] {
+		sl.bothOwned = true
+		d := rt.alg.Decide(rt.env, sl.it, sl.t)
+		sl.decision = d
+		switch d {
+		case core.FirstReceives:
+			if err := agg.MergeInto(rt.cfg.Agg, &rt.data[u], rt.data[v]); err == nil {
+				rt.data[v] = agg.Value{}
+				rt.owns[v] = false
+			} else {
+				sl.decision = core.NoTransfer // refuse instead of corrupting
+			}
+		case core.SecondReceives:
+			out := rt.data[u]
+			rt.data[u] = agg.Value{}
+			rt.owns[u] = false
+			_ = agg.MergeInto(rt.cfg.Agg, &rt.data[v], out)
+		}
+	}
+}
+
+// awaitTurn spins until the turn token reaches idx. On a single-P
+// schedule the waited-for goroutine cannot progress while we spin, so
+// rt.spin is zero there and the wait yields immediately; on multi-P
+// schedules a short spin usually wins the race without a reschedule.
+func (rt *Runtime) awaitTurn(idx int32) {
+	for i := 0; rt.turn.Load() != idx; i++ {
+		if i >= rt.spin {
+			runtime.Gosched()
+		}
+	}
+}
+
+// awaitState spins until the slot's protocol state reaches want.
+func (rt *Runtime) awaitState(sl *slot, want uint32) {
+	for i := 0; sl.state.Load() != want; i++ {
+		if i >= rt.spin {
+			runtime.Gosched()
+		}
+	}
+}

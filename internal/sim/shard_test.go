@@ -1,0 +1,363 @@
+package sim
+
+// Differential acceptance suite for the sharded scheduler: the runtime
+// must produce core.Engine's exact Result for every registry scenario,
+// every provenance mode, every shard count, observer algorithms, and
+// coarse-state adaptive adversaries — at sizes large enough that node
+// state spans several shards and several ownership words. The whole
+// suite runs in CI's race-detector job, which is what certifies the
+// slot protocol's release/acquire discipline.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"doda/internal/adversary"
+	"doda/internal/algorithms"
+	"doda/internal/core"
+	"doda/internal/knowledge"
+	"doda/internal/rng"
+	"doda/internal/scenario"
+	"doda/internal/seq"
+)
+
+// sameRes compares every scalar Result field plus the sink value.
+func sameRes(t *testing.T, label string, a, b core.Result) {
+	t.Helper()
+	if a.Terminated != b.Terminated || a.Failed != b.Failed ||
+		a.FailReason != b.FailReason || a.Duration != b.Duration ||
+		a.Interactions != b.Interactions || a.Transmissions != b.Transmissions ||
+		a.Declined != b.Declined || a.LastGap != b.LastGap ||
+		a.SinkValue.Num != b.SinkValue.Num || a.SinkValue.Count != b.SinkValue.Count {
+		t.Errorf("%s: %+v != %+v", label, a, b)
+	}
+}
+
+// buildWorkload instantiates one registry scenario, writing a small
+// contact trace to disk for the trace spec (same shape as the sweep
+// package's differential test).
+func buildWorkload(t *testing.T, spec scenario.Spec, n int, seed uint64) *scenario.Workload {
+	t.Helper()
+	params := map[string]string{}
+	if spec.Name == "trace" {
+		path := filepath.Join(t.TempDir(), "trace.csv")
+		var rows bytes.Buffer
+		rows.WriteString("time,u,v\n")
+		line := 0
+		for round := 0; round < 2; round++ {
+			for u := 1; u < n-1; u++ {
+				fmt.Fprintf(&rows, "%d,%d,%d\n", line, u, u+1)
+				line++
+			}
+		}
+		for u := 1; u < n; u++ {
+			fmt.Fprintf(&rows, "%d,%d,%d\n", line, 0, u)
+			line++
+		}
+		if err := os.WriteFile(path, rows.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		params["file"] = path
+	}
+	w, err := spec.Build(n, seed, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestSimMatchesEngineEveryRegistryScenario is the tentpole equivalence
+// gate: every registered scenario — trace replay included — through the
+// engine and the sharded runtime under every provenance mode, at a size
+// where ownership spans two bitset words and state spans all shards.
+func TestSimMatchesEngineEveryRegistryScenario(t *testing.T) {
+	const n = 70
+	for _, spec := range scenario.All() {
+		for _, mode := range []core.ProvenanceMode{core.ProvenanceFull, core.ProvenanceCount, core.ProvenanceOff} {
+			label := fmt.Sprintf("%s/%v", spec.Name, mode)
+
+			we := buildWorkload(t, spec, n, 23)
+			cap := scenario.DefaultCap(we.N)
+			if b, finite := we.View.Bound(); finite && cap > b {
+				cap = b
+			}
+			engRes, err := core.RunOnce(core.Config{
+				N: we.N, MaxInteractions: cap, VerifyAggregate: true, Provenance: mode,
+			}, algorithms.NewGathering(), we.Adversary)
+			if err != nil {
+				t.Fatalf("%s engine: %v", label, err)
+			}
+
+			ws := buildWorkload(t, spec, n, 23)
+			rt, err := NewRuntime(Config{N: ws.N, MaxInteractions: cap, Provenance: mode, Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, err := rt.Run(algorithms.NewGathering(), ws.Adversary)
+			rt.Close()
+			if err != nil {
+				t.Fatalf("%s sim: %v", label, err)
+			}
+
+			if !engRes.Terminated {
+				t.Fatalf("%s: engine did not terminate", label)
+			}
+			sameRes(t, label, engRes, simRes)
+		}
+	}
+}
+
+// TestSimShardCountInvariance pins that the partitioning is invisible:
+// one shard (everything local), the auto default, and counts that leave
+// shards of uneven sizes all produce the engine's Result.
+func TestSimShardCountInvariance(t *testing.T) {
+	const n = 70
+	const seed = 9
+	mkAdv := func() core.Adversary {
+		a, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	ref, err := core.RunOnce(core.Config{
+		N: n, MaxInteractions: 50 * n * n, VerifyAggregate: true,
+	}, algorithms.NewGathering(), mkAdv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 4, 7, 64} {
+		rt, err := NewRuntime(Config{N: n, MaxInteractions: 50 * n * n, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run(algorithms.NewGathering(), mkAdv())
+		rt.Close()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		sameRes(t, fmt.Sprintf("shards=%d", shards), ref, res)
+	}
+}
+
+// TestSimObserverMatchesEngine drives an Observer algorithm
+// (future-optimal), whose Observe must see every interaction — the
+// prescreen is bypassed and every position dispatches — and whose
+// Observe/Decide mutate shared plan state across shard workers.
+func TestSimObserverMatchesEngine(t *testing.T) {
+	for _, n := range []int{10, 33} {
+		const horizon = 50000
+		run := func(viaSim bool) core.Result {
+			adv, stream, err := adversary.Randomized(n, 33)
+			if err != nil {
+				t.Fatal(err)
+			}
+			know, err := knowledge.NewBundle(knowledge.WithFutures(stream.Prefix(horizon)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaSim {
+				rt, err := NewRuntime(Config{N: n, MaxInteractions: horizon, Know: know, Shards: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rt.Close()
+				res, err := rt.Run(algorithms.NewFutureOptimal(horizon), adv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			res, err := core.RunOnce(core.Config{
+				N: n, MaxInteractions: horizon, Know: know, VerifyAggregate: true,
+			}, algorithms.NewFutureOptimal(horizon), adv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		eng, sim := run(false), run(true)
+		if !eng.Terminated {
+			t.Fatalf("n=%d: engine did not terminate: %+v", n, eng)
+		}
+		sameRes(t, fmt.Sprintf("n=%d", n), eng, sim)
+	}
+}
+
+// TestSimCoarseMatchesEngine checks the scheduler's coarse drain-replay
+// path (adaptive adversaries reading only coarse ownership state)
+// against both the sim's own scalar path and the engine.
+func TestSimCoarseMatchesEngine(t *testing.T) {
+	const n = 70
+	for _, tc := range []struct {
+		name string
+		alg  func() core.Algorithm
+	}{
+		{"gathering", func() core.Algorithm { return algorithms.NewGathering() }},
+		{"waiting", func() core.Algorithm { return algorithms.Waiting{} }},
+	} {
+		eng, err := core.RunOnce(core.Config{
+			N: n, MaxInteractions: 1 << 18, VerifyAggregate: true, DisableBatch: true,
+		}, tc.alg(), adversary.NewAdaptiveOwners(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, disable := range []bool{false, true} {
+			rt, err := NewRuntime(Config{N: n, MaxInteractions: 1 << 18, DisableBatch: disable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rt.Run(tc.alg(), adversary.NewAdaptiveOwners(5))
+			rt.Close()
+			if err != nil {
+				t.Fatalf("%s disable=%v: %v", tc.name, disable, err)
+			}
+			sameRes(t, fmt.Sprintf("%s disable=%v", tc.name, disable), eng, res)
+		}
+	}
+}
+
+// stateBoundAdv mirrors the engine coarse suite's trickiest fixture: it
+// emits {0,1} while t < 3 under full ownership and {0,2} while t < 6
+// once any transfer happened — pure in (t, owner count), with an
+// exhaustion point that *moves* when ownership changes.
+type stateBoundAdv struct{}
+
+func (stateBoundAdv) Name() string { return "state-bound" }
+func (a stateBoundAdv) pick(t, n, nOwn int) (seq.Interaction, bool) {
+	if nOwn == n {
+		if t >= 3 {
+			return seq.Interaction{}, false
+		}
+		return seq.Interaction{U: 0, V: 1}, true
+	}
+	if t >= 6 {
+		return seq.Interaction{}, false
+	}
+	return seq.Interaction{U: 0, V: 2}, true
+}
+func (a stateBoundAdv) Next(t int, view core.ExecView) (seq.Interaction, bool) {
+	return a.pick(t, view.N(), view.OwnerCount())
+}
+func (a stateBoundAdv) NextCoarseBatch(t int, view core.WordView, buf []seq.Interaction) int {
+	k := 0
+	for ; k < len(buf); k++ {
+		it, ok := a.pick(t+k, view.N(), view.OwnerCount())
+		if !ok {
+			break
+		}
+		buf[k] = it
+	}
+	return k
+}
+
+// transferAtAlg transfers to the first endpoint exactly at time `at`.
+type transferAtAlg struct{ at int }
+
+func (transferAtAlg) Name() string          { return "transfer-at" }
+func (transferAtAlg) Oblivious() bool       { return true }
+func (transferAtAlg) Setup(*core.Env) error { return nil }
+func (a transferAtAlg) Decide(_ *core.Env, _ seq.Interaction, t int) core.Decision {
+	if t == a.at {
+		return core.FirstReceives
+	}
+	return core.NoTransfer
+}
+
+// TestSimCoarseExhaustionAfterFinalTransfer pins the coarse loop's
+// subtlest window in the sim scheduler: exhaustion declared by a short
+// batch whose last interaction is the transfer that invalidates the
+// claim — the scheduler must re-drain, like Engine.runCoarse does.
+func TestSimCoarseExhaustionAfterFinalTransfer(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		rt, err := NewRuntime(Config{N: 8, MaxInteractions: 1 << 20, DisableBatch: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run(transferAtAlg{at: 2}, stateBoundAdv{})
+		rt.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Interactions != 6 || res.Transmissions != 1 || res.Declined != 5 {
+			t.Errorf("disable=%v: %+v", disable, res)
+		}
+	}
+}
+
+// TestSimSteadyStateZeroAllocs pins the Reset+Run recycling contract:
+// once the runtime, its worker fleet and the adversary exist, repeated
+// runs allocate nothing — the engine's own steady-state guarantee, now
+// matched by the concurrent scheduler.
+func TestSimSteadyStateZeroAllocs(t *testing.T) {
+	const n = 32
+	cfg := Config{N: n, MaxInteractions: 50 * n * n}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	gen, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hoist the interface conversions: boxing an adversary or algorithm
+	// value per run would itself allocate and mask what we measure.
+	var adv core.Adversary = gen
+	var alg core.Algorithm = algorithms.NewGathering()
+	// Warm up: spawn workers, fault in lazily-built buffers.
+	if _, err := rt.Run(alg, adv); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := rt.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(alg, adv); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Reset+Run allocates %v objects, want 0", allocs)
+	}
+}
+
+// FuzzSimVsEngine fuzzes the engine/sim differential over seeds, sizes
+// and provenance modes — the concurrent mirror of the engine's
+// FuzzBatchedVsScalar.
+func FuzzSimVsEngine(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(0))
+	f.Add(uint64(2), uint8(3), uint8(1))
+	f.Add(uint64(3), uint8(200), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, modeRaw uint8) {
+		n := int(nRaw%120) + 2
+		mode := core.ProvenanceMode(modeRaw % 3)
+		cap := 400*n*n + 4000
+		mkAdv := func() core.Adversary {
+			a, err := adversary.NewGenerated("uniform", n, seq.UniformGen(n, rng.New(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}
+		eng, err := core.RunOnce(core.Config{
+			N: n, MaxInteractions: cap, VerifyAggregate: true, Provenance: mode,
+		}, algorithms.NewGathering(), mkAdv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := NewRuntime(Config{N: n, MaxInteractions: cap, Provenance: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run(algorithms.NewGathering(), mkAdv())
+		rt.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRes(t, fmt.Sprintf("seed=%d n=%d mode=%v", seed, n, mode), eng, res)
+	})
+}

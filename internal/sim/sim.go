@@ -1,96 +1,48 @@
-// Package sim is the concurrent, message-passing realisation of the DODA
-// model: every node runs as its own goroutine with a mailbox, and a
-// scheduler goroutine plays the adversary. When two nodes interact, the
-// scheduler notifies both; they rendezvous directly with each other,
-// exchange control information (the paper's "nodes can exchange control
-// information before deciding whether they transmit"), agree on the
-// transfer decision, move the datum in a message, and acknowledge the
-// scheduler.
+// Package sim is the concurrent, sharded realisation of the DODA model.
+// Node state is partitioned over a small fleet of persistent shard
+// workers; a scheduler goroutine plays the adversary, prescreens each
+// drained batch of interactions word-parallel against the ownership
+// bitset, and dispatches only the interactions that can still matter —
+// the ones where both endpoints own data (every interaction, for
+// observer algorithms). Within a dispatched batch the workers realise
+// the paper's node-local protocol: for each interaction the shard
+// owning the second endpoint reveals its control information ("nodes
+// can exchange control information before deciding whether they
+// transmit"), the shard owning the first endpoint decides and applies
+// its side of the transfer, and the revealing shard applies the other
+// side and passes the turn token on.
 //
-// Interactions are atomic and totally ordered in the model (a sequence of
-// single-edge graphs), so the scheduler waits for each interaction's
-// acknowledgement before emitting the next one; the node-local protocol
-// within an interaction, however, is genuinely concurrent message
-// passing. The runtime produces results identical to core.Engine — the
-// equivalence is tested — which justifies using the fast sequential
-// engine as the measurement instrument in benchmarks.
+// Interactions are atomic and totally ordered in the model (a sequence
+// of single-edge graphs), so an atomic turn token serialises the
+// dispatched interactions; the protocol within an interaction, however,
+// is genuine cross-goroutine message passing through the slot's state
+// machine. The runtime produces results identical to core.Engine — the
+// equivalence is tested across the scenario registry, under the race
+// detector — which justifies using the fast sequential engine as the
+// measurement instrument in benchmarks.
 //
-// Every goroutine has a managed lifetime: Run tears the whole system down
-// (stop channel + WaitGroup) before returning, on every path.
+// Unlike its channel-rendezvous predecessor (one goroutine per node,
+// one rendezvous per interaction), the worker fleet persists across
+// runs: Reset re-arms the runtime the way core.Engine.Reset does,
+// reusing every slice and provenance bitset, so steady-state bench
+// loops allocate nothing and pay no goroutine churn. Close tears the
+// fleet down; Run itself never leaks goroutines because the workers
+// always park back on their wake channels before Run returns.
 package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"doda/internal/agg"
+	"doda/internal/bitset"
 	"doda/internal/core"
 	"doda/internal/graph"
 	"doda/internal/knowledge"
 	"doda/internal/seq"
 )
-
-// meetMsg tells a node it is interacting at time t. The three rendezvous
-// channels are allocated once per run and reused for every interaction:
-// the ack discipline below guarantees each is drained before the
-// scheduler emits the next interaction, so reuse cannot cross-talk.
-type meetMsg struct {
-	t  int
-	it seq.Interaction
-	// lead is true for the node that runs the decision (the canonical
-	// first endpoint). The follower sends its control info to the leader
-	// over info and receives the outcome over outcome.
-	lead    bool
-	info    chan controlInfo
-	outcome chan outcomeMsg
-	// ack returns both endpoints' post-interaction ownership to the
-	// scheduler. The FOLLOWER sends it, after applying the outcome —
-	// which proves the outcome channel is drained and makes channel
-	// reuse race-free.
-	ack chan ackMsg
-}
-
-// controlInfo is what the follower reveals to the leader at the start of
-// an interaction.
-type controlInfo struct {
-	owns  bool
-	value agg.Value
-}
-
-// outcomeMsg closes the rendezvous: whether the follower's datum moved to
-// the leader, or the leader's datum is attached for the follower to
-// merge. It also carries everything the follower needs to acknowledge the
-// interaction on behalf of both endpoints.
-type outcomeMsg struct {
-	// takeMine: the follower must aggregate value (the leader
-	// transmitted).
-	takeMine bool
-	// gaveYours: the leader consumed the follower's datum (the follower
-	// transmitted and no longer owns data).
-	gaveYours bool
-	value     agg.Value
-	// leaderOwns is the leader's ownership after applying its side.
-	leaderOwns bool
-	decision   core.Decision
-	bothOwned  bool
-}
-
-// ackMsg reports both endpoints' ownership after the interaction, plus
-// what happened, so the scheduler can maintain the adversary's view.
-type ackMsg struct {
-	u, v         graph.NodeID
-	uOwns, vOwns bool
-	decision     core.Decision
-	bothOwned    bool
-}
-
-// node is one node goroutine's state.
-type node struct {
-	id    graph.NodeID
-	owns  bool
-	value agg.Value
-	inbox chan meetMsg
-}
 
 // Config parameterises a concurrent run. Fields mirror core.Config.
 type Config struct {
@@ -109,89 +61,234 @@ type Config struct {
 	// DisableBatch mirrors core.Config.DisableBatch: force one
 	// Adversary.Next call per interaction even for batchable sources.
 	DisableBatch bool
+	// Shards is the number of persistent shard workers node state is
+	// partitioned over (0 = auto: GOMAXPROCS clamped to [2,4], never
+	// more than N). Differential tests sweep it to prove the result is
+	// shard-count invariant.
+	Shards int
 }
 
-// schedulerBatch is the scheduler's BatchAdversary drain-buffer length.
-// Deliberately smaller than the engine's batch size: each interaction
-// here still costs a goroutine rendezvous (~µs), so the buffer only
-// needs to amortise the adversary dispatch, not dominate cache budgets.
-const schedulerBatch = 256
+// Batch sizing for the scheduler's drain buffer. The buffer starts
+// small — early in a run almost every interaction is between two owners
+// and a prescreen against stale ownership admits them all — and grows
+// quadratically in n/owners as data concentrates, because the active
+// fraction of a uniform batch shrinks like (owners/n)². The cap keeps
+// the slot array and prescreen mask a fixed, reusable size.
+const (
+	simMinBatch = 32
+	simMaxBatch = 1024
+)
 
-// Runtime executes one algorithm against one adversary with one goroutine
-// per node. Single-use, like core.Engine.
+// Runtime executes algorithms against adversaries on a persistent shard
+// fleet. Like core.Engine it is single-use between Resets; unlike the
+// engine it owns goroutines, so callers that are done with it should
+// Close it (a GC'd un-Closed runtime leaks its workers).
 type Runtime struct {
-	cfg   Config
-	env   *core.Env
-	nodes []*node
-	owns  []bool // scheduler's view, updated from acks
-	nOwn  int
-	used  bool
+	cfg Config
+	env *core.Env
+
+	// Node state, indexed by node id. While a dispatch is in flight it
+	// is owned by the shard workers (worker shardOf(u) owns entry u);
+	// between dispatches ownership reverts to the scheduler. The two
+	// phases are separated by the wake/done channel pair, so there is
+	// never concurrent access.
+	owns []bool
+	data []agg.Value
+
+	// Scheduler-side integrated view: ownWords mirrors owns as a packed
+	// bitset and nOwn counts owners, both updated as dispatched slots
+	// are integrated in interaction order. They back the adversary's
+	// ExecView/WordView and the batch prescreen.
+	ownWords []uint64
+	nOwn     int
+	used     bool
+
+	// Recycled storage, engine-style: sized for the largest N seen.
+	origins     []*bitset.Set
+	stateBuf    []any
+	defPayloads []float64
+	emptyKnow   *knowledge.Bundle
+	batch       []seq.Interaction
+	mask        []uint64
+	slots       []slot
+
+	// Per-run bindings the workers read (published before each wake).
+	alg      core.Algorithm
+	observer core.Observer
+	obsAll   bool
+	advName  string
+
+	// Worker fleet.
+	nShards int
+	spin    int
+	workers []*worker
+	started bool
+	stopCh  chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	// turn is the batch-local serialisation token: slot i's protocol
+	// may only run while turn == i.
+	turn atomic.Int32
 }
 
-var _ core.ExecView = (*Runtime)(nil)
+var (
+	_ core.ExecView = (*Runtime)(nil)
+	_ core.WordView = (*Runtime)(nil)
+)
 
-// NewRuntime validates cfg and prepares a run.
+// NewRuntime validates cfg and prepares a run. Workers are spawned
+// lazily on the first Run.
 func NewRuntime(cfg Config) (*Runtime, error) {
+	rt := &Runtime{}
+	if err := rt.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Reset re-arms the runtime for a new run under cfg, reusing slices,
+// provenance bitsets and — when the shard count is unchanged — the
+// running worker fleet, so steady-state Reset+Run loops allocate
+// nothing. Like core.Engine.Reset, it recycles the provenance sets a
+// previous run handed out through Result.SinkValue.
+func (rt *Runtime) Reset(cfg Config) error {
 	if cfg.N < 2 {
-		return nil, fmt.Errorf("sim: need at least 2 nodes, got %d", cfg.N)
+		return fmt.Errorf("sim: need at least 2 nodes, got %d", cfg.N)
 	}
 	if cfg.Sink < 0 || int(cfg.Sink) >= cfg.N {
-		return nil, fmt.Errorf("sim: sink %d out of range [0,%d)", cfg.Sink, cfg.N)
+		return fmt.Errorf("sim: sink %d out of range [0,%d)", cfg.Sink, cfg.N)
 	}
 	if cfg.MaxInteractions <= 0 {
-		return nil, fmt.Errorf("sim: MaxInteractions must be positive, got %d", cfg.MaxInteractions)
+		return fmt.Errorf("sim: MaxInteractions must be positive, got %d", cfg.MaxInteractions)
 	}
 	switch cfg.Provenance {
 	case core.ProvenanceFull, core.ProvenanceCount, core.ProvenanceOff:
 	default:
-		return nil, fmt.Errorf("sim: invalid provenance mode %v", cfg.Provenance)
+		return fmt.Errorf("sim: invalid provenance mode %v", cfg.Provenance)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("sim: Shards must be non-negative, got %d", cfg.Shards)
 	}
 	if cfg.Agg == nil {
 		cfg.Agg = agg.Min
 	}
 	if cfg.Payloads == nil {
-		cfg.Payloads = make([]float64, cfg.N)
-		for i := range cfg.Payloads {
-			cfg.Payloads[i] = float64(i)
+		if len(rt.defPayloads) != cfg.N {
+			rt.defPayloads = make([]float64, cfg.N)
+			for i := range rt.defPayloads {
+				rt.defPayloads[i] = float64(i)
+			}
 		}
+		cfg.Payloads = rt.defPayloads
 	}
 	if len(cfg.Payloads) != cfg.N {
-		return nil, fmt.Errorf("sim: %d payloads for %d nodes", len(cfg.Payloads), cfg.N)
+		return fmt.Errorf("sim: %d payloads for %d nodes", len(cfg.Payloads), cfg.N)
 	}
 	know := cfg.Know
 	if know == nil {
-		var err error
-		know, err = knowledge.NewBundle()
-		if err != nil {
-			return nil, err
+		if rt.emptyKnow == nil {
+			var err error
+			rt.emptyKnow, err = knowledge.NewBundle()
+			if err != nil {
+				return err
+			}
+		}
+		know = rt.emptyKnow
+	}
+
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards < 2 {
+			shards = 2
+		}
+		if shards > 4 {
+			shards = 4
 		}
 	}
-	rt := &Runtime{
-		cfg: cfg,
-		env: &core.Env{
-			N:     cfg.N,
-			Sink:  cfg.Sink,
-			Know:  know,
-			State: make([]any, cfg.N),
-		},
-		nodes: make([]*node, cfg.N),
-		owns:  make([]bool, cfg.N),
-		nOwn:  cfg.N,
+	// The involved-shard bitmask is one word; N bounds useful shards.
+	if shards > 64 {
+		shards = 64
 	}
+	if shards > cfg.N {
+		shards = cfg.N
+	}
+	if rt.started && shards != rt.nShards {
+		rt.Close()
+	}
+	rt.nShards = shards
+	rt.spin = 0
+	if runtime.GOMAXPROCS(0) > 1 {
+		rt.spin = 64
+	}
+
+	if cap(rt.owns) < cfg.N {
+		rt.owns = make([]bool, cfg.N)
+		rt.data = make([]agg.Value, cfg.N)
+		rt.origins = make([]*bitset.Set, cfg.N)
+		rt.stateBuf = make([]any, cfg.N)
+	}
+	rt.owns = rt.owns[:cfg.N]
+	rt.data = rt.data[:cfg.N]
+	rt.origins = rt.origins[:cfg.N]
+	rt.stateBuf = rt.stateBuf[:cfg.N]
+	nw := bitset.WordsFor(cfg.N)
+	if cap(rt.ownWords) < nw {
+		rt.ownWords = make([]uint64, nw)
+	}
+	rt.ownWords = rt.ownWords[:nw]
+	for i := range rt.ownWords {
+		rt.ownWords[i] = ^uint64(0)
+	}
+	if tail := uint(cfg.N % 64); tail != 0 {
+		rt.ownWords[nw-1] = (1 << tail) - 1
+	}
+	if len(rt.batch) == 0 {
+		rt.batch = make([]seq.Interaction, simMaxBatch)
+		rt.mask = make([]uint64, bitset.WordsFor(simMaxBatch))
+		rt.slots = make([]slot, simMaxBatch)
+	}
+	if rt.env == nil {
+		rt.env = &core.Env{}
+	}
+	rt.env.N = cfg.N
+	rt.env.Sink = cfg.Sink
+	rt.env.Know = know
+	rt.env.State = rt.stateBuf
+
+	full := cfg.Provenance == core.ProvenanceFull
 	for u := 0; u < cfg.N; u++ {
-		val := agg.Value{Num: cfg.Payloads[u], Count: 1}
-		if cfg.Provenance == core.ProvenanceFull {
-			val = agg.Initial(graph.NodeID(u), cfg.Payloads[u], cfg.N)
-		}
-		rt.nodes[u] = &node{
-			id:    graph.NodeID(u),
-			owns:  true,
-			value: val,
-			inbox: make(chan meetMsg),
+		var set *bitset.Set
+		if full {
+			set = rt.origins[u]
+			if set == nil || set.Cap() != cfg.N {
+				set = bitset.New(cfg.N)
+				rt.origins[u] = set
+			} else {
+				set.Clear()
+			}
+			set.Add(u)
 		}
 		rt.owns[u] = true
+		rt.data[u] = agg.Value{Num: cfg.Payloads[u], Count: 1, Origins: set}
+		rt.stateBuf[u] = nil
 	}
-	return rt, nil
+	rt.cfg = cfg
+	rt.nOwn = cfg.N
+	rt.used = false
+	return nil
+}
+
+// Close stops the worker fleet and waits for it to exit. Idempotent; a
+// Closed runtime can be Reset and Run again (workers respawn lazily).
+func (rt *Runtime) Close() {
+	if !rt.started {
+		return
+	}
+	close(rt.stopCh)
+	rt.wg.Wait()
+	rt.started = false
 }
 
 // N implements core.ExecView.
@@ -200,26 +297,36 @@ func (rt *Runtime) N() int { return rt.cfg.N }
 // Sink implements core.ExecView.
 func (rt *Runtime) Sink() graph.NodeID { return rt.cfg.Sink }
 
-// Owns implements core.ExecView from the scheduler's acknowledged state.
+// Owns implements core.ExecView from the scheduler's integrated state.
 func (rt *Runtime) Owns(u graph.NodeID) bool {
 	if u < 0 || int(u) >= rt.cfg.N {
 		return false
 	}
-	return rt.owns[u]
+	return bitset.TestWord(rt.ownWords, int(u))
 }
 
 // OwnerCount implements core.ExecView.
 func (rt *Runtime) OwnerCount() int { return rt.nOwn }
 
-// Run plays alg against adv. It spawns one goroutine per node, drives the
-// interaction sequence, and always shuts every goroutine down before
-// returning.
+// OwnerWords implements core.WordView. The slice aliases live scheduler
+// state: valid until the next integrated transfer, and read-only.
+func (rt *Runtime) OwnerWords() []uint64 { return rt.ownWords }
+
+// shardOf maps a node id to the worker owning its state.
+func (rt *Runtime) shardOf(u graph.NodeID) int {
+	return int(u) * rt.nShards / rt.cfg.N
+}
+
+// Run plays alg against adv on the shard fleet. The dispatch mirrors
+// core.Engine.Run: batchable (oblivious) adversaries are drained
+// through the prescreened batch path, coarse-state adaptive adversaries
+// through a drain-replay loop, everything else one Next at a time.
 func (rt *Runtime) Run(alg core.Algorithm, adv core.Adversary) (core.Result, error) {
 	if alg == nil || adv == nil {
 		return core.Result{}, fmt.Errorf("sim: nil algorithm or adversary")
 	}
 	if rt.used {
-		return core.Result{}, fmt.Errorf("sim: runtime is single-use; create a new one")
+		return core.Result{}, fmt.Errorf("sim: runtime already ran; Reset it (or create a new one) first")
 	}
 	rt.used = true
 
@@ -227,143 +334,33 @@ func (rt *Runtime) Run(alg core.Algorithm, adv core.Adversary) (core.Result, err
 	if alg.Oblivious() {
 		rt.env.State = nil
 	}
-
 	if err := alg.Setup(rt.env); err != nil {
 		return core.Result{}, fmt.Errorf("sim: setup of %s: %w", alg.Name(), err)
 	}
 
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	for _, nd := range rt.nodes {
-		wg.Add(1)
-		go func(nd *node) {
-			defer wg.Done()
-			nd.loop(rt, alg, stop)
-		}(nd)
-	}
-	// shutdown is idempotent and must complete before reading any node's
-	// state from this goroutine: a follower may still be applying a
-	// merge when the scheduler observes termination.
-	var stopOnce sync.Once
-	shutdown := func() {
-		stopOnce.Do(func() {
-			close(stop)
-			wg.Wait()
-		})
-	}
-	defer shutdown()
+	rt.alg = alg
+	rt.observer, rt.obsAll = alg.(core.Observer)
+	rt.advName = adv.Name()
+	rt.ensureWorkers()
 
 	res := core.Result{
 		Algorithm: alg.Name(),
 		Adversary: adv.Name(),
 		Duration:  -1,
 	}
-	// One set of rendezvous channels for the whole run: the follower's
-	// ack proves info and outcome are drained before the next
-	// interaction reuses them, so the per-interaction channel pair the
-	// runtime used to allocate is unnecessary.
-	ack := make(chan ackMsg)
-	info := make(chan controlInfo, 1)
-	outcome := make(chan outcomeMsg, 1)
-
-	// Batchable adversaries are drained through a buffer, mirroring the
-	// engine: the node-local rendezvous protocol below is untouched, only
-	// the scheduler's per-interaction adversary dispatch is amortised.
-	ba, batched := adv.(core.BatchAdversary)
-	batched = batched && !rt.cfg.DisableBatch
-	var batch []seq.Interaction
-	if batched {
-		batch = make([]seq.Interaction, schedulerBatch)
+	var err error
+	if ba, ok := adv.(core.BatchAdversary); ok && !rt.cfg.DisableBatch {
+		err = rt.runBatchedSim(ba, &res)
+	} else if ca, ok := adv.(core.CoarseBatchAdversary); ok && !rt.cfg.DisableBatch {
+		err = rt.runCoarseSim(ca, &res)
+	} else {
+		err = rt.runScalarSim(adv, &res)
 	}
-	bpos, blen := 0, 0
-	exhausted := false
-
-	for t := 0; t < rt.cfg.MaxInteractions; t++ {
-		var it seq.Interaction
-		if batched {
-			if bpos == blen {
-				if exhausted {
-					break
-				}
-				want := len(batch)
-				if rem := rt.cfg.MaxInteractions - t; rem < want {
-					want = rem
-				}
-				blen = ba.NextBatch(t, rt, batch[:want])
-				if blen < 0 || blen > want {
-					return res, fmt.Errorf("sim: adversary %s returned %d interactions for a %d-slot batch", adv.Name(), blen, want)
-				}
-				exhausted = blen < want
-				bpos = 0
-				if blen == 0 {
-					break
-				}
-			}
-			it = batch[bpos]
-			bpos++
-		} else {
-			next, ok := adv.Next(t, rt)
-			if !ok {
-				break
-			}
-			it = next
-		}
-		canon, err := seq.NewInteraction(it.U, it.V)
-		if err != nil {
-			return res, fmt.Errorf("sim: adversary %s at t=%d: %w", adv.Name(), t, err)
-		}
-		if int(canon.V) >= rt.cfg.N {
-			return res, fmt.Errorf("sim: adversary %s at t=%d: interaction %v out of range", adv.Name(), t, canon)
-		}
-		res.Interactions++
-
-		lead := meetMsg{t: t, it: canon, lead: true, info: info, outcome: outcome, ack: ack}
-		follow := meetMsg{t: t, it: canon, lead: false, info: info, outcome: outcome, ack: ack}
-		rt.nodes[canon.U].inbox <- lead
-		rt.nodes[canon.V].inbox <- follow
-
-		// The follower acknowledges for both endpoints; ownership flags
-		// maintain the owner count incrementally (a transfer clears at
-		// most one flag, so the old O(n) rescan was pure overhead).
-		a := <-ack
-		if rt.owns[a.u] != a.uOwns {
-			rt.owns[a.u] = a.uOwns
-			rt.nOwn--
-		}
-		if rt.owns[a.v] != a.vOwns {
-			rt.owns[a.v] = a.vOwns
-			rt.nOwn--
-		}
-		ev := core.Event{T: t, It: canon, BothOwned: a.bothOwned, Decision: a.decision}
-		if a.bothOwned {
-			if receiver, transferred := a.decision.Receiver(canon); transferred {
-				res.Transmissions++
-				res.LastGap = t - res.Duration - 1
-				res.Duration = t
-				sender, _ := a.decision.Sender(canon)
-				ev.Sender, ev.Receiver = sender, receiver
-			} else {
-				res.Declined++
-			}
-		}
-		if rt.cfg.Events != nil {
-			rt.cfg.Events.OnEvent(ev)
-		}
-
-		if !rt.owns[rt.cfg.Sink] {
-			res.Failed = true
-			res.FailReason = fmt.Sprintf("sink %d transmitted its data at t=%d and can never terminate", rt.cfg.Sink, t)
-			break
-		}
-		if rt.nOwn == 1 {
-			res.Terminated = true
-			break
-		}
+	if err != nil {
+		return res, err
 	}
-
-	shutdown()
 	if res.Terminated {
-		res.SinkValue = rt.nodes[rt.cfg.Sink].value
+		res.SinkValue = rt.data[rt.cfg.Sink]
 		if rt.cfg.Provenance != core.ProvenanceOff && res.SinkValue.Count != rt.cfg.N {
 			return res, fmt.Errorf("sim: sink aggregated %d data, want %d", res.SinkValue.Count, rt.cfg.N)
 		}
@@ -374,86 +371,250 @@ func (rt *Runtime) Run(alg core.Algorithm, adv core.Adversary) (core.Result, err
 	return res, nil
 }
 
-// loop is the node goroutine body: wait for meet messages, run the
-// pairwise interaction protocol, exit on stop.
-func (nd *node) loop(rt *Runtime, alg core.Algorithm, stop <-chan struct{}) {
-	for {
-		select {
-		case <-stop:
-			return
-		case m := <-nd.inbox:
-			if m.lead {
-				nd.leadInteraction(rt, alg, m)
-			} else {
-				nd.followInteraction(rt, m)
-			}
-		}
+// adaptiveBatchLen sizes the next drain so that, against a uniform
+// adversary, each batch carries roughly simMinBatch dispatchable
+// interactions regardless of how concentrated ownership has become.
+func (rt *Runtime) adaptiveBatchLen(remaining int) int {
+	w := simMinBatch
+	if rt.nOwn > 0 {
+		r := rt.cfg.N / rt.nOwn
+		w = simMinBatch * r * r
 	}
+	if w > simMaxBatch || w < 0 {
+		w = simMaxBatch
+	}
+	if w > remaining {
+		w = remaining
+	}
+	return w
 }
 
-// leadInteraction runs on the canonical first endpoint: collect the
-// peer's control info, run Observe/Decide exactly once, apply the
-// transfer, and inform the peer — which acknowledges the scheduler once
-// it has applied the outcome.
-func (nd *node) leadInteraction(rt *Runtime, alg core.Algorithm, m meetMsg) {
-	peer := <-m.info // follower's control information
-
-	if obs, ok := alg.(core.Observer); ok {
-		obs.Observe(rt.env, m.it, m.t)
-	}
-
-	var out outcomeMsg
-	if nd.owns && peer.owns {
-		out.bothOwned = true
-		d := alg.Decide(rt.env, m.it, m.t)
-		out.decision = d
-		switch d {
-		case core.FirstReceives: // leader receives the follower's datum
-			// In-place union into the leader's own provenance set; the
-			// follower retires its datum on gaveYours, and it is blocked
-			// on the outcome until we finish, so nothing else can read
-			// the set being folded in.
-			if err := agg.MergeInto(rt.cfg.Agg, &nd.value, peer.value); err == nil {
-				out.gaveYours = true
-			} else {
-				out.decision = core.NoTransfer // refuse instead of corrupting
-			}
-		case core.SecondReceives: // leader transmits to the follower
-			out.takeMine = true
-			out.value = nd.value
-			nd.value = agg.Value{}
-			nd.owns = false
+// runScalarSim is the one-Next-per-interaction loop for fully adaptive
+// adversaries.
+func (rt *Runtime) runScalarSim(adv core.Adversary, res *core.Result) error {
+	for t := 0; t < rt.cfg.MaxInteractions; t++ {
+		it, ok := adv.Next(t, rt)
+		if !ok {
+			return nil // adversary exhausted its (finite) sequence
+		}
+		stop, err := rt.playOne(t, it, res)
+		if err != nil || stop {
+			return err
 		}
 	}
-	out.leaderOwns = nd.owns
-	m.outcome <- out
+	return nil
 }
 
-// followInteraction runs on the second endpoint: reveal control info,
-// apply the leader's outcome, then acknowledge the scheduler for both
-// endpoints (the ack doubles as the proof that every rendezvous channel
-// is drained, which is what lets the scheduler reuse them).
-func (nd *node) followInteraction(rt *Runtime, m meetMsg) {
-	m.info <- controlInfo{owns: nd.owns, value: nd.value}
-	out := <-m.outcome
-	switch {
-	case out.takeMine:
-		// The leader transmitted its datum to us; the in-place merge
-		// mirrors the engine's receiver-side merge (aggregation
-		// functions are commutative, provenance is a union, so order is
-		// irrelevant). The leader already dropped its reference to the
-		// attached value's provenance set.
-		// An overlap error leaves nd.value unchanged (refuse rather than
-		// corrupt), matching the engine's behaviour on the same fault.
-		_ = agg.MergeInto(rt.cfg.Agg, &nd.value, out.value)
-	case out.gaveYours:
-		nd.value = agg.Value{}
-		nd.owns = false
+// runBatchedSim drains an oblivious adversary through rt.batch and
+// plays each drain as one prescreened dispatch.
+func (rt *Runtime) runBatchedSim(ba core.BatchAdversary, res *core.Result) error {
+	for t := 0; t < rt.cfg.MaxInteractions; {
+		want := rt.adaptiveBatchLen(rt.cfg.MaxInteractions - t)
+		got := ba.NextBatch(t, rt, rt.batch[:want])
+		if got < 0 || got > want {
+			return fmt.Errorf("sim: adversary %s returned %d interactions for a %d-slot batch", rt.advName, got, want)
+		}
+		if got == 0 {
+			return nil
+		}
+		stop, err := rt.playBatch(t, got, res)
+		if err != nil || stop {
+			return err
+		}
+		t += got
+		if got < want {
+			return nil // adversary exhausted its (finite) sequence
+		}
 	}
-	m.ack <- ackMsg{
-		u: m.it.U, v: m.it.V,
-		uOwns: out.leaderOwns, vOwns: nd.owns,
-		decision:  out.decision,
-		bothOwned: out.bothOwned,
+	return nil
+}
+
+// runCoarseSim drains a coarse-state adaptive adversary and replays the
+// drain one interaction at a time until the ownership state changes,
+// then re-drains — the sim-side mirror of Engine.runCoarse. Unlike the
+// oblivious path the tail of a drained batch is only hypothetically
+// valid (the adversary would emit different interactions after a
+// transfer), so interactions past the first ownership change must never
+// be dispatched: node state they mutated could not be taken back.
+func (rt *Runtime) runCoarseSim(ca core.CoarseBatchAdversary, res *core.Result) error {
+	for t := 0; t < rt.cfg.MaxInteractions; {
+		want := simMaxBatch
+		if rem := rt.cfg.MaxInteractions - t; rem < want {
+			want = rem
+		}
+		got := ca.NextCoarseBatch(t, rt, rt.batch[:want])
+		if got < 0 || got > want {
+			return fmt.Errorf("sim: adversary %s returned %d interactions for a %d-slot batch", rt.advName, got, want)
+		}
+		if got == 0 {
+			return nil // exhausted under the current state
+		}
+		ownBefore := rt.nOwn
+		consumed := got
+		for i := 0; i < got; i++ {
+			stop, err := rt.playOne(t+i, rt.batch[i], res)
+			if err != nil || stop {
+				return err
+			}
+			if rt.nOwn != ownBefore {
+				consumed = i + 1
+				break
+			}
+		}
+		t += consumed
+		if consumed == got && got < want && rt.nOwn == ownBefore {
+			// Exhaustion was declared under a state that still holds; a
+			// transfer on the batch's last interaction instead falls
+			// through and re-drains (see Engine.runCoarse).
+			return nil
+		}
 	}
+	return nil
+}
+
+// playBatch validates, prescreens, dispatches and integrates one
+// drained batch. It returns stop=true when the run ended inside the
+// batch. A malformed interaction at position p truncates the batch: the
+// valid prefix is still played (matching the engine, which plays and
+// counts every interaction before the offending one) and the error —
+// built exactly like the scalar path's — is returned only if the run
+// did not end earlier.
+func (rt *Runtime) playBatch(start, blen int, res *core.Result) (bool, error) {
+	batch := rt.batch[:blen]
+	n := rt.cfg.N
+	var pendErr error
+	valid := blen
+	for i := range batch {
+		c := batch[i]
+		if c.U > c.V {
+			c.U, c.V = c.V, c.U
+		}
+		if c.U < 0 || c.U == c.V || int(c.V) >= n {
+			if _, err := seq.NewInteraction(batch[i].U, batch[i].V); err != nil {
+				pendErr = fmt.Errorf("sim: adversary %s at t=%d: %w", rt.advName, start+i, err)
+			} else {
+				pendErr = fmt.Errorf("sim: adversary %s at t=%d: interaction %v out of range", rt.advName, start+i, c)
+			}
+			valid = i
+			break
+		}
+		batch[i] = c
+	}
+	batch = batch[:valid]
+
+	// Prescreen against the ownership words at batch start: monotone
+	// ownership makes the screen sound for the whole batch (see
+	// core.PrescreenBoth). Observer algorithms see every interaction,
+	// so for them every position is dispatched.
+	active := valid
+	if !rt.obsAll {
+		active = core.PrescreenBoth(rt.ownWords, batch, rt.mask)
+	}
+
+	if active > 0 {
+		si := 0
+		var involved uint64
+		for i := range batch {
+			if !rt.obsAll && !bitset.TestWord(rt.mask, i) {
+				continue
+			}
+			us, vs := rt.shardOf(batch[i].U), rt.shardOf(batch[i].V)
+			sl := &rt.slots[si]
+			sl.it = batch[i]
+			sl.t = start + i
+			sl.uShard, sl.vShard = us, vs
+			sl.decision = core.NoTransfer
+			sl.bothOwned = false
+			sl.takeMine, sl.gaveYours = false, false
+			sl.state.Store(slotEmpty)
+			involved |= 1<<uint(us) | 1<<uint(vs)
+			si++
+		}
+		rt.dispatch(si, involved)
+	}
+
+	// Integrate in interaction order. Slots past a termination cut were
+	// executed speculatively but cannot have transferred (a single
+	// owner never meets another owner); past a failure cut they may
+	// have, but the run is over and node state is discarded by Reset.
+	si := 0
+	for i := range batch {
+		var d core.Decision
+		var both bool
+		if rt.obsAll || bitset.TestWord(rt.mask, i) {
+			sl := &rt.slots[si]
+			si++
+			d, both = sl.decision, sl.bothOwned
+		}
+		if rt.integratePos(start+i, batch[i], both, d, res) {
+			return true, nil
+		}
+	}
+	return pendErr != nil, pendErr
+}
+
+// playOne validates and plays a single interaction: inactive ones are
+// integrated directly, active ones dispatched as a one-slot batch.
+func (rt *Runtime) playOne(t int, it seq.Interaction, res *core.Result) (bool, error) {
+	canon, err := seq.NewInteraction(it.U, it.V)
+	if err != nil {
+		return true, fmt.Errorf("sim: adversary %s at t=%d: %w", rt.advName, t, err)
+	}
+	if int(canon.V) >= rt.cfg.N {
+		return true, fmt.Errorf("sim: adversary %s at t=%d: interaction %v out of range", rt.advName, t, canon)
+	}
+	if !rt.obsAll && !(bitset.TestWord(rt.ownWords, int(canon.U)) && bitset.TestWord(rt.ownWords, int(canon.V))) {
+		res.Interactions++
+		return rt.integrateTail(t, core.Event{T: t, It: canon}, res), nil
+	}
+	us, vs := rt.shardOf(canon.U), rt.shardOf(canon.V)
+	sl := &rt.slots[0]
+	sl.it = canon
+	sl.t = t
+	sl.uShard, sl.vShard = us, vs
+	sl.decision = core.NoTransfer
+	sl.bothOwned = false
+	sl.takeMine, sl.gaveYours = false, false
+	sl.state.Store(slotEmpty)
+	rt.dispatch(1, 1<<uint(us)|1<<uint(vs))
+	return rt.integratePos(t, canon, sl.bothOwned, sl.decision, res), nil
+}
+
+// integratePos folds one played interaction into the scheduler's view
+// and the result, emits its event, and reports whether the run is over.
+func (rt *Runtime) integratePos(t int, it seq.Interaction, both bool, d core.Decision, res *core.Result) bool {
+	res.Interactions++
+	ev := core.Event{T: t, It: it, BothOwned: both, Decision: d}
+	if both {
+		if receiver, transferred := d.Receiver(it); transferred {
+			sender, _ := d.Sender(it)
+			bitset.ClearWordBit(rt.ownWords, int(sender))
+			rt.nOwn--
+			res.Transmissions++
+			res.LastGap = t - res.Duration - 1
+			res.Duration = t
+			ev.Sender, ev.Receiver = sender, receiver
+		} else {
+			res.Declined++
+		}
+	}
+	return rt.integrateTail(t, ev, res)
+}
+
+// integrateTail is the event-emission and end-of-run check shared by
+// the active and screened-out integration paths.
+func (rt *Runtime) integrateTail(t int, ev core.Event, res *core.Result) bool {
+	if rt.cfg.Events != nil {
+		rt.cfg.Events.OnEvent(ev)
+	}
+	if !bitset.TestWord(rt.ownWords, int(rt.cfg.Sink)) {
+		res.Failed = true
+		res.FailReason = fmt.Sprintf("sink %d transmitted its data at t=%d and can never terminate", rt.cfg.Sink, t)
+		return true
+	}
+	if rt.nOwn == 1 {
+		res.Terminated = true
+		return true
+	}
+	return false
 }

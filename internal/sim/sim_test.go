@@ -37,6 +37,7 @@ func TestRuntimeSingleUse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	s, _ := seq.NewSequence(3, []seq.Interaction{{U: 1, V: 2}})
 	adv, _ := adversary.NewOblivious("seq", s)
 	if _, err := rt.Run(algorithms.Waiting{}, adv); err != nil {
@@ -52,6 +53,7 @@ func TestRuntimeNilParticipants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	if _, err := rt.Run(nil, nil); err == nil {
 		t.Error("want error")
 	}
@@ -66,6 +68,7 @@ func TestRuntimeGatheringTerminates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	res, err := rt.Run(algorithms.NewGathering(), adv)
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +98,7 @@ func TestRuntimeNoGoroutineLeak(t *testing.T) {
 		if _, err := rt.Run(algorithms.NewGathering(), adv); err != nil {
 			t.Fatal(err)
 		}
+		rt.Close()
 	}
 	// Give exited goroutines a moment to be reaped by the scheduler.
 	deadline := time.Now().Add(2 * time.Second)
@@ -137,6 +141,7 @@ func equivalence(t *testing.T, n int, seed uint64, mkAlg func() core.Algorithm, 
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	simRes, err := rt.Run(mkAlg(), advB)
 	if err != nil {
 		t.Fatal(err)
@@ -193,6 +198,7 @@ func TestRuntimeAdaptiveAdversary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	res, err := rt.Run(algorithms.NewGathering(), adv)
 	if err != nil {
 		t.Fatal(err)
@@ -212,6 +218,7 @@ func TestRuntimeSequenceExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	res, err := rt.Run(algorithms.Waiting{}, adv)
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +243,7 @@ func runtimeResult(t *testing.T, n int, seed uint64, prov core.ProvenanceMode, d
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	res, err := rt.Run(algorithms.NewGathering(), adv)
 	if err != nil {
 		t.Fatal(err)
