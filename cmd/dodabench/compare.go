@@ -86,7 +86,34 @@ func compareBaseline(rep *hotpathReport, path string, tolerance float64, w io.Wr
 	if err := checkProgressOverhead(rep, w); err != nil {
 		return err
 	}
+	if err := checkDensityGate(rep, &base, tolerance, w); err != nil {
+		return err
+	}
 	return checkAllocGates(rep, w)
+}
+
+// checkDensityGate compares the serve_density memory figures against
+// the baseline. Unlike the ns metrics, bytes per instance are
+// machine-independent (they move with code and Go version, not clock
+// speed), so no calibration rescale applies.
+func checkDensityGate(rep, base *hotpathReport, tolerance float64, w io.Writer) error {
+	bv, nv := base.ServeDensity.BytesPerInstance, rep.ServeDensity.BytesPerInstance
+	const name = "serve_density.bytes_per_instance"
+	if bv <= 0 || nv <= 0 {
+		fmt.Fprintf(w, "  %-44s (skipped: metric missing)\n", name)
+		return nil
+	}
+	delta := nv/bv - 1
+	verdict := "ok"
+	if delta > tolerance {
+		verdict = "REGRESSION"
+	}
+	fmt.Fprintf(w, "  %-44s %9.0f -> %9.0f B/instance  (%+6.1f%%)  %s\n", name, bv, nv, delta*100, verdict)
+	if delta > tolerance {
+		return fmt.Errorf("%s regressed %+.1f%% (%.0f -> %.0f bytes/instance, %d instances under live cap %d)",
+			name, delta*100, bv, nv, rep.ServeDensity.Instances, rep.ServeDensity.LiveCap)
+	}
+	return nil
 }
 
 // progressOverheadMax is the absolute ceiling on what the observability

@@ -111,6 +111,7 @@ type hotpathReport struct {
 	SweepLargeN   sweepLargeNReport     `json:"sweep_large_n"`
 	SweepProgress sweepProgressOverhead `json:"sweep_progress_overhead"`
 	ServeLoad     serveLoadReport       `json:"serve_load"`
+	ServeDensity  serveDensityReport    `json:"serve_density"`
 }
 
 // benchEngine measures the sequential engine's steady-state interaction
@@ -519,6 +520,9 @@ func collectHotpath() (*hotpathReport, error) {
 	}
 	if rep.ServeLoad, err = benchServeLoad(); err != nil {
 		return nil, fmt.Errorf("serve load benchmark: %w", err)
+	}
+	if rep.ServeDensity, err = benchServeDensity(); err != nil {
+		return nil, fmt.Errorf("serve density benchmark: %w", err)
 	}
 	return &rep, nil
 }

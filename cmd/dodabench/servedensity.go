@@ -1,0 +1,98 @@
+package main
+
+// The serve density benchmark behind the serve_density section: how
+// many registered instances one dodaserve process can hold when a live
+// cap keeps most of them evicted to their journals. Live instances pay
+// their arena (one contiguous block sized by (n, provenance)); evicted
+// ones pay only bookkeeping — the instance struct, its name, a closed
+// journal. The committed bytes/instance figure is the density claim the
+// -baseline gate holds the code to.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"doda/internal/core"
+	"doda/internal/serve"
+)
+
+// serveDensityReport is the serve_density section of BENCH_hotpath.json.
+type serveDensityReport struct {
+	Instances  int    `json:"instances"`
+	LiveCap    int    `json:"live_cap"`
+	N          int    `json:"n"`
+	Provenance string `json:"provenance"`
+	// ArenaBytesPerLive is the deterministic arena footprint of one live
+	// instance: core.ArenaBytes(n, provenance).
+	ArenaBytesPerLive int `json:"arena_bytes_per_live"`
+	// BytesPerInstance is measured heap growth divided by registered
+	// instances — the all-in cost with the cap's live/evicted mix.
+	BytesPerInstance float64 `json:"bytes_per_instance"`
+	InstancesPerGB   float64 `json:"instances_per_gb"`
+}
+
+// heapInUse settles the heap and returns live bytes.
+func heapInUse() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// benchServeDensity registers instances instances under liveCap and
+// measures the marginal heap cost of each. Registration alone exercises
+// the density path: every admission over the cap LRU-evicts a
+// write-free instance (nothing applied yet, so eviction journals
+// nothing), which is exactly the steady state of a many-thousand
+// instance host.
+func benchServeDensity() (serveDensityReport, error) {
+	const (
+		instances = 1024
+		liveCap   = 64
+		n         = 256
+	)
+	dir, err := os.MkdirTemp("", "dodabench-density-")
+	if err != nil {
+		return serveDensityReport{}, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := serve.NewServer(serve.Options{Dir: dir, MaxLiveInstances: liveCap})
+	if err != nil {
+		return serveDensityReport{}, err
+	}
+	defer srv.Close()
+
+	before := heapInUse()
+	for i := 0; i < instances; i++ {
+		_, err := srv.Register(serve.InstanceConfig{
+			Name: fmt.Sprintf("d%04d", i), N: n, Algorithm: "waiting", Agg: "min",
+		})
+		if err != nil {
+			return serveDensityReport{}, fmt.Errorf("register %d: %w", i, err)
+		}
+	}
+	after := heapInUse()
+
+	st := srv.Status()
+	if st.Total != instances {
+		return serveDensityReport{}, fmt.Errorf("status total = %d, want %d", st.Total, instances)
+	}
+	if st.Live > liveCap {
+		return serveDensityReport{}, fmt.Errorf("live cap breached: %d live under cap %d", st.Live, liveCap)
+	}
+
+	rep := serveDensityReport{
+		Instances:         instances,
+		LiveCap:           liveCap,
+		N:                 n,
+		Provenance:        "full",
+		ArenaBytesPerLive: core.ArenaBytes(n, core.ProvenanceFull),
+	}
+	if after > before {
+		rep.BytesPerInstance = float64(after-before) / instances
+		rep.InstancesPerGB = float64(1<<30) / rep.BytesPerInstance
+	}
+	return rep, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doda/internal/serve"
+)
+
+func startServe(t *testing.T, opt serve.Options) string {
+	t.Helper()
+	srv, err := serve.NewServer(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func readDumps(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(ents))
+	for _, e := range ents {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(raw)
+	}
+	return out
+}
+
+// TestLoadReplayDeterministic is the driver's own contract: the same
+// flags against an evicting server (run twice — the second run is a
+// full dedup replay) and against a plain ephemeral server must dump
+// byte-identical states, and the evicting server must stay under its
+// live cap with every instance registered.
+func TestLoadReplayDeterministic(t *testing.T) {
+	const instances = 8
+	args := []string{"-instances", "8", "-n", "12", "-batches", "3", "-ops", "6", "-seed", "5"}
+
+	refAddr := startServe(t, serve.Options{})
+	refDump := t.TempDir()
+	if err := run(append(args, "-addr", refAddr, "-dump", refDump), os.Stdout); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	evAddr := startServe(t, serve.Options{Dir: t.TempDir(), MaxLiveInstances: 2})
+	evDump := t.TempDir()
+	if err := run(append(args, "-addr", evAddr, "-dump", evDump), os.Stdout); err != nil {
+		t.Fatalf("evicting run: %v", err)
+	}
+	// Second run replays every batch from seq 1: all dups, same dumps.
+	evDump2 := t.TempDir()
+	if err := run(append(args, "-addr", evAddr, "-dump", evDump2), os.Stdout); err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+
+	want := readDumps(t, refDump)
+	if len(want) != instances {
+		t.Fatalf("reference dumped %d files, want %d", len(want), instances)
+	}
+	for _, got := range []map[string]string{readDumps(t, evDump), readDumps(t, evDump2)} {
+		for name, w := range want {
+			if got[name] != w {
+				t.Fatalf("%s diverged from reference:\n got  %s\n want %s", name, got[name], w)
+			}
+		}
+	}
+}

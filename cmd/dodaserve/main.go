@@ -50,6 +50,8 @@ func run(args []string, stdout io.Writer, started func(addr string), stop <-chan
 		maxPending = fs.Int("max-pending", 4096, "per-instance admission budget: journaled-but-unapplied interactions before ingest returns 429")
 		snapEvery  = fs.Int("snapshot-every", 1024, "rotate an instance's journal after this many applied interactions")
 		stall      = fs.Duration("stall-timeout", 10*time.Second, "flag an instance stalled after this long with pending work and no progress")
+		maxLive    = fs.Int("max-live-instances", 0, "cap on instances holding live engine state; excess instances are LRU-evicted to their journals and rehydrate on next ingest (0 = unlimited; requires -dir)")
+		idleTTL    = fs.Duration("idle-ttl", 0, "evict instances untouched for this long to their journals (0 = never; requires -dir)")
 		drainT     = fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown may spend flushing queues")
 		verbose    = fs.Bool("v", false, "log per-instance operational events")
 	)
@@ -61,10 +63,12 @@ func run(args []string, stdout io.Writer, started func(addr string), stop <-chan
 	}
 
 	opt := serve.Options{
-		Dir:           *dir,
-		MaxPending:    *maxPending,
-		SnapshotEvery: *snapEvery,
-		StallTimeout:  *stall,
+		Dir:              *dir,
+		MaxPending:       *maxPending,
+		SnapshotEvery:    *snapEvery,
+		StallTimeout:     *stall,
+		MaxLiveInstances: *maxLive,
+		IdleTTL:          *idleTTL,
 	}
 	if *verbose {
 		opt.Logf = func(format string, a ...any) {

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunSmoke executes the example end to end. The examples double as
+// executable documentation, so they must keep running (and keep
+// exiting 0) as the library underneath them evolves; their prose output
+// is silenced here to keep test logs readable.
+func TestRunSmoke(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	if err := run(); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+}

@@ -146,6 +146,22 @@ func (s *Set) Members() []int {
 	return out
 }
 
+// FromWords wraps an existing word slice as a Set with capacity n,
+// without copying: the Set aliases words, so mutations through either
+// view are visible in both. This is the arena primitive — a contiguous
+// block carved into many sets — used by core's per-instance arenas. The
+// slice length must be exactly WordsFor(n); mismatches panic because
+// they indicate a mis-carved arena.
+func FromWords(n int, words []uint64) *Set {
+	if n < 0 {
+		n = 0
+	}
+	if len(words) != WordsFor(n) {
+		panic(fmt.Sprintf("bitset: FromWords(%d) needs %d words, got %d", n, WordsFor(n), len(words)))
+	}
+	return &Set{n: n, words: words}
+}
+
 // WordsFor returns the number of 64-bit words needed to hold n bits.
 func WordsFor(n int) int {
 	if n <= 0 {

@@ -1,0 +1,105 @@
+package core
+
+// Arena-backed engine state: one contiguous block per instance.
+//
+// A full-provenance engine owns O(n²/8) bytes of bitset words spread
+// across n+1 heap objects (one origin set per node plus the packed
+// ownership words). For a process hosting thousands of aggregation
+// instances that scatter is the scaling limit: each instance costs n+1
+// allocations, the heap fragments, and releasing an instance hands the
+// collector n+1 objects to trace. An Arena carves all of that word
+// storage from a single []uint64 block sized exactly from
+// (n, provenance mode), so
+//
+//   - registering an instance costs one allocation for the whole
+//     word-backed state,
+//   - the block stays contiguous (cache- and TLB-friendly unions), and
+//   - evicting the instance releases everything in O(1): dropping the
+//     engine and its arena frees one object, not n+1.
+//
+// The O(n) Go-typed slices the engine also owns (owns []bool, data
+// []agg.Value, per-node state headers) stay ordinary allocations — they
+// are a vanishing fraction of the footprint and cannot live in a word
+// block without unsafe.
+
+import (
+	"fmt"
+
+	"doda/internal/bitset"
+)
+
+// Arena is a single contiguous word block an Engine carves its bitset
+// storage from. An arena is dedicated to one engine at a time and is
+// sized for one exact (n, provenance mode) shape; Engine.Reset with
+// Config.Arena set re-carves it from offset zero, so the same arena
+// serves any number of sequential runs of that shape.
+type Arena struct {
+	n     int
+	mode  ProvenanceMode
+	block []uint64
+	off   int
+}
+
+// arenaWords returns the block size in words for one engine of the
+// given shape: the packed ownership bitset, plus (under full
+// provenance) one n-bit origin set per node.
+func arenaWords(n int, mode ProvenanceMode) int {
+	w := bitset.WordsFor(n)
+	if mode == ProvenanceFull {
+		w += n * bitset.WordsFor(n)
+	}
+	return w
+}
+
+// NewArena allocates the contiguous block for one engine of shape
+// (n, mode). The returned arena is empty; pass it via Config.Arena.
+func NewArena(n int, mode ProvenanceMode) (*Arena, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: arena needs at least 2 nodes, got %d", n)
+	}
+	switch mode {
+	case ProvenanceFull, ProvenanceCount, ProvenanceOff:
+	default:
+		return nil, fmt.Errorf("core: invalid provenance mode %v", mode)
+	}
+	return &Arena{n: n, mode: mode, block: make([]uint64, arenaWords(n, mode))}, nil
+}
+
+// N returns the node count the arena is shaped for.
+func (a *Arena) N() int { return a.n }
+
+// Mode returns the provenance mode the arena is shaped for.
+func (a *Arena) Mode() ProvenanceMode { return a.mode }
+
+// Bytes returns the block's size in bytes — the figure dodabench's
+// serve_density section commits per instance.
+func (a *Arena) Bytes() int { return len(a.block) * 8 }
+
+// ArenaBytes returns the block size in bytes an arena of shape
+// (n, mode) would occupy, without allocating it.
+func ArenaBytes(n int, mode ProvenanceMode) int {
+	return arenaWords(n, mode) * 8
+}
+
+// reset rewinds the carve offset; the next take starts at word 0.
+func (a *Arena) reset() { a.off = 0 }
+
+// take carves the next nw words from the block. The words are NOT
+// zeroed — callers overwrite or clear them — and carving past the end
+// panics, because the block is sized exactly for the engine shape the
+// arena was built for.
+func (a *Arena) take(nw int) []uint64 {
+	if a.off+nw > len(a.block) {
+		panic(fmt.Sprintf("core: arena overflow: %d+%d words of %d", a.off, nw, len(a.block)))
+	}
+	s := a.block[a.off : a.off+nw : a.off+nw]
+	a.off += nw
+	return s
+}
+
+// fits reports whether the arena serves a run of shape (n, mode).
+// Shapes must match exactly: a mis-shaped arena is a configuration bug,
+// not something to paper over with a fallback allocation.
+func (a *Arena) fits(n int, mode ProvenanceMode) bool {
+	return a.n == n && a.mode == mode
+}

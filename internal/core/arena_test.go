@@ -1,0 +1,261 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"doda/internal/seq"
+)
+
+func TestArenaSizing(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		mode ProvenanceMode
+		want int // words
+	}{
+		{2, ProvenanceFull, 1 + 2*1},
+		{64, ProvenanceFull, 1 + 64*1},
+		{65, ProvenanceFull, 2 + 65*2},
+		{64, ProvenanceCount, 1},
+		{100, ProvenanceOff, 2},
+	} {
+		a, err := NewArena(tc.n, tc.mode)
+		if err != nil {
+			t.Fatalf("NewArena(%d, %v): %v", tc.n, tc.mode, err)
+		}
+		if got := a.Bytes(); got != tc.want*8 {
+			t.Errorf("Arena(%d, %v).Bytes() = %d, want %d", tc.n, tc.mode, got, tc.want*8)
+		}
+		if got := ArenaBytes(tc.n, tc.mode); got != a.Bytes() {
+			t.Errorf("ArenaBytes(%d, %v) = %d, arena has %d", tc.n, tc.mode, got, a.Bytes())
+		}
+		if a.N() != tc.n || a.Mode() != tc.mode {
+			t.Errorf("arena shape = (%d, %v), want (%d, %v)", a.N(), a.Mode(), tc.n, tc.mode)
+		}
+	}
+	if _, err := NewArena(1, ProvenanceFull); err == nil {
+		t.Error("NewArena(1, full) should fail")
+	}
+	if _, err := NewArena(8, ProvenanceMode(42)); err == nil {
+		t.Error("NewArena with invalid mode should fail")
+	}
+}
+
+// TestArenaBackedRunDifferential: an arena-backed engine must be
+// behaviourally invisible — identical Results to a heap-backed engine on
+// the same workload, in every provenance mode, across repeated Resets of
+// the same arena.
+func TestArenaBackedRunDifferential(t *testing.T) {
+	for _, mode := range []ProvenanceMode{ProvenanceFull, ProvenanceCount, ProvenanceOff} {
+		for _, n := range []int{7, 64, 65} {
+			arena, err := NewArena(n, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arenaEng := &Engine{}
+			for round := 0; round < 3; round++ {
+				seed := uint64(n*100 + round)
+				its := uniformSeq(n, 50*n, seed)
+				cfg := Config{N: n, MaxInteractions: len(its), Provenance: mode, VerifyAggregate: true}
+
+				heapRes, err := RunOnce(cfg, greedyAlg{}, funcAdv{gen: func(t int) seq.Interaction { return its[t] }, max: len(its)})
+				if err != nil {
+					t.Fatalf("heap run (n=%d, %v): %v", n, mode, err)
+				}
+
+				cfg.Arena = arena
+				if err := arenaEng.Reset(cfg); err != nil {
+					t.Fatalf("arena Reset (n=%d, %v): %v", n, mode, err)
+				}
+				arenaRes, err := arenaEng.Run(greedyAlg{}, funcAdv{gen: func(t int) seq.Interaction { return its[t] }, max: len(its)})
+				if err != nil {
+					t.Fatalf("arena run (n=%d, %v): %v", n, mode, err)
+				}
+
+				// Origins alias different storage; compare membership, then
+				// strip for the wholesale comparison.
+				if (heapRes.SinkValue.Origins == nil) != (arenaRes.SinkValue.Origins == nil) {
+					t.Fatalf("origins presence diverged (n=%d, %v)", n, mode)
+				}
+				if heapRes.SinkValue.Origins != nil && !heapRes.SinkValue.Origins.Equal(arenaRes.SinkValue.Origins) {
+					t.Fatalf("origins diverged (n=%d, %v): %v vs %v", n, mode, heapRes.SinkValue.Origins, arenaRes.SinkValue.Origins)
+				}
+				heapRes.SinkValue.Origins, arenaRes.SinkValue.Origins = nil, nil
+				if !reflect.DeepEqual(normalize(heapRes), normalize(arenaRes)) {
+					t.Fatalf("results diverged (n=%d, %v, round %d):\n heap %+v\narena %+v", n, mode, round, heapRes, arenaRes)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaBackedStreamSnapshot: push-mode snapshots must not care where
+// the words live — an arena-backed engine restored from a heap-backed
+// snapshot (and vice versa) continues to byte-identical states.
+func TestArenaBackedStreamSnapshot(t *testing.T) {
+	const n = 24
+	its := uniformSeq(n, 400, 99)
+	cfg := Config{N: n, MaxInteractions: len(its), Provenance: ProvenanceFull, VerifyAggregate: true}
+
+	heap, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := heap.Begin(greedyAlg{}); err != nil {
+		t.Fatal(err)
+	}
+	fed := 0
+	for _, it := range its[:100] {
+		done, err := heap.Feed(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed++
+		if done {
+			break
+		}
+	}
+	snap, err := heap.StateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arena, err := NewArena(n, ProvenanceFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := cfg
+	acfg.Arena = arena
+	ae := &Engine{}
+	if err := ae.RestoreStream(acfg, greedyAlg{}, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Continue both and compare snapshots at every step until done.
+	for i := fed; i < len(its); i++ {
+		hd, herr := heap.Feed(its[i])
+		ad, aerr := ae.Feed(its[i])
+		if (herr == nil) != (aerr == nil) || hd != ad {
+			t.Fatalf("feed %d diverged: heap (%v,%v) arena (%v,%v)", i, hd, herr, ad, aerr)
+		}
+		if hd {
+			break
+		}
+	}
+	hs, err := heap.StateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := ae.StateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := json.Marshal(hs)
+	ab, _ := json.Marshal(as)
+	if string(hb) != string(ab) {
+		t.Fatalf("snapshots diverged:\n heap %s\narena %s", hb, ab)
+	}
+}
+
+func TestArenaShapeMismatch(t *testing.T) {
+	arena, err := NewArena(16, ProvenanceFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{}
+	for _, cfg := range []Config{
+		{N: 8, MaxInteractions: 10, Provenance: ProvenanceFull, Arena: arena},
+		{N: 16, MaxInteractions: 10, Provenance: ProvenanceCount, Arena: arena},
+	} {
+		if err := e.Reset(cfg); err == nil {
+			t.Errorf("Reset with mis-shaped arena (n=%d, %v) should fail", cfg.N, cfg.Provenance)
+		}
+	}
+	// The exact shape works.
+	if err := e.Reset(Config{N: 16, MaxInteractions: 10, Provenance: ProvenanceFull, Arena: arena}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArenaResetRecyclesHeaders: steady-state Reset+Run on the same
+// arena must not allocate — the carve re-yields the same sub-slices and
+// the set headers are reused, preserving the engine's zero-alloc
+// contract for arena users.
+func TestArenaResetRecyclesHeaders(t *testing.T) {
+	const n = 32
+	arena, err := NewArena(n, ProvenanceFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	its := uniformSeq(n, 2000, 5)
+	cfg := Config{N: n, MaxInteractions: len(its), Provenance: ProvenanceFull, Arena: arena}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Box the adversary (and algorithm) once: passing struct values
+	// directly would charge interface-conversion allocations to every
+	// run and mask what the arena is supposed to guarantee.
+	var adv Adversary = funcAdv{gen: func(t int) seq.Interaction { return its[t] }, max: len(its)}
+	var alg Algorithm = greedyAlg{}
+	if _, err := e.Run(alg, adv); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := e.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(alg, adv); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("arena-backed Reset+Run allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestArenaSwitchToHeap: dropping Config.Arena after arena-backed runs
+// must not leave the engine aliasing the arena block (which would keep
+// it alive and let two engines share words).
+func TestArenaSwitchToHeap(t *testing.T) {
+	const n = 16
+	arena, err := NewArena(n, ProvenanceFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	its := uniformSeq(n, 500, 3)
+	acfg := Config{N: n, MaxInteractions: len(its), Provenance: ProvenanceFull, Arena: arena}
+	e, err := NewEngine(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := funcAdv{gen: func(t int) seq.Interaction { return its[t] }, max: len(its)}
+	if _, err := e.Run(greedyAlg{}, adv); err != nil {
+		t.Fatal(err)
+	}
+	hcfg := acfg
+	hcfg.Arena = nil
+	if err := e.Reset(hcfg); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over the arena block through a second engine: the
+	// heap-backed engine must be unaffected.
+	e2, err := NewEngine(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Run(greedyAlg{}, adv); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(greedyAlg{}, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatal("heap run after arena detach did not terminate")
+	}
+	if res.SinkValue.Origins == nil || !res.SinkValue.Origins.Full() {
+		t.Fatalf("heap run after arena detach has provenance %v", res.SinkValue.Origins)
+	}
+}

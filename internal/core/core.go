@@ -309,6 +309,14 @@ type Config struct {
 	// adversary implements BatchAdversary. Differential tests use it to
 	// prove the batched and scalar paths equivalent.
 	DisableBatch bool
+	// Arena, when set, supplies the engine's word-backed state — the
+	// packed ownership bitset and, under full provenance, every origin
+	// set — from one contiguous pre-sized block instead of n+1 separate
+	// heap objects. The arena's shape must match (N, Provenance)
+	// exactly. The serving layer gives each hosted instance its own
+	// arena so instance memory is one block, released in O(1) at
+	// eviction; see NewArena.
+	Arena *Arena
 }
 
 // Engine executes one algorithm against one adversary. A fresh Engine (or
@@ -341,6 +349,13 @@ type Engine struct {
 	// batch is the reusable BatchAdversary drain buffer, allocated on
 	// the first batched run and recycled across Resets.
 	batch []seq.Interaction
+
+	// arena is the block the current word-backed state was carved from
+	// (nil = ordinary heap allocations). Tracked so Reset can tell a
+	// recyclable carve (same arena, same shape: the deterministic carve
+	// order re-yields the exact same sub-slices) from a layout change
+	// that must re-wrap or re-allocate.
+	arena *Arena
 
 	// str holds push-mode (Begin/Feed/Finish) execution state; see
 	// stream.go.
@@ -407,6 +422,15 @@ func (e *Engine) Reset(cfg Config) error {
 		know = e.emptyKnow
 	}
 
+	ar := cfg.Arena
+	if ar != nil {
+		if !ar.fits(cfg.N, cfg.Provenance) {
+			return fmt.Errorf("core: arena shaped for (n=%d, %s), config wants (n=%d, %s)",
+				ar.n, ar.mode, cfg.N, cfg.Provenance)
+		}
+		ar.reset()
+	}
+
 	if cap(e.owns) < cfg.N {
 		e.owns = make([]bool, cfg.N)
 		e.data = make([]agg.Value, cfg.N)
@@ -414,10 +438,14 @@ func (e *Engine) Reset(cfg Config) error {
 		e.stateBuf = make([]any, cfg.N)
 	}
 	nw := bitset.WordsFor(cfg.N)
-	if cap(e.ownWords) < nw {
-		e.ownWords = make([]uint64, nw)
+	if ar != nil {
+		e.ownWords = ar.take(nw)
+	} else {
+		if cap(e.ownWords) < nw || e.arena != nil {
+			e.ownWords = make([]uint64, nw)
+		}
+		e.ownWords = e.ownWords[:nw]
 	}
-	e.ownWords = e.ownWords[:nw]
 	for i := range e.ownWords {
 		e.ownWords[i] = ^uint64(0)
 	}
@@ -441,7 +469,17 @@ func (e *Engine) Reset(cfg Config) error {
 		var set *bitset.Set
 		if full {
 			set = e.origins[u]
-			if set == nil || set.Cap() != cfg.N {
+			if ar != nil {
+				// Carving is deterministic (ownWords, then origins in
+				// node order), so a set wrapped on the previous Reset of
+				// the same arena already aliases exactly these words.
+				words := ar.take(nw)
+				if set == nil || set.Cap() != cfg.N || e.arena != ar {
+					set = bitset.FromWords(cfg.N, words)
+					e.origins[u] = set
+				}
+				set.Clear()
+			} else if set == nil || set.Cap() != cfg.N || e.arena != nil {
 				set = bitset.New(cfg.N)
 				e.origins[u] = set
 			} else {
@@ -454,6 +492,7 @@ func (e *Engine) Reset(cfg Config) error {
 		e.stateBuf[u] = nil
 	}
 	e.cfg = cfg
+	e.arena = ar
 	e.nOwn = cfg.N
 	e.used = false
 	e.str = stream{}

@@ -1,0 +1,106 @@
+package core
+
+// Fuzzing the EngineState boundary: snapshots cross process lifetimes
+// through JSON (WAL records, HTTP /state responses), so whatever bytes
+// come back — truncated tails, hostile owner lists, out-of-range origins
+// — decoding plus RestoreStream must neither panic nor leave the engine
+// half-restored.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"doda/internal/seq"
+)
+
+// FuzzEngineStateRoundTrip feeds arbitrary bytes through the
+// unmarshal→restore→snapshot path. Two invariants:
+//
+//  1. No input panics. Bad snapshots are rejected with an error.
+//  2. All-or-nothing: when RestoreStream rejects the state, the engine
+//     still runs a fresh stream correctly afterward (nothing was left
+//     half-written); when it accepts, restore→snapshot is idempotent —
+//     the first snapshot is a canonical form that survives another
+//     round trip byte-identically (the stability the serving layer's
+//     byte-identical recovery diffs rely on).
+func FuzzEngineStateRoundTrip(f *testing.F) {
+	// A genuine mid-stream snapshot as the seed corpus anchor.
+	const n = 9
+	eng, err := NewEngine(Config{N: n, MaxInteractions: 1000, Provenance: ProvenanceFull})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := eng.Begin(greedyAlg{}); err != nil {
+		f.Fatal(err)
+	}
+	for _, it := range uniformSeq(n, 40, 7) {
+		if done, err := eng.Feed(it); err != nil || done {
+			break
+		}
+	}
+	snap, err := eng.StateSnapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := json.Marshal(snap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"n":9,"sink":0,"provenance":"full","t":-5,"owners":[8,2],"data":[{"num":1,"count":1}]}`))
+	f.Add([]byte(`{"n":9,"sink":0,"provenance":"full","t":1,"owners":[99],"data":[{"num":1,"count":1,"origins":[-4]}]}`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var st EngineState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return
+		}
+		cfg := Config{N: n, MaxInteractions: 1000, Provenance: ProvenanceFull}
+		e := &Engine{}
+		if err := e.RestoreStream(cfg, greedyAlg{}, st); err != nil {
+			// Rejected: the engine must still be fully usable.
+			if err := e.Reset(cfg); err != nil {
+				t.Fatalf("Reset after rejected restore: %v", err)
+			}
+			if err := e.Begin(greedyAlg{}); err != nil {
+				t.Fatalf("Begin after rejected restore: %v", err)
+			}
+			if _, err := e.Feed(seq.Interaction{U: 1, V: 0}); err != nil {
+				t.Fatalf("Feed after rejected restore: %v", err)
+			}
+			return
+		}
+		// Accepted: restore→snapshot must be idempotent. (The input
+		// itself may be non-canonical — unsorted origins, [] vs null —
+		// so the first snapshot canonicalizes and the second must match
+		// it byte for byte.)
+		canon, err := e.StateSnapshot()
+		if err != nil {
+			t.Fatalf("StateSnapshot after accepted restore: %v", err)
+		}
+		first, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2 := &Engine{}
+		if err := e2.RestoreStream(cfg, greedyAlg{}, canon); err != nil {
+			t.Fatalf("canonical snapshot rejected on second restore: %v", err)
+		}
+		resnap, err := e2.StateSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := json.Marshal(resnap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(first) != string(second) {
+			t.Fatalf("restore→snapshot not idempotent:\n first  %s\n second %s", first, second)
+		}
+	})
+}

@@ -47,6 +47,34 @@
 // context expires. Nothing is silently dropped: every accepted batch is
 // acknowledged, every refused batch is refused loudly.
 //
+// # Eviction and density
+//
+// A server is built to hold thousands of registered instances while
+// only a bounded working set holds engine memory. Two knobs gate the
+// working set (both require a durability directory): MaxLiveInstances
+// is a hard cap — registering or rehydrating past it evicts the
+// least-recently-touched live instance first — and IdleTTL lets the
+// watchdog evict instances untouched for that long. Eviction is
+// invisible to clients: the instance's queue is flushed, a final
+// rotation journals its snapshot (skipped when nothing was applied —
+// every acknowledged batch is already durable in the WAL tail, so a
+// failed or skipped rotation degrades to replay cost, never data
+// loss), and the engine's arena-backed state is released in O(1). The
+// instance stays registered in the "evicted" state (mem_bytes 0 in
+// /v1/status, which reports live/evicted/total counts) and the next
+// ingest, state read, or result call rehydrates it from its journal —
+// byte-identical, with the seq contract intact, so a duplicate retry
+// that lands on an evicted instance re-acks exactly as a live one
+// would. Cold recovery honors the cap too: a restart over thousands of
+// journaled instances validates every journal but hydrates only up to
+// MaxLiveInstances engines, bringing the rest up evicted.
+//
+// Live engine memory is arena-backed (core.Config.Arena): one
+// contiguous block per instance sized exactly from (n, provenance
+// mode), so a host's memory budget divides cleanly into an instance
+// budget — the serve_density section of BENCH_hotpath.json commits the
+// measured bytes/instance and instances/GB.
+//
 // # Failure model
 //
 // A panic in an instance worker is recovered: the instance is marked

@@ -1,0 +1,142 @@
+package serve
+
+// Property: eviction is invisible. For a random schedule of forced
+// evictions, kill-without-flush restarts, and duplicate-seq retries,
+// every instance's final EngineState is byte-identical to an
+// uninterrupted in-memory run of the same batches. This is the
+// serve-wide pin for the whole PR: arena-backed engines, WAL
+// evict/rehydrate, and the exactly-once seq contract all have to hold
+// simultaneously for the diff to stay empty.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"doda/internal/rng"
+	"doda/internal/seq"
+)
+
+// evictWorkload is a deterministic per-instance batch list.
+type evictWorkload struct {
+	names   []string
+	batches [][][]seq.Interaction // [instance][batch] -> interactions
+}
+
+func makeEvictWorkload(n, instances, batches, ops int, seed uint64) evictWorkload {
+	w := evictWorkload{
+		names:   make([]string, instances),
+		batches: make([][][]seq.Interaction, instances),
+	}
+	for i := range w.names {
+		w.names[i] = fmt.Sprintf("p%d", i)
+		w.batches[i] = make([][]seq.Interaction, batches)
+		for b := range w.batches[i] {
+			w.batches[i][b] = offSinkBatch(n, ops, seed^uint64(i*1000+b))
+		}
+	}
+	return w
+}
+
+func TestPropertyEvictRehydrateInvisible(t *testing.T) {
+	const (
+		n         = 12
+		instances = 3
+		batches   = 24
+		ops       = 8
+	)
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			w := makeEvictWorkload(n, instances, batches, ops, seed)
+
+			// Reference: one uninterrupted in-memory server.
+			want := make(map[string][]byte)
+			{
+				ref := newTestServer(t, Options{})
+				for i, name := range w.names {
+					inst := mustRegister(t, ref, waitCfg(name, n))
+					for b, its := range w.batches[i] {
+						feedSeq(t, inst, its, uint64(b+1))
+					}
+					want[name] = mustState(t, inst)
+				}
+			}
+
+			// Chaotic run: tight live cap, random evictions, kills, dups.
+			dir := t.TempDir()
+			opt := Options{Dir: dir, MaxLiveInstances: 2, StallTimeout: 5 * time.Second}
+			s, err := NewServer(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { s.Close() }()
+			restart := func() {
+				s.Close()
+				s2, err := NewServer(opt)
+				if err != nil {
+					t.Fatalf("restart: %v", err)
+				}
+				s = s2
+			}
+			get := func(name string) *Instance {
+				inst, ok := s.Get(name)
+				if !ok {
+					t.Fatalf("instance %s missing", name)
+				}
+				return inst
+			}
+			for _, name := range w.names {
+				mustRegister(t, s, waitCfg(name, n))
+			}
+
+			src := rng.New(seed * 7919)
+			next := make([]int, instances) // next batch index per instance
+			for remaining := instances * batches; remaining > 0; {
+				i := int(src.Uint64() % uint64(instances))
+				if next[i] >= batches {
+					continue
+				}
+				seqNo := uint64(next[i] + 1)
+				its := w.batches[i][next[i]]
+				switch src.Uint64() % 8 {
+				case 0: // forced eviction before the send
+					if err := s.Evict(w.names[i]); err != nil {
+						t.Fatalf("evict %s: %v", w.names[i], err)
+					}
+				case 1: // kill the process without flushing, recover
+					restart()
+				case 2: // send, kill before the ack round-trips, resend (dup)
+					if _, err := get(w.names[i]).TryIngest(its, seqNo); err != nil {
+						t.Fatalf("pre-kill send %s seq %d: %v", w.names[i], seqNo, err)
+					}
+					restart()
+				case 3: // duplicate retry of the previous batch
+					if seqNo > 1 {
+						feedSeq(t, get(w.names[i]), w.batches[i][next[i]-1], seqNo-1)
+					}
+				}
+				feedSeq(t, get(w.names[i]), its, seqNo)
+				next[i]++
+				remaining--
+			}
+
+			for _, name := range w.names {
+				got := mustState(t, get(name))
+				if string(got) != string(want[name]) {
+					t.Fatalf("seed %d: %s final state diverged from uninterrupted run:\n got  %s\n want %s",
+						seed, name, got, want[name])
+				}
+			}
+			// The schedule's churn must never have breached the cap.
+			if st := s.Status(); st.Live > opt.MaxLiveInstances {
+				t.Fatalf("live cap breached: %d live", st.Live)
+			}
+		})
+	}
+}

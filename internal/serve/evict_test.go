@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"doda/internal/seq"
+)
+
+// waitCfg is a forever-running instance (waiting declines off-sink
+// interactions), so eviction tests control exactly when it ends.
+func waitCfg(name string, n int) InstanceConfig {
+	return InstanceConfig{Name: name, N: n, Algorithm: "waiting", Agg: "min"}
+}
+
+func mustState(t *testing.T, inst *Instance) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := inst.State(ctx)
+	if err != nil {
+		t.Fatalf("State(%s): %v", inst.Name(), err)
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func feedSeq(t *testing.T, inst *Instance, its []seq.Interaction, seqNo uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	h, err := inst.Ingest(ctx, its, seqNo)
+	if err != nil {
+		t.Fatalf("Ingest(%s, seq %d): %v", inst.Name(), seqNo, err)
+	}
+	if err := h.Wait(ctx); err != nil {
+		t.Fatalf("apply(%s, seq %d): %v", inst.Name(), seqNo, err)
+	}
+}
+
+// TestEvictRehydrateInvisible: a forced eviction must not change what
+// the instance reports — state before eviction, after rehydration, and
+// after further ingest all match a never-evicted twin byte for byte,
+// and the seq contract (dup acks) survives the cycle.
+func TestEvictRehydrateInvisible(t *testing.T) {
+	s := newTestServer(t, Options{Dir: t.TempDir()})
+	ref := newTestServer(t, Options{Dir: t.TempDir()})
+
+	const n = 16
+	inst := mustRegister(t, s, waitCfg("evictee", n))
+	twin := mustRegister(t, ref, waitCfg("evictee", n))
+
+	b1 := offSinkBatch(n, 40, 1)
+	feedSeq(t, inst, b1, 1)
+	feedSeq(t, twin, b1, 1)
+
+	before := mustState(t, inst)
+	if err := s.Evict("evictee"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if st := inst.Status(); st.State != "evicted" || st.MemBytes != 0 {
+		t.Fatalf("after evict: state %s, mem %d", st.State, st.MemBytes)
+	}
+
+	// Dup retry of an acked batch against the evicted instance must
+	// rehydrate and ack idempotently.
+	feedSeq(t, inst, b1, 1)
+	if got := mustState(t, inst); string(got) != string(before) {
+		t.Fatalf("state changed across evict/rehydrate:\n before %s\n after  %s", before, got)
+	}
+
+	// Further progress tracks the never-evicted twin.
+	b2 := offSinkBatch(n, 40, 2)
+	feedSeq(t, inst, b2, 2)
+	feedSeq(t, twin, b2, 2)
+	if got, want := mustState(t, inst), mustState(t, twin); string(got) != string(want) {
+		t.Fatalf("post-rehydrate state diverged from twin:\n got  %s\n want %s", got, want)
+	}
+	if st := inst.Status(); st.State != "running" || st.LastSeq != 2 || st.MemBytes == 0 {
+		t.Fatalf("after rehydrate: %+v", st)
+	}
+}
+
+// TestStatusCountsAcrossEvictCycle: /v1/status distinguishes
+// live/evicted/total, and the counts move correctly through an
+// evict→rehydrate cycle (the regression this PR fixes).
+func TestStatusCountsAcrossEvictCycle(t *testing.T) {
+	s := newTestServer(t, Options{Dir: t.TempDir()})
+	const n = 8
+	a := mustRegister(t, s, waitCfg("a", n))
+	mustRegister(t, s, waitCfg("b", n))
+
+	check := func(wantLive, wantEvicted int) {
+		t.Helper()
+		st := s.Status()
+		if st.Live != wantLive || st.Evicted != wantEvicted || st.Total != wantLive+wantEvicted {
+			t.Fatalf("status counts live=%d evicted=%d total=%d, want %d/%d/%d",
+				st.Live, st.Evicted, st.Total, wantLive, wantEvicted, wantLive+wantEvicted)
+		}
+	}
+	check(2, 0)
+	if err := s.Evict("a"); err != nil {
+		t.Fatal(err)
+	}
+	check(1, 1)
+	feedSeq(t, a, offSinkBatch(n, 8, 3), 1) // transparent rehydration
+	check(2, 0)
+}
+
+// TestLiveCapLRU: with MaxLiveInstances=2, registering and touching
+// instances evicts the least-recently-touched one; every instance stays
+// reachable and correct through the churn.
+func TestLiveCapLRU(t *testing.T) {
+	s := newTestServer(t, Options{Dir: t.TempDir(), MaxLiveInstances: 2})
+	const n = 8
+	insts := make([]*Instance, 4)
+	for i := range insts {
+		insts[i] = mustRegister(t, s, waitCfg(fmt.Sprintf("i%d", i), n))
+	}
+	st := s.Status()
+	if st.Live != 2 || st.Evicted != 2 || st.Total != 4 {
+		t.Fatalf("after 4 registrations under cap 2: live=%d evicted=%d total=%d", st.Live, st.Evicted, st.Total)
+	}
+	// Touch every instance round-robin; each touch may evict another,
+	// but seq-stamped ingest keeps all of them exactly-once.
+	for round := 1; round <= 3; round++ {
+		for i, inst := range insts {
+			feedSeq(t, inst, offSinkBatch(n, 8, uint64(16*round+i)), uint64(round))
+		}
+	}
+	st = s.Status()
+	if st.Live > 2 {
+		t.Fatalf("cap 2 exceeded: %d live", st.Live)
+	}
+	for _, inst := range insts {
+		if got := inst.Status().LastSeq; got != 3 {
+			t.Fatalf("%s lastSeq = %d, want 3", inst.Name(), got)
+		}
+	}
+}
+
+// TestIdleTTLEviction: an untouched instance is evicted by the watchdog
+// after IdleTTL, then rehydrates on touch.
+func TestIdleTTLEviction(t *testing.T) {
+	s := newTestServer(t, Options{
+		Dir:          t.TempDir(),
+		IdleTTL:      50 * time.Millisecond,
+		StallTimeout: time.Second,
+	})
+	const n = 8
+	inst := mustRegister(t, s, waitCfg("idler", n))
+	feedSeq(t, inst, offSinkBatch(n, 8, 9), 1)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for inst.Status().State != "evicted" {
+		if time.Now().After(deadline) {
+			t.Fatalf("instance not evicted after TTL; status %+v", inst.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	feedSeq(t, inst, offSinkBatch(n, 8, 10), 2)
+	if st := inst.Status(); st.State != "running" || st.LastSeq != 2 {
+		t.Fatalf("after rehydrate: %+v", st)
+	}
+}
+
+// TestEvictDoneInstance: finished instances evict too (result released)
+// and rehydrate with the result recomputed from the WAL.
+func TestEvictDoneInstance(t *testing.T) {
+	s := newTestServer(t, Options{Dir: t.TempDir()})
+	const n = 4
+	inst := mustRegister(t, s, gatherCfg("fin", n))
+	// Drive to termination: gather everything into the sink.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var sn uint64
+	for inst.Status().State == "running" {
+		sn++
+		h, err := inst.Ingest(ctx, []seq.Interaction{it(1, 0), it(2, 0), it(3, 0)}, sn)
+		if err != nil {
+			break
+		}
+		h.Wait(ctx)
+	}
+	if st := inst.Status(); st.State != "done" {
+		t.Fatalf("instance did not finish: %+v", st)
+	}
+	want, err := inst.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Evict("fin"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Result() // rehydrates
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SinkValue.Num != want.SinkValue.Num || got.Terminated != want.Terminated {
+		t.Fatalf("result changed across evict: got %+v want %+v", got, want)
+	}
+	if st := inst.Status(); st.State != "done" {
+		t.Fatalf("after rehydrate: %+v", st)
+	}
+}
+
+// TestEvictionRequiresDir: eviction without durability is a config
+// error, not a silent data-loss mode.
+func TestEvictionRequiresDir(t *testing.T) {
+	if _, err := NewServer(Options{MaxLiveInstances: 4}); err == nil {
+		t.Fatal("NewServer with cap and no Dir should fail")
+	}
+	if _, err := NewServer(Options{IdleTTL: time.Second}); err == nil {
+		t.Fatal("NewServer with IdleTTL and no Dir should fail")
+	}
+}
+
+// TestColdRecoveryUnderCap: restarting a server over many journaled
+// instances hydrates only up to the cap; the rest come up evicted and
+// rehydrate on demand with their state intact.
+func TestColdRecoveryUnderCap(t *testing.T) {
+	dir := t.TempDir()
+	const n, total, cap_ = 8, 6, 2
+	states := make(map[string][]byte)
+	{
+		s := newTestServer(t, Options{Dir: dir})
+		for i := 0; i < total; i++ {
+			name := fmt.Sprintf("c%d", i)
+			inst := mustRegister(t, s, waitCfg(name, n))
+			feedSeq(t, inst, offSinkBatch(n, 16, uint64(i+100)), 1)
+			states[name] = mustState(t, inst)
+		}
+		s.Close()
+	}
+	s := newTestServer(t, Options{Dir: dir, MaxLiveInstances: cap_})
+	st := s.Status()
+	if st.Total != total || st.Live > cap_ {
+		t.Fatalf("cold recovery: live=%d evicted=%d total=%d (cap %d)", st.Live, st.Evicted, st.Total, cap_)
+	}
+	for name, want := range states {
+		inst, ok := s.Get(name)
+		if !ok {
+			t.Fatalf("instance %s lost across restart", name)
+		}
+		if got := mustState(t, inst); string(got) != string(want) {
+			t.Fatalf("%s state changed across cold restart:\n got  %s\n want %s", name, got, want)
+		}
+	}
+	if st := s.Status(); st.Live > cap_ {
+		t.Fatalf("cap breached after touches: %d live", st.Live)
+	}
+}

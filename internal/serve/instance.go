@@ -168,6 +168,7 @@ const (
 	stateDone                  // aggregation finished (terminated, failed run, or horizon)
 	stateFailed                // worker panicked or infrastructure failed
 	stateClosed
+	stateEvicted // engine released; state lives in the WAL until next touch
 )
 
 func (s instanceState) String() string {
@@ -180,6 +181,8 @@ func (s instanceState) String() string {
 		return "failed"
 	case stateClosed:
 		return "closed"
+	case stateEvicted:
+		return "evicted"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -213,7 +216,9 @@ type Instance struct {
 	stalled    bool
 	noAdmit    bool // drain: reject admissions, keep applying
 	closing    bool // worker should exit once the queue is empty
+	evicting   bool // an eviction is flushing the queue; admissions wait
 	lastMove   time.Time
+	lastTouch  time.Time   // last ingest/state read; drives LRU + IdleTTL
 	result     core.Result // valid once state == stateDone
 
 	eng *core.Engine
@@ -235,8 +240,23 @@ func newInstance(srv *Server, cfg InstanceConfig, eng *core.Engine, log *wal, la
 		lastMove:   time.Now(),
 		workerDone: make(chan struct{}),
 	}
+	inst.lastTouch = inst.lastMove
 	inst.cond = sync.NewCond(&inst.mu)
 	return inst
+}
+
+// isLive reports whether the instance currently holds engine state.
+func (inst *Instance) isLive() bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.eng != nil && (inst.state == stateRunning || inst.state == stateDone)
+}
+
+// touched returns the last-touch time for LRU ordering.
+func (inst *Instance) touched() time.Time {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.lastTouch
 }
 
 // Name returns the instance name.
@@ -265,11 +285,22 @@ func (inst *Instance) validate(its []seq.Interaction) error {
 func (inst *Instance) admitLocked(seqNo uint64, ops int) (*Handle, bool, error) {
 	switch inst.state {
 	case stateDone:
+		if seqNo != 0 && seqNo <= inst.lastSeq {
+			// Retry of an acknowledged batch — possibly the very batch
+			// that finished the instance, whose ack was lost in flight.
+			// Ack again so the exactly-once contract survives termination.
+			inst.lastTouch = time.Now()
+			return resolvedHandle(), true, nil
+		}
 		return nil, false, ErrInstanceDone
 	case stateFailed:
 		return nil, false, fmt.Errorf("%w: %s", ErrInstanceFailed, inst.failReason)
 	case stateClosed:
 		return nil, false, ErrInstanceClosed
+	case stateEvicted:
+		// Ingest paths rehydrate before admitting; reaching this is a
+		// caller that skipped ensureLive.
+		return nil, false, fmt.Errorf("serve: instance %s evicted", inst.cfg.Name)
 	}
 	if inst.noAdmit {
 		return nil, false, ErrInstanceClosed
@@ -277,6 +308,7 @@ func (inst *Instance) admitLocked(seqNo uint64, ops int) (*Handle, bool, error) 
 	if seqNo != 0 {
 		if seqNo <= inst.lastSeq {
 			// Retry of an acknowledged batch: ack again, journal nothing.
+			inst.lastTouch = time.Now()
 			return resolvedHandle(), true, nil
 		}
 		if seqNo != inst.lastSeq+1 {
@@ -315,28 +347,60 @@ func (inst *Instance) ingestLocked(seqNo uint64, its []seq.Interaction) (*Handle
 	inst.lastSeq = seqNo
 	inst.queue = append(inst.queue, ingestBatch{seq: seqNo, its: its, handle: h})
 	inst.pendingOps += len(its)
+	inst.lastTouch = time.Now()
 	inst.cond.Broadcast()
 	return h, nil
 }
 
-// TryIngest admits one batch without blocking: a full queue fails fast
-// with ErrBackpressure. seqNo stamps the batch for exactly-once retries
-// (0 = server-assigned, at-least-once). The batch is durable when
-// TryIngest returns; the Handle resolves when it has been applied.
+// settleLocked waits out an in-flight eviction and reports whether the
+// instance ended up evicted (caller must unlock, rehydrate via
+// ensureLive, and retry). On false return the caller still holds the
+// lock with no eviction pending, so admission checks are stable.
+func (inst *Instance) settleLocked(ctx context.Context) bool {
+	for inst.evicting && (ctx == nil || ctx.Err() == nil) {
+		inst.cond.Wait()
+	}
+	return inst.state == stateEvicted
+}
+
+// TryIngest admits one batch without blocking on backpressure: a full
+// queue fails fast with ErrBackpressure. seqNo stamps the batch for
+// exactly-once retries (0 = server-assigned, at-least-once). The batch
+// is durable when TryIngest returns; the Handle resolves when it has
+// been applied. An evicted instance is transparently rehydrated first
+// (TryIngest then blocks only on the rehydration itself, never on a
+// full queue).
 func (inst *Instance) TryIngest(its []seq.Interaction, seqNo uint64) (*Handle, error) {
 	if err := inst.validate(its); err != nil {
 		return nil, err
 	}
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
-	if h, dup, err := inst.admitLocked(seqNo, len(its)); dup || err != nil {
+	// Bounded retries: with a tiny live cap and hot contention the
+	// instance can be re-evicted between rehydration and admission;
+	// after a few losses surface backpressure and let the client retry.
+	for attempt := 0; attempt < 8; attempt++ {
+		inst.mu.Lock()
+		if inst.settleLocked(nil) {
+			inst.mu.Unlock()
+			if err := inst.srv.ensureLive(inst); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		h, dup, err := inst.admitLocked(seqNo, len(its))
+		if dup || err != nil {
+			inst.mu.Unlock()
+			return h, err
+		}
+		h, err = inst.ingestLocked(seqNo, its)
+		inst.mu.Unlock()
 		return h, err
 	}
-	return inst.ingestLocked(seqNo, its)
+	return nil, fmt.Errorf("%w: instance thrashing in and out of memory", ErrBackpressure)
 }
 
 // Ingest admits one batch, blocking while the queue is full until a slot
-// frees or ctx expires — the in-process backpressure contract.
+// frees or ctx expires — the in-process backpressure contract. Evicted
+// instances rehydrate transparently.
 func (inst *Instance) Ingest(ctx context.Context, its []seq.Interaction, seqNo uint64) (*Handle, error) {
 	if err := inst.validate(its); err != nil {
 		return nil, err
@@ -348,24 +412,46 @@ func (inst *Instance) Ingest(ctx context.Context, its []seq.Interaction, seqNo u
 		inst.mu.Unlock()
 	})
 	defer stop()
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
 	for {
-		h, dup, err := inst.admitLocked(seqNo, len(its))
-		if dup {
-			return h, nil
-		}
-		switch {
-		case err == nil:
-			return inst.ingestLocked(seqNo, its)
-		case errors.Is(err, ErrBackpressure) || errors.Is(err, ErrWAL):
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				return nil, fmt.Errorf("%w (%w)", err, ctxErr)
-			}
-			inst.cond.Wait()
-		default:
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		inst.mu.Lock()
+		if inst.settleLocked(ctx) {
+			inst.mu.Unlock()
+			if err := inst.srv.ensureLive(inst); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stale := false
+		for !stale {
+			h, dup, err := inst.admitLocked(seqNo, len(its))
+			if dup {
+				inst.mu.Unlock()
+				return h, nil
+			}
+			switch {
+			case err == nil:
+				h, err := inst.ingestLocked(seqNo, its)
+				inst.mu.Unlock()
+				return h, err
+			case errors.Is(err, ErrBackpressure) || errors.Is(err, ErrWAL):
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					inst.mu.Unlock()
+					return nil, fmt.Errorf("%w (%w)", err, ctxErr)
+				}
+				inst.cond.Wait()
+				// An eviction may have started while we waited: settle
+				// and rehydrate from the top instead of admitting into
+				// a vanishing engine.
+				stale = inst.evicting || inst.state == stateEvicted
+			default:
+				inst.mu.Unlock()
+				return nil, err
+			}
+		}
+		inst.mu.Unlock()
 	}
 }
 
@@ -540,9 +626,10 @@ func (inst *Instance) drain(ctx context.Context) error {
 	flushed := len(inst.queue) == 0
 	inst.closing = true
 	inst.cond.Broadcast()
+	done := inst.workerDone // under the lock: rehydration swaps the channel
 	inst.mu.Unlock()
 	select {
-	case <-inst.workerDone:
+	case <-done:
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain of %s: %w", inst.cfg.Name, ctx.Err())
 	}
@@ -567,14 +654,97 @@ func (inst *Instance) drain(ctx context.Context) error {
 	return nil
 }
 
+// evict flushes the queue (bounded by ctx), stops the worker, makes any
+// applied-but-unsnapshotted progress durable, and releases the engine
+// and journal — the instance's only remaining footprint is its WAL and
+// this struct. Caller holds the server's lifeMu. On a flush timeout the
+// eviction aborts and the instance stays live.
+//
+// While evicting is set every admission path settles (waits) before
+// touching the queue, so the flush cannot be outrun by new batches.
+func (inst *Instance) evict(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		inst.mu.Lock()
+		inst.cond.Broadcast()
+		inst.mu.Unlock()
+	})
+	defer stop()
+
+	inst.mu.Lock()
+	if inst.state == stateEvicted {
+		inst.mu.Unlock()
+		return nil
+	}
+	if (inst.state != stateRunning && inst.state != stateDone) || inst.eng == nil {
+		st := inst.state
+		inst.mu.Unlock()
+		return fmt.Errorf("serve: cannot evict %s instance %s", st, inst.cfg.Name)
+	}
+	if inst.log == nil {
+		inst.mu.Unlock()
+		return fmt.Errorf("serve: cannot evict ephemeral instance %s", inst.cfg.Name)
+	}
+	inst.evicting = true
+	for len(inst.queue) > 0 && inst.state == stateRunning && ctx.Err() == nil {
+		inst.cond.Wait()
+	}
+	if len(inst.queue) > 0 && inst.state == stateRunning {
+		// Flush timed out: abort; the instance stays live and admissions
+		// waiting on the eviction resume.
+		inst.evicting = false
+		inst.cond.Broadcast()
+		inst.mu.Unlock()
+		return fmt.Errorf("serve: evict %s: queue would not flush: %w", inst.cfg.Name, ctx.Err())
+	}
+	inst.closing = true
+	inst.cond.Broadcast()
+	ch := inst.workerDone
+	inst.mu.Unlock()
+	<-ch
+
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.state != stateRunning && inst.state != stateDone {
+		// The worker failed while flushing; nothing to release safely.
+		inst.evicting = false
+		inst.cond.Broadcast()
+		return fmt.Errorf("serve: evict %s: instance %s", inst.cfg.Name, inst.state)
+	}
+	// Final snapshot, but only when something was applied since the last
+	// rotation. Skipping it is always safe — every acknowledged batch is
+	// already durable in the WAL tail and replays at rehydration — so a
+	// rotation failure degrades to replay cost, never to data loss. The
+	// skip also makes evicting a freshly-registered or just-rotated
+	// instance write-free.
+	if inst.appliedOps > 0 && !inst.log.broken {
+		if err := inst.rotateLocked(); err != nil {
+			inst.srv.logf("serve: evict %s: final snapshot: %v (tail remains durable)", inst.cfg.Name, err)
+		}
+	}
+	inst.log.close()
+	inst.eng = nil
+	inst.log = nil
+	// The result aliases engine-owned bitsets (and through them the
+	// arena); drop it so eviction actually releases the block. Rehydrate
+	// recomputes it from the replayed stream.
+	inst.result = core.Result{}
+	inst.state = stateEvicted
+	inst.closing = false
+	inst.evicting = false
+	inst.stalled = false
+	inst.cond.Broadcast()
+	return nil
+}
+
 // close shuts the instance down without flushing: pending handles fail.
 func (inst *Instance) close() {
 	inst.mu.Lock()
 	inst.noAdmit = true
 	inst.closing = true
 	inst.cond.Broadcast()
+	done := inst.workerDone // under the lock: rehydration swaps the channel
 	inst.mu.Unlock()
-	<-inst.workerDone
+	<-done
 	inst.resolvePending(ErrInstanceClosed)
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
@@ -602,6 +772,9 @@ type InstanceStatus struct {
 	Owners     int      `json:"owners"`
 	Terminated bool     `json:"terminated,omitempty"`
 	SinkValue  *float64 `json:"sink_value,omitempty"`
+	// MemBytes is the instance's arena footprint — the contiguous block
+	// its word-backed engine state is carved from. Zero while evicted.
+	MemBytes int `json:"mem_bytes,omitempty"`
 }
 
 // Status snapshots the instance for /v1/status.
@@ -623,6 +796,9 @@ func (inst *Instance) Status() InstanceStatus {
 	}
 	if inst.eng != nil {
 		s.Owners = inst.eng.OwnerCount()
+		if prov, err := core.ParseProvenanceMode(inst.cfg.Provenance); err == nil {
+			s.MemBytes = core.ArenaBytes(inst.cfg.N, prov)
+		}
 	}
 	if inst.state == stateDone && inst.result.Terminated {
 		s.Terminated = true
@@ -635,7 +811,8 @@ func (inst *Instance) Status() InstanceStatus {
 // State returns the engine snapshot — the deterministic document the
 // recovery tests diff. It waits for the pending queue to flush first
 // (bounded by ctx) so two servers that accepted the same batches report
-// the same state regardless of worker timing.
+// the same state regardless of worker timing. Evicted instances are
+// transparently rehydrated.
 func (inst *Instance) State(ctx context.Context) (core.EngineState, error) {
 	stop := context.AfterFunc(ctx, func() {
 		inst.mu.Lock()
@@ -643,31 +820,64 @@ func (inst *Instance) State(ctx context.Context) (core.EngineState, error) {
 		inst.mu.Unlock()
 	})
 	defer stop()
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
-	for len(inst.queue) > 0 && inst.state == stateRunning && ctx.Err() == nil {
-		inst.cond.Wait()
+	for {
+		if err := ctx.Err(); err != nil {
+			return core.EngineState{}, err
+		}
+		inst.mu.Lock()
+		if inst.settleLocked(ctx) {
+			inst.mu.Unlock()
+			if err := inst.srv.ensureLive(inst); err != nil {
+				return core.EngineState{}, err
+			}
+			continue
+		}
+		for len(inst.queue) > 0 && inst.state == stateRunning && !inst.evicting && ctx.Err() == nil {
+			inst.cond.Wait()
+		}
+		if inst.evicting || inst.state == stateEvicted {
+			// An eviction overtook the flush wait; settle and retry.
+			inst.mu.Unlock()
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			inst.mu.Unlock()
+			return core.EngineState{}, err
+		}
+		if inst.state == stateFailed {
+			reason := inst.failReason
+			inst.mu.Unlock()
+			return core.EngineState{}, fmt.Errorf("%w: %s", ErrInstanceFailed, reason)
+		}
+		inst.lastTouch = time.Now()
+		// The worker is idle (queue empty), so reading the engine is safe.
+		st, err := inst.eng.StateSnapshot()
+		inst.mu.Unlock()
+		return st, err
 	}
-	if err := ctx.Err(); err != nil {
-		return core.EngineState{}, err
-	}
-	if inst.state == stateFailed {
-		return core.EngineState{}, fmt.Errorf("%w: %s", ErrInstanceFailed, inst.failReason)
-	}
-	// The worker is idle (queue empty), so reading the engine is safe.
-	return inst.eng.StateSnapshot()
 }
 
-// Result returns the finished aggregation's result.
+// Result returns the finished aggregation's result, rehydrating an
+// evicted instance to recompute it.
 func (inst *Instance) Result() (core.Result, error) {
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
-	switch inst.state {
-	case stateDone:
-		return inst.result, nil
-	case stateFailed:
-		return core.Result{}, fmt.Errorf("%w: %s", ErrInstanceFailed, inst.failReason)
-	default:
-		return core.Result{}, fmt.Errorf("serve: instance %s still running", inst.cfg.Name)
+	for attempt := 0; attempt < 8; attempt++ {
+		inst.mu.Lock()
+		if inst.settleLocked(nil) {
+			inst.mu.Unlock()
+			if err := inst.srv.ensureLive(inst); err != nil {
+				return core.Result{}, err
+			}
+			continue
+		}
+		defer inst.mu.Unlock()
+		switch inst.state {
+		case stateDone:
+			return inst.result, nil
+		case stateFailed:
+			return core.Result{}, fmt.Errorf("%w: %s", ErrInstanceFailed, inst.failReason)
+		default:
+			return core.Result{}, fmt.Errorf("serve: instance %s still running", inst.cfg.Name)
+		}
 	}
+	return core.Result{}, fmt.Errorf("%w: instance thrashing in and out of memory", ErrBackpressure)
 }

@@ -36,6 +36,17 @@ type Options struct {
 	// applying any of it before the watchdog flags it stalled (default
 	// 10s).
 	StallTimeout time.Duration
+	// MaxLiveInstances caps how many instances may hold live engine
+	// state at once (0 = unlimited). When a registration or rehydration
+	// would exceed the cap, the least-recently-touched live instance is
+	// evicted first: its state is snapshotted to the WAL, its engine
+	// memory released, and it rehydrates transparently on the next
+	// ingest. Requires Dir (eviction without durability would lose
+	// state).
+	MaxLiveInstances int
+	// IdleTTL evicts instances that have seen no ingest or state read
+	// for this long (0 = never). Requires Dir.
+	IdleTTL time.Duration
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -63,6 +74,13 @@ var ErrDraining = errors.New("serve: server draining")
 type Server struct {
 	opt Options
 
+	// lifeMu serializes instance lifecycle transitions (register under a
+	// cap, evict, rehydrate, remove, drain-flagging). It is always taken
+	// before mu and before any instance's mu, and is never held while
+	// waiting on a worker that needs mu-protected state to progress —
+	// evictions wait on instance queues, not on lifeMu holders.
+	lifeMu sync.Mutex
+
 	mu        sync.Mutex
 	instances map[string]*Instance
 	draining  bool
@@ -73,9 +91,14 @@ type Server struct {
 
 // NewServer builds a server and, when opt.Dir holds instance journals
 // from a previous process, recovers every one of them before returning:
-// a restarted server resumes exactly where the crash left it.
+// a restarted server resumes exactly where the crash left it. With
+// MaxLiveInstances set, only the first cap instances recovered are
+// hydrated; the rest come up evicted and rehydrate on first touch.
 func NewServer(opt Options) (*Server, error) {
 	opt.fill()
+	if (opt.MaxLiveInstances > 0 || opt.IdleTTL > 0) && opt.Dir == "" {
+		return nil, errors.New("serve: eviction (MaxLiveInstances/IdleTTL) requires Dir: evicted state must be durable")
+	}
 	s := &Server{
 		opt:       opt,
 		instances: make(map[string]*Instance),
@@ -100,12 +123,16 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// recoverAll replays every instance directory under Dir.
+// recoverAll replays every instance directory under Dir. With a live
+// cap, directories past the cap are recovered cold: their WAL is
+// validated and their sequence position read, but no engine is built —
+// they start evicted and rehydrate on first touch.
 func (s *Server) recoverAll() error {
 	entries, err := os.ReadDir(s.opt.Dir)
 	if err != nil {
 		return err
 	}
+	live := 0
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
@@ -114,7 +141,8 @@ func (s *Server) recoverAll() error {
 		if !nameRE.MatchString(name) {
 			continue
 		}
-		inst, err := s.recoverInstance(name)
+		hydrate := s.opt.MaxLiveInstances <= 0 || live < s.opt.MaxLiveInstances
+		inst, err := s.recoverInstance(name, hydrate)
 		if errors.Is(err, errNoWAL) {
 			// A torn genesis: the registration was never acknowledged
 			// (Create only acks after the first generation is durable), so
@@ -129,45 +157,47 @@ func (s *Server) recoverAll() error {
 			return fmt.Errorf("serve: recover %s: %w", name, err)
 		}
 		s.instances[name] = inst
-		go inst.worker()
+		if hydrate {
+			live++
+			go inst.worker()
+		}
 	}
 	return nil
 }
 
 // recoverInstance rebuilds one instance from its WAL: restore the
-// snapshot, replay the journaled tail, reopen for appends.
-func (s *Server) recoverInstance(name string) (*Instance, error) {
+// snapshot, replay the journaled tail, reopen for appends. With
+// hydrate=false the WAL is validated and closed again and the instance
+// comes up evicted (no engine, no open journal, no worker).
+func (s *Server) recoverInstance(name string, hydrate bool) (*Instance, error) {
 	dir := filepath.Join(s.opt.Dir, name)
 	log, rec, err := recoverWAL(s.opt.FS, dir)
 	if err != nil {
 		return nil, err
 	}
 	if rec.cfg.Name != name {
+		log.close()
 		return nil, fmt.Errorf("wal names instance %q, directory is %q", rec.cfg.Name, name)
 	}
-	cfg, alg, err := rec.cfg.engineConfig()
-	if err != nil {
-		return nil, err
-	}
-	eng := &core.Engine{}
-	if err := eng.RestoreStream(cfg, alg, rec.state); err != nil {
-		return nil, err
-	}
-	// Replay the journaled-but-unsnapshotted tail. Feed is deterministic
-	// and ignores post-done batches, so the replayed engine is
-	// byte-identical to the pre-crash one.
-	for _, in := range rec.tail {
-		for _, uv := range in.Its {
-			if _, err := eng.Feed(seq.Interaction{U: graph.NodeID(uv[0]), V: graph.NodeID(uv[1])}); err != nil {
-				return nil, fmt.Errorf("replay batch %d: %w", in.Seq, err)
-			}
-		}
-	}
 	lastSeq := rec.lastSeq()
+	if !hydrate {
+		log.close()
+		inst := newInstance(s, rec.cfg, nil, nil, lastSeq, lastSeq)
+		inst.state = stateEvicted
+		close(inst.workerDone) // no worker is running
+		s.logf("serve: recovered instance %s cold (seq %d, evicted)", name, lastSeq)
+		return inst, nil
+	}
+	eng, err := restoreEngine(rec)
+	if err != nil {
+		log.close()
+		return nil, err
+	}
 	inst := newInstance(s, rec.cfg, eng, log, lastSeq, lastSeq)
 	if eng.StreamDone() {
 		res, err := eng.Finish()
 		if err != nil {
+			log.close()
 			return nil, fmt.Errorf("replay verification: %w", err)
 		}
 		inst.result = res
@@ -177,11 +207,41 @@ func (s *Server) recoverInstance(name string) (*Instance, error) {
 	return inst, nil
 }
 
-// Register creates a new aggregation instance.
+// restoreEngine builds an arena-backed engine from a recovered WAL:
+// restore the snapshot, replay the journaled-but-unsnapshotted tail.
+// Feed is deterministic and ignores post-done batches, so the replayed
+// engine is byte-identical to the one that wrote the WAL.
+func restoreEngine(rec *recovered) (*core.Engine, error) {
+	cfg, alg, err := rec.cfg.engineConfig()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Arena, err = core.NewArena(cfg.N, cfg.Provenance); err != nil {
+		return nil, err
+	}
+	eng := &core.Engine{}
+	if err := eng.RestoreStream(cfg, alg, rec.state); err != nil {
+		return nil, err
+	}
+	for _, in := range rec.tail {
+		for _, uv := range in.Its {
+			if _, err := eng.Feed(seq.Interaction{U: graph.NodeID(uv[0]), V: graph.NodeID(uv[1])}); err != nil {
+				return nil, fmt.Errorf("replay batch %d: %w", in.Seq, err)
+			}
+		}
+	}
+	return eng, nil
+}
+
+// Register creates a new aggregation instance. Under a live cap it may
+// first evict the least-recently-touched live instance to make room.
 func (s *Server) Register(icfg InstanceConfig) (*Instance, error) {
 	icfg = icfg.normalized()
 	cfg, alg, err := icfg.engineConfig()
 	if err != nil {
+		return nil, err
+	}
+	if cfg.Arena, err = core.NewArena(cfg.N, cfg.Provenance); err != nil {
 		return nil, err
 	}
 	eng, err := core.NewEngine(cfg)
@@ -189,6 +249,12 @@ func (s *Server) Register(icfg InstanceConfig) (*Instance, error) {
 		return nil, err
 	}
 	if err := eng.Begin(alg); err != nil {
+		return nil, err
+	}
+
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if err := s.makeRoom(nil); err != nil {
 		return nil, err
 	}
 
@@ -217,6 +283,159 @@ func (s *Server) Register(icfg InstanceConfig) (*Instance, error) {
 	return inst, nil
 }
 
+// liveInstances returns the instances currently holding an engine,
+// ordered by least-recent touch.
+func (s *Server) liveInstances() []*Instance {
+	s.mu.Lock()
+	live := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		if inst.isLive() {
+			live = append(live, inst)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(live, func(i, k int) bool {
+		ti, tk := live[i].touched(), live[k].touched()
+		if ti.Equal(tk) {
+			return live[i].cfg.Name < live[k].cfg.Name
+		}
+		return ti.Before(tk)
+	})
+	return live
+}
+
+// makeRoom evicts least-recently-touched live instances until one more
+// engine fits under the cap. keep (if non-nil) is never evicted — it is
+// the instance being rehydrated. Caller holds lifeMu.
+func (s *Server) makeRoom(keep *Instance) error {
+	if s.opt.MaxLiveInstances <= 0 {
+		return nil
+	}
+	for {
+		live := s.liveInstances()
+		if len(live) < s.opt.MaxLiveInstances {
+			return nil
+		}
+		var victim *Instance
+		for _, inst := range live {
+			if inst != keep {
+				victim = inst
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("%w: live-instance cap %d held entirely by the caller", ErrBackpressure, s.opt.MaxLiveInstances)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.opt.StallTimeout)
+		err := victim.evict(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("%w: cannot evict %s: %v", ErrBackpressure, victim.cfg.Name, err)
+		}
+		s.logf("serve: evicted instance %s (cap %d)", victim.cfg.Name, s.opt.MaxLiveInstances)
+	}
+}
+
+// Evict forces an instance out of memory: its state is snapshotted to
+// the WAL, its engine and journal released. The instance transparently
+// rehydrates on the next ingest or state read. Exported for operational
+// tooling and tests; the cap and IdleTTL drive the same path.
+func (s *Server) Evict(name string) error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	inst, ok := s.Get(name)
+	if !ok {
+		return fmt.Errorf("serve: no instance %q", name)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.opt.StallTimeout)
+	defer cancel()
+	return inst.evict(ctx)
+}
+
+// ensureLive rehydrates inst if it is evicted, evicting another
+// instance first when the cap requires it. The fast path (instance is
+// live) takes no lifecycle lock.
+func (s *Server) ensureLive(inst *Instance) error {
+	inst.mu.Lock()
+	evicted := inst.state == stateEvicted
+	inst.mu.Unlock()
+	if !evicted {
+		return nil
+	}
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	inst.mu.Lock()
+	evicted = inst.state == stateEvicted
+	inst.mu.Unlock()
+	if !evicted {
+		return nil // raced with another rehydrator; done
+	}
+	s.mu.Lock()
+	cur, ok := s.instances[inst.cfg.Name]
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return ErrDraining
+	}
+	if !ok || cur != inst {
+		return ErrInstanceClosed
+	}
+	if err := s.makeRoom(inst); err != nil {
+		return err
+	}
+	return s.rehydrate(inst)
+}
+
+// rehydrate rebuilds an evicted instance's engine and journal from its
+// WAL and restarts its worker. Caller holds lifeMu and has made room.
+func (s *Server) rehydrate(inst *Instance) error {
+	dir := filepath.Join(s.opt.Dir, inst.cfg.Name)
+	log, rec, err := recoverWAL(s.opt.FS, dir)
+	if err != nil {
+		return fmt.Errorf("serve: rehydrate %s: %w", inst.cfg.Name, err)
+	}
+	eng, err := restoreEngine(rec)
+	if err != nil {
+		log.close()
+		return fmt.Errorf("serve: rehydrate %s: %w", inst.cfg.Name, err)
+	}
+	lastSeq := rec.lastSeq()
+
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.eng = eng
+	inst.log = log
+	inst.lastSeq = lastSeq
+	inst.appliedSeq = lastSeq
+	inst.appliedOps = 0
+	inst.state = stateRunning
+	inst.closing = false
+	inst.noAdmit = false
+	inst.evicting = false
+	inst.stalled = false
+	inst.lastMove = time.Now()
+	inst.lastTouch = inst.lastMove
+	inst.workerDone = make(chan struct{})
+	if eng.StreamDone() {
+		res, err := eng.Finish()
+		if err != nil {
+			// The WAL verified at eviction time; a terminal verification
+			// failure here means the journal was damaged on disk since.
+			inst.eng = nil
+			inst.log = nil
+			inst.state = stateEvicted
+			log.close()
+			return fmt.Errorf("serve: rehydrate %s: replay verification: %w", inst.cfg.Name, err)
+		}
+		inst.result = res
+		inst.state = stateDone
+	}
+	go inst.worker()
+	inst.cond.Broadcast()
+	s.logf("serve: rehydrated instance %s (seq %d, %s)", inst.cfg.Name, lastSeq, inst.state)
+	return nil
+}
+
 // Get returns a registered instance.
 func (s *Server) Get(name string) (*Instance, bool) {
 	s.mu.Lock()
@@ -227,7 +446,11 @@ func (s *Server) Get(name string) (*Instance, bool) {
 
 // Remove closes and forgets an instance; its journal directory is
 // deleted, so this is the explicit "query finished, release it" call.
+// Taking lifeMu keeps removal ordered against a concurrent rehydration
+// of the same instance.
 func (s *Server) Remove(name string) error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
 	s.mu.Lock()
 	inst, ok := s.instances[name]
 	if ok {
@@ -256,9 +479,14 @@ func (s *Server) Instances() []*Instance {
 	return out
 }
 
-// ServerStatus is the /v1/status document.
+// ServerStatus is the /v1/status document. Total counts every
+// registered instance; Live those currently holding engine state;
+// Evicted those whose state lives only in their WAL until next touch.
 type ServerStatus struct {
 	Draining  bool             `json:"draining,omitempty"`
+	Live      int              `json:"live"`
+	Evicted   int              `json:"evicted"`
+	Total     int              `json:"total"`
 	Instances []InstanceStatus `json:"instances"`
 }
 
@@ -273,7 +501,14 @@ func (s *Server) Status() ServerStatus {
 	s.mu.Unlock()
 	sort.Slice(insts, func(i, k int) bool { return insts[i].cfg.Name < insts[k].cfg.Name })
 	for _, inst := range insts {
-		st.Instances = append(st.Instances, inst.Status())
+		row := inst.Status()
+		st.Instances = append(st.Instances, row)
+		st.Total++
+		if row.State == stateEvicted.String() {
+			st.Evicted++
+		} else {
+			st.Live++
+		}
 	}
 	return st
 }
@@ -287,10 +522,15 @@ func (s *Server) Draining() bool {
 
 // watchdog periodically flags instances that hold pending work without
 // making progress — a stuck worker shows up in the status report instead
-// of silently eating its queue's latency budget.
+// of silently eating its queue's latency budget — and, with IdleTTL
+// set, evicts instances nothing has touched for a TTL.
 func (s *Server) watchdog() {
 	defer close(s.watchDone)
-	tick := time.NewTicker(s.opt.StallTimeout / 4)
+	period := s.opt.StallTimeout
+	if s.opt.IdleTTL > 0 && s.opt.IdleTTL < period {
+		period = s.opt.IdleTTL
+	}
+	tick := time.NewTicker(period / 4)
 	defer tick.Stop()
 	for {
 		select {
@@ -308,6 +548,33 @@ func (s *Server) watchdog() {
 			}
 			inst.mu.Unlock()
 		}
+		if s.opt.IdleTTL > 0 {
+			s.evictIdle()
+		}
+	}
+}
+
+// evictIdle evicts every live instance whose last touch is older than
+// IdleTTL.
+func (s *Server) evictIdle() {
+	if s.Draining() {
+		return
+	}
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	for _, inst := range s.liveInstances() {
+		idle := time.Since(inst.touched())
+		if idle < s.opt.IdleTTL {
+			break // ordered by touch: the rest are fresher
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.opt.StallTimeout)
+		err := inst.evict(ctx)
+		cancel()
+		if err != nil {
+			s.logf("serve: idle eviction of %s: %v", inst.cfg.Name, err)
+			continue
+		}
+		s.logf("serve: evicted idle instance %s (idle %v)", inst.cfg.Name, idle.Round(time.Millisecond))
 	}
 }
 
@@ -316,13 +583,19 @@ func (s *Server) watchdog() {
 // close the journals. Bounded by ctx; instances that cannot flush in
 // time report errors but the drain still closes everything.
 func (s *Server) Drain(ctx context.Context) error {
+	// Cycling lifeMu around the flag set guarantees no rehydration is in
+	// flight once draining is visible: ensureLive re-checks the flag
+	// under lifeMu.
+	s.lifeMu.Lock()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.lifeMu.Unlock()
 		return ErrDraining
 	}
 	s.draining = true
 	s.mu.Unlock()
+	s.lifeMu.Unlock()
 
 	var firstErr error
 	for _, inst := range s.Instances() {
@@ -339,10 +612,12 @@ func (s *Server) Drain(ctx context.Context) error {
 // WAL and apply on the next start, but nothing new is accepted and
 // pending handles fail. Drain is the graceful variant.
 func (s *Server) Close() {
+	s.lifeMu.Lock()
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
 	s.mu.Unlock()
+	s.lifeMu.Unlock()
 	for _, inst := range s.Instances() {
 		inst.close()
 	}

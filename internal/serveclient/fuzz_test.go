@@ -1,0 +1,67 @@
+package serveclient
+
+import (
+	"strings"
+	"testing"
+
+	"doda/internal/serve"
+)
+
+// FuzzServeClientResponses hammers decodeResponse — the single funnel
+// every byte from the server passes through — with arbitrary (status,
+// Retry-After header, body) triples. The invariants: never panic, never
+// half-write the destination (an error leaves the caller's value
+// untouched), and non-2xx always surfaces as *APIError with a bounded
+// message and a sane Retry-After.
+func FuzzServeClientResponses(f *testing.F) {
+	f.Add(200, "", []byte(`{"name":"a","state":"running","n":8,"algorithm":"waiting","agg":"min","pending_ops":0,"last_seq":3,"applied_seq":3,"applied_ops":24,"owners":1}`))
+	f.Add(201, "", []byte(`{"name":"a","state":"running"}`))
+	f.Add(202, "", []byte(`{"ops":8}`))
+	f.Add(200, "", []byte(``))
+	f.Add(200, "", []byte(`{"name":"a","state":`)) // truncated mid-value
+	f.Add(200, "", []byte(`[1,2,3]`))              // wrong shape
+	f.Add(200, "", []byte(`null`))
+	f.Add(204, "", []byte{})
+	f.Add(404, "", []byte(`{"error":"no instance \"x\""}`))
+	f.Add(429, "1", []byte(`{"error":"backpressure","retry_after_ms":1000}`))
+	f.Add(429, "garbage", []byte(`not json at all`))
+	f.Add(429, "99999999999999999999", []byte(`{}`))
+	f.Add(503, "", []byte(`<html>bad gateway</html>`))
+	f.Add(500, "-5", []byte(strings.Repeat("x", 4096)))
+	f.Add(409, "", []byte(`{"error":"serve: sequence gap: got 7, journal is at 3"}`))
+	f.Add(302, "", []byte{0xff, 0xfe, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, status int, retryAfter string, body []byte) {
+		sentinel := serve.InstanceStatus{Name: "sentinel", State: "untouched", LastSeq: 777}
+		dst := sentinel
+		err := decodeResponse(status, retryAfter, body, &dst)
+
+		if status >= 200 && status <= 299 {
+			if err != nil {
+				// All-or-nothing: a rejected 2xx body must leave dst alone.
+				if dst != sentinel {
+					t.Fatalf("decode error %v but dst mutated: %+v", err, dst)
+				}
+			}
+			return
+		}
+		ae, ok := err.(*APIError)
+		if !ok {
+			t.Fatalf("non-2xx status %d: want *APIError, got %v", status, err)
+		}
+		if dst != sentinel {
+			t.Fatalf("non-2xx mutated dst: %+v", dst)
+		}
+		if ae.Status != status {
+			t.Fatalf("APIError.Status = %d, want %d", ae.Status, status)
+		}
+		if len(ae.Message) > maxErrorBytes {
+			t.Fatalf("unbounded error message: %d bytes", len(ae.Message))
+		}
+		if ae.RetryAfter < 0 || ae.RetryAfter > maxRetryAfter {
+			t.Fatalf("insane RetryAfter %v from header %q body %q", ae.RetryAfter, retryAfter, body)
+		}
+		// The error string must render without panicking.
+		_ = ae.Error()
+	})
+}

@@ -1,0 +1,32 @@
+package doda
+
+// Serve-client re-exports: programs feeding a remote dodaserve process
+// use the root package's retrying client and never import internal/.
+// See internal/serveclient/doc.go for the idempotency and retry
+// contracts.
+
+import "doda/internal/serveclient"
+
+// Serve-client types.
+type (
+	// ServeClient talks to one dodaserve process with bounded,
+	// deterministically-jittered retries; every operation is safe to
+	// retry because ingest is seq-stamped and the server acks duplicates
+	// without re-applying them.
+	ServeClient = serveclient.Client
+	// ServeClientOptions tunes a client (HTTP transport, retry policy,
+	// jitter seed).
+	ServeClientOptions = serveclient.Options
+	// ServeClientRetryPolicy bounds and paces retries (zero value:
+	// 8 attempts, 100ms base doubling to a 5s cap).
+	ServeClientRetryPolicy = serveclient.RetryPolicy
+	// ServeStream is a seq-stamped batched feeder for one instance.
+	ServeStream = serveclient.Stream
+	// ServeAPIError is a deliberate non-2xx answer from the server.
+	ServeAPIError = serveclient.APIError
+)
+
+// NewServeClient builds a client for the dodaserve process at baseURL.
+func NewServeClient(baseURL string, opt ServeClientOptions) *ServeClient {
+	return serveclient.New(baseURL, opt)
+}
